@@ -1,0 +1,23 @@
+"""Ablation: partition quality drives communication volume (paper Sec. 4.1
+factor (i): 'graph topology and partition strategy')."""
+
+from repro.harness import run_ablation_partition_method, save_result
+
+
+def test_ablation_partition_method(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_partition_method, rounds=1, iterations=1
+    )
+    save_result(result)
+    print("\n" + result.render())
+
+    cuts = result.notes["cut_by_method"]
+    # The METIS stand-in must beat the naive partitioners on edge cut...
+    assert cuts["metis"] < cuts["bfs"] <= cuts["random"]
+    assert cuts["metis"] < cuts["spectral"]
+    # ... and random partitioning produces the worst communication share.
+    shares = {row[0]: float(row[4].rstrip("%")) for row in result.rows}
+    assert shares["random"] > shares["metis"]
+    # AdaQP accelerates training under every partitioner (robustness).
+    speedups = {row[0]: float(row[5].rstrip("x")) for row in result.rows}
+    assert all(s > 1.2 for s in speedups.values()), speedups

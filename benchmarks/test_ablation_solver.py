@@ -1,0 +1,17 @@
+"""Ablation: exact MILP (HiGHS) vs greedy bit-width assignment solver."""
+
+from repro.harness import run_ablation_solver, save_result
+
+
+def test_ablation_solver(benchmark):
+    result = benchmark.pedantic(run_ablation_solver, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    # The greedy solver is a drop-in: accuracy within half a point of the
+    # exact MILP's (they optimize the same scalarized objective).
+    assert result.notes["accuracy_gap"] < 0.005
+    throughputs = {row[0]: float(row[2]) for row in result.rows}
+    # Similar assignments -> similar throughput (within 25%).
+    ratio = throughputs["milp"] / throughputs["greedy"]
+    assert 0.75 < ratio < 1.33

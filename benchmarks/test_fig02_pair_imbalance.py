@@ -1,0 +1,16 @@
+"""Paper Fig. 2: per-device-pair transfer volumes are highly imbalanced."""
+
+from repro.harness import run_fig02_pair_imbalance, save_result
+
+
+def test_fig02_pair_imbalance(benchmark):
+    result = benchmark.pedantic(run_fig02_pair_imbalance, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    sizes = [float(row[1]) for row in result.rows]
+    assert len(sizes) == 12  # 4 partitions -> 12 directed pairs
+    # Shape: significant imbalance across pairs (paper shows ~5-7x between
+    # the heaviest and lightest AmazonProducts pairs).
+    assert max(sizes) > 2.0 * min(sizes)
+    assert result.notes["max_over_min"] > 2.0

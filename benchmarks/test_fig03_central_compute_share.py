@@ -1,0 +1,19 @@
+"""Paper Fig. 3: hiding central-node computation saves 23-55% of per-device
+model computation time."""
+
+from repro.harness import run_fig03_central_compute_share, save_result
+
+
+def test_fig03_central_compute_share(benchmark):
+    result = benchmark.pedantic(
+        run_fig03_central_compute_share, rounds=1, iterations=1
+    )
+    save_result(result)
+    print("\n" + result.render())
+
+    reductions = result.series["reduction_pct"]
+    assert len(reductions) == 8
+    # Paper band: 23.20% - 55.44% reduction; allow a wider tolerance since
+    # the partitioner differs, but the reduction must be material on every
+    # device and far below 100% (marginal compute dominates).
+    assert all(15.0 < r < 70.0 for r in reductions)

@@ -1,0 +1,50 @@
+"""Paper Fig. 10: per-epoch time breakdown — communication volume shrinks
+drastically, quantization overhead stays a small fraction.
+
+Accounting note (matches the paper's convention): AdaQP's "Comm" bucket is
+the duration of the overlap stage, which *hides the central graph's
+computation inside it*; on partitions with a large central share the bucket
+is floored by that hidden compute.  The unambiguous reproduction targets
+asserted here are therefore the wire volume reduction and the epoch-time
+reduction.
+"""
+
+from repro.harness import run_fig10_time_breakdown, save_result
+
+
+def test_fig10_time_breakdown(benchmark):
+    result = benchmark.pedantic(run_fig10_time_breakdown, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    rows = {}
+    for (dataset, setting, system, comm, comp, quant, wire_mb, train_s,
+         assign_s) in result.rows:
+        rows[(dataset, setting, system)] = {
+            "comm": float(comm),
+            "comp": float(comp),
+            "quant": float(quant),
+            "wire": float(wire_mb),
+            "train": float(train_s),
+            "assign": float(assign_s),
+        }
+
+    cases = sorted({k[:2] for k in rows})
+    for case in cases:
+        vanilla = rows[(*case, "vanilla")]
+        adaqp = rows[(*case, "adaqp")]
+        # Shape 1: the wire volume drops dramatically (paper: the comm-time
+        # reduction is 78-81%, which in the bandwidth-dominated regime is
+        # the byte reduction; require > 60%).
+        assert adaqp["wire"] < 0.4 * vanilla["wire"], case
+        # Shape 2: the epoch gets materially faster end to end.
+        assert adaqp["train"] < 0.85 * vanilla["train"], case
+        # Shape 3: quantization overhead is a small share of the AdaQP
+        # epoch (paper: 5.5-13.9%; require < 25%).
+        epoch = adaqp["comm"] + adaqp["comp"] + adaqp["quant"]
+        assert adaqp["quant"] / epoch < 0.25, case
+        # Shape 4: Vanilla has no quantization or assignment overhead.
+        assert vanilla["quant"] == 0.0 and vanilla["assign"] == 0.0
+        # Shape 5: assignment overhead is a small share of AdaQP wall-clock
+        # (paper: ~5.4% on average; require < 15%).
+        assert adaqp["assign"] < 0.15 * (adaqp["train"] + adaqp["assign"]), case

@@ -1,0 +1,29 @@
+"""Paper Fig. 11: sensitivity to message group size, λ and the
+re-assignment period."""
+
+from repro.harness import run_fig11_sensitivity, save_result
+
+
+def test_fig11_sensitivity(benchmark):
+    result = benchmark.pedantic(run_fig11_sensitivity, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    by_param = {}
+    for param, value, acc, overhead in result.rows:
+        by_param.setdefault(param, []).append(
+            (float(value), float(acc), float(overhead))
+        )
+
+    # Shape 1: smaller message groups -> more MILP variables -> larger
+    # assignment overhead (paper Fig. 11, left column).
+    gs = sorted(by_param["group_size"])
+    assert gs[0][2] > gs[-1][2], "smallest group size should cost the most"
+
+    # Shape 2: accuracy stays within a tight band across all hyper-parameter
+    # choices (paper: ~0.5 point spread) — the system is robust.
+    accs = [acc for rows in by_param.values() for _, acc, _ in rows]
+    assert max(accs) - min(accs) < 2.0
+
+    # Shape 3: every lambda in [0, 1] trains successfully.
+    assert len(by_param["lambda"]) == 5

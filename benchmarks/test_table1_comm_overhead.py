@@ -1,0 +1,22 @@
+"""Paper Table 1: communication dominates Vanilla epochs and grows with
+the partition count."""
+
+from repro.harness import run_table1_comm_overhead, save_result
+
+
+def test_table1_comm_overhead(benchmark):
+    result = benchmark.pedantic(run_table1_comm_overhead, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    shares = {}
+    for dataset, setting, comm, rnr in result.rows:
+        shares.setdefault(dataset, []).append(float(comm.rstrip("%")))
+
+    # Shape 1: communication is a large share of every epoch (paper: 66-78%).
+    all_shares = [s for v in shares.values() for s in v]
+    assert sum(all_shares) / len(all_shares) > 50.0
+
+    # Shape 2: more partitions -> larger communication share (paper's trend).
+    for dataset, values in shares.items():
+        assert values[1] > values[0], dataset

@@ -1,0 +1,18 @@
+"""Paper Table 2: even 2-bit quantized marginal communication outlasts the
+central graph's computation — the headroom that makes the overlap safe."""
+
+from repro.harness import run_table2_overlap_headroom, save_result
+
+
+def test_table2_overlap_headroom(benchmark):
+    result = benchmark.pedantic(run_table2_overlap_headroom, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    assert len(result.rows) == 8  # 2M-4D -> 8 devices
+    # The paper's claim, per device: comm(2-bit) > comp(central).
+    assert result.notes["comm_exceeds_comp_on_all_devices"]
+    for _, comm, comp in result.rows:
+        comm_ms = float(comm.split()[0])
+        comp_ms = float(comp.split()[0])
+        assert comm_ms > comp_ms

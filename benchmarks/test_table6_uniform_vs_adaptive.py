@@ -1,0 +1,26 @@
+"""Paper Table 6: adaptive bit-width assignment vs uniform random sampling."""
+
+import numpy as np
+
+from repro.harness import run_table6_uniform_vs_adaptive, save_result
+
+
+def test_table6_uniform_vs_adaptive(benchmark):
+    result = benchmark.pedantic(
+        run_table6_uniform_vs_adaptive, rounds=1, iterations=1
+    )
+    save_result(result)
+    print("\n" + result.render())
+
+    acc = {}
+    for setting, model, method, accuracy, _ in result.rows:
+        acc[(setting, model, method)] = float(accuracy)
+
+    cases = sorted({k[:2] for k in acc})
+    assert len(cases) == 4  # 2 settings x 2 models
+    deltas = [acc[(*c, "Adaptive")] - acc[(*c, "Uniform")] for c in cases]
+    # Shape: adaptive matches or beats uniform on average (paper: adaptive
+    # wins almost every cell, by up to ~0.3 points).
+    assert float(np.mean(deltas)) > -0.1
+    # Uniform never beats adaptive by a large margin anywhere.
+    assert min(deltas) > -1.0

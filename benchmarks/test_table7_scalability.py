@@ -1,0 +1,20 @@
+"""Paper Table 7: the speedup persists at 24 devices (6M-4D)."""
+
+from repro.harness import run_table7_scalability, save_result
+
+
+def test_table7_scalability(benchmark):
+    result = benchmark.pedantic(run_table7_scalability, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    throughputs = {}
+    for dataset, method, thr in result.rows:
+        throughputs[(dataset, method)] = float(thr.split()[0])
+
+    for dataset in ("ogbn-products", "amazonproducts"):
+        speedup = (
+            throughputs[(dataset, "AdaQP")] / throughputs[(dataset, "Vanilla")]
+        )
+        # Paper: 1.79x and 2.34x at 24 devices.
+        assert speedup > 1.3, f"{dataset}: {speedup:.2f}x"

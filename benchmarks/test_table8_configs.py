@@ -1,0 +1,21 @@
+"""Paper Table 8: the training configuration catalog."""
+
+from repro.harness import run_table8_configs, save_result
+
+
+def test_table8_configs(benchmark):
+    result = benchmark.pedantic(run_table8_configs, rounds=1, iterations=1)
+    save_result(result)
+    print("\n" + result.render())
+
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row[1] == 3  # 3 layers (paper)
+        assert row[3] == "LayerNorm"
+        assert row[4] == "Adam"
+        assert row[5] == 0.01  # lr (paper)
+        assert row[9] == 0.5  # lambda (paper Appendix B)
+    # Yelp's dropout differs (0.1), everything else 0.5 — as in the paper.
+    dropouts = {row[0]: row[6] for row in result.rows}
+    assert dropouts["yelp"] == 0.1
+    assert dropouts["reddit"] == 0.5

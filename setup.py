@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the project installs in offline
+environments that lack the `wheel` package (legacy `setup.py develop` /
+`pip install -e . --no-build-isolation` both work without building a wheel).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

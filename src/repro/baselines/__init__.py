@@ -1,0 +1,23 @@
+"""Comparator systems (paper Sec. 5.1).
+
+* **Vanilla** — synchronous full-precision training (exact exchange + the
+  no-overlap schedule); implemented by composing
+  :class:`~repro.cluster.exchange.ExactHaloExchange` with
+  :func:`~repro.core.scheduler.schedule_vanilla`.
+* **PipeGCN** (Wan et al. 2022) — cross-iteration pipelining with
+  epoch-stale boundary embeddings and gradients.
+* **SANCUS** (Peng et al. 2022) — staleness-triggered broadcast skipping
+  with historical embeddings and sequential broadcast communication.
+* **Uniform** — AdaQP's quantized transport but with uniformly random
+  bit-width sampling (the Table 6 ablation).
+
+Each baseline reproduces the *mechanism* the paper credits for that
+system's behaviour (staleness → slower convergence; broadcast
+serialization → slow comm; random bits → variance spikes), not the full
+engineering of the original codebases.
+"""
+
+from repro.baselines.pipegcn import StaleHaloExchange
+from repro.baselines.sancus import BroadcastSkipExchange
+
+__all__ = ["StaleHaloExchange", "BroadcastSkipExchange"]

@@ -1,0 +1,102 @@
+"""PipeGCN-style exchange: epoch-stale boundary features and gradients.
+
+PipeGCN (Wan et al., MLSys 2022) hides communication inside computation by
+consuming the halo messages *sent during the previous epoch* while the
+current epoch's messages travel.  Two consequences the paper leans on:
+
+* throughput: communication fully overlaps computation (modelled by
+  :func:`repro.core.scheduler.schedule_pipegcn`), which wins only when the
+  graph is dense enough for compute to cover comm (paper Sec. 5.1's Reddit
+  discussion);
+* convergence: one-epoch-stale embeddings/gradients slow convergence
+  (paper Fig. 9; O(T^{-2/3}) vs O(T^{-1})).
+
+Epoch 0 performs a synchronous warm-up exchange so training never sees
+uninitialized halos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.exchange import HaloExchange
+from repro.comm.transport import Transport
+
+__all__ = ["StaleHaloExchange"]
+
+
+class StaleHaloExchange(HaloExchange):
+    """Exact-precision transfers consumed one epoch late."""
+
+    quantizes = False
+
+    def __init__(self) -> None:
+        # Caches: key = (kind, layer) -> {dst_rank: {src_rank: payload}}
+        self._fwd_cache: dict[int, dict[int, dict[int, np.ndarray]]] = {}
+        self._bwd_cache: dict[int, dict[int, dict[int, np.ndarray]]] = {}
+        self._epoch = 0
+
+    def on_epoch_start(self, epoch: int) -> None:
+        self._epoch = epoch
+
+    # ------------------------------------------------------------------
+    def exchange_embeddings(
+        self,
+        layer: int,
+        devices: list,
+        transport: Transport,
+        h_by_dev: list[np.ndarray],
+    ) -> list[np.ndarray]:
+        tag = f"fwd/L{layer}"
+        for dev in devices:
+            part = dev.part
+            for q in part.peers_out():
+                rows = np.ascontiguousarray(
+                    h_by_dev[dev.rank][part.send_map[q]], dtype=np.float32
+                )
+                transport.post(dev.rank, q, tag, rows, rows.nbytes)
+
+        fresh: dict[int, dict[int, np.ndarray]] = {
+            dev.rank: transport.collect(dev.rank, tag) for dev in devices
+        }
+        cached = self._fwd_cache.get(layer)
+        source = cached if cached is not None else fresh  # warm-up epoch: sync
+        self._fwd_cache[layer] = fresh
+
+        halo_by_dev: list[np.ndarray] = []
+        for dev in devices:
+            part = dev.part
+            d = h_by_dev[dev.rank].shape[1]
+            halo = np.zeros((part.n_halo, d), dtype=np.float32)
+            for p, payload in source[dev.rank].items():
+                halo[part.recv_map[p]] = payload
+            halo_by_dev.append(halo)
+        return halo_by_dev
+
+    def exchange_gradients(
+        self,
+        layer: int,
+        devices: list,
+        transport: Transport,
+        d_halo_by_dev: list[np.ndarray],
+        d_own_by_dev: list[np.ndarray],
+    ) -> None:
+        tag = f"bwd/L{layer}"
+        for dev in devices:
+            part = dev.part
+            for q in part.peers_in():
+                rows = np.ascontiguousarray(
+                    d_halo_by_dev[dev.rank][part.recv_map[q]], dtype=np.float32
+                )
+                transport.post(dev.rank, q, tag, rows, rows.nbytes)
+
+        fresh = {dev.rank: transport.collect(dev.rank, tag) for dev in devices}
+        cached = self._bwd_cache.get(layer)
+        source = cached if cached is not None else fresh
+        self._bwd_cache[layer] = fresh
+
+        for dev in devices:
+            part = dev.part
+            for p, payload in source[dev.rank].items():
+                if payload.shape == d_own_by_dev[dev.rank][part.send_map[p]].shape:
+                    d_own_by_dev[dev.rank][part.send_map[p]] += payload

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Version, available datasets, systems and partition settings.
+``train``
+    Train one system on one dataset/setting and print the result summary.
+``partition``
+    Partition a dataset and report quality metrics (cut, balance,
+    remote-neighbor ratio, marginal fractions).
+``experiment``
+    Run one of the harness's table/figure regenerations by id
+    (``table1`` ... ``table8``, ``fig02`` ... ``fig11``, ``ablation-*``,
+    ``footnote1``) and print the rendered table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.core.config import RunConfig
+from repro.core.trainer import SYSTEMS, train
+from repro.graph.datasets import available_datasets, load_dataset
+from repro.graph.partition.api import partition_graph
+from repro.graph.partition.book import build_local_partitions
+from repro.graph.partition.quality import balance, edge_cut, remote_neighbor_ratio
+from repro.utils.format import format_seconds, render_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": "run_table1_comm_overhead",
+    "table2": "run_table2_overlap_headroom",
+    "table3": "run_table3_datasets",
+    "table4": "run_table4_main",
+    "table5": "run_table5_wallclock",
+    "table6": "run_table6_uniform_vs_adaptive",
+    "table7": "run_table7_scalability",
+    "table8": "run_table8_configs",
+    "fig02": "run_fig02_pair_imbalance",
+    "fig03": "run_fig03_central_compute_share",
+    "fig09": "run_fig09_convergence",
+    "fig10": "run_fig10_time_breakdown",
+    "fig11": "run_fig11_sensitivity",
+    "ablation-contributions": "run_ablation_contributions",
+    "ablation-partition": "run_ablation_partition_method",
+    "ablation-solver": "run_ablation_solver",
+    "footnote1": "run_footnote1_sizes",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AdaQP reproduction (MLSys 2023) — simulated distributed "
+        "full-graph GNN training with adaptive message quantization.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show datasets, systems and settings")
+
+    p_train = sub.add_parser("train", help="train one system on one dataset")
+    p_train.add_argument("--system", default="adaqp", choices=SYSTEMS)
+    p_train.add_argument("--dataset", default="ogbn-products",
+                         choices=available_datasets("tiny"))
+    p_train.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    p_train.add_argument("--setting", default="2M-2D",
+                         help="cluster topology, e.g. 2M-2D")
+    p_train.add_argument("--model", default="gcn", choices=("gcn", "sage"))
+    p_train.add_argument("--epochs", type=int, default=48)
+    p_train.add_argument("--hidden", type=int, default=32)
+    p_train.add_argument("--lr", type=float, default=0.01)
+    p_train.add_argument("--dropout", type=float, default=0.5)
+    p_train.add_argument("--lam", type=float, default=0.5)
+    p_train.add_argument("--group-size", type=int, default=100)
+    p_train.add_argument("--period", type=int, default=16)
+    p_train.add_argument("--seed", type=int, default=0)
+
+    p_part = sub.add_parser("partition", help="partition a dataset, report quality")
+    p_part.add_argument("--dataset", default="ogbn-products",
+                        choices=available_datasets("tiny"))
+    p_part.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    p_part.add_argument("--parts", type=int, default=4)
+    p_part.add_argument("--method", default="metis",
+                        choices=("metis", "random", "bfs", "spectral"))
+    p_part.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("id", choices=sorted(_EXPERIMENTS))
+
+    return parser
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__} — AdaQP reproduction (MLSys 2023)")
+    print(f"systems:  {', '.join(SYSTEMS)}")
+    print(f"datasets: {', '.join(available_datasets('tiny'))} (scales: tiny, small)")
+    print("settings: any xM-yD topology, e.g. 2M-1D, 2M-2D, 2M-4D, 6M-4D")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.comm.topology import parse_topology
+
+    topology = parse_topology(args.setting)
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    book = partition_graph(ds.graph, topology.num_devices, method="metis", seed=args.seed)
+    cfg = RunConfig(
+        model_kind=args.model,
+        hidden_dim=args.hidden,
+        epochs=args.epochs,
+        lr=args.lr,
+        dropout=args.dropout,
+        lam=args.lam,
+        group_size=args.group_size,
+        reassign_period=args.period,
+        seed=args.seed,
+        eval_every=max(1, args.epochs // 8),
+    )
+    print(f"training {args.system} / {args.model} on {args.dataset}-{args.scale} "
+          f"({topology.name}, {args.epochs} epochs)...")
+    result = train(args.system, ds, book, topology, cfg)
+    bd = result.breakdown()
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["final val accuracy", f"{100 * result.final_val:.2f}%"],
+                ["final test accuracy", f"{100 * result.final_test:.2f}%"],
+                ["throughput", f"{result.throughput:.2f} epoch/s (simulated)"],
+                ["epoch time", format_seconds(result.epoch_time_mean)],
+                ["comm / comp / quant",
+                 f"{format_seconds(bd['comm'])} / {format_seconds(bd['comp'])} / "
+                 f"{format_seconds(bd['quant'])}"],
+                ["wall-clock (train+assign)",
+                 f"{format_seconds(result.train_wallclock)} + "
+                 f"{format_seconds(result.assign_seconds)}"],
+                ["wire bytes / epoch",
+                 f"{result.wire_bytes_total / max(result.epochs, 1) / 1e6:.2f} MB"],
+            ],
+        )
+    )
+    if result.bit_histogram:
+        print("bit-width histogram:", result.bit_histogram)
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    book = partition_graph(ds.graph, args.parts, method=args.method, seed=args.seed)
+    parts = build_local_partitions(ds.graph, book)
+    marginal = [p.n_marginal / p.n_owned for p in parts]
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["nodes / edges", f"{ds.graph.num_nodes} / {ds.graph.num_edges}"],
+                ["parts", str(args.parts)],
+                ["method", args.method],
+                ["edge cut", f"{edge_cut(ds.graph, book)} "
+                 f"({100 * edge_cut(ds.graph, book) / ds.graph.num_edges:.1f}%)"],
+                ["balance", f"{balance(book):.3f}"],
+                ["remote-neighbor ratio",
+                 f"{100 * remote_neighbor_ratio(ds.graph, book):.1f}%"],
+                ["marginal node fraction",
+                 f"{100 * float(np.mean(marginal)):.1f}% "
+                 f"(min {100 * min(marginal):.1f}%, max {100 * max(marginal):.1f}%)"],
+                ["part sizes", str(book.sizes().tolist())],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.harness as harness
+
+    fn = getattr(harness, _EXPERIMENTS[args.id])
+    result = fn()
+    print(result.render())
+    if result.notes:
+        print("\nnotes:", result.notes)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

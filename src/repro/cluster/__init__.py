@@ -1,0 +1,41 @@
+"""Simulated multi-GPU cluster runtime.
+
+One :class:`DeviceRuntime` per simulated GPU holds that device's graph
+partition, aggregation operator, model replica and RNG streams.  The
+:class:`Cluster` drives all devices in lock-step through real forward and
+backward passes, routing *real* halo payloads through the
+:class:`~repro.comm.transport.Transport` (so every byte on the simulated
+wire is a byte that was actually produced, quantized and packed), and
+records the per-layer byte matrices and FLOP counts that the schedule
+simulators turn into epoch times.
+"""
+
+from repro.cluster.memory import MemoryFootprint, estimate_memory
+from repro.cluster.perfmodel import PerfModel
+from repro.cluster.records import EpochRecord, PhaseRecord
+from repro.cluster.exchange import (
+    BitProvider,
+    ExactHaloExchange,
+    FixedBitProvider,
+    HaloExchange,
+    QuantizedHaloExchange,
+    UniformRandomBitProvider,
+)
+from repro.cluster.runtime import DeviceRuntime
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "MemoryFootprint",
+    "estimate_memory",
+    "PerfModel",
+    "EpochRecord",
+    "PhaseRecord",
+    "HaloExchange",
+    "ExactHaloExchange",
+    "QuantizedHaloExchange",
+    "BitProvider",
+    "FixedBitProvider",
+    "UniformRandomBitProvider",
+    "DeviceRuntime",
+    "Cluster",
+]

@@ -1,0 +1,288 @@
+"""The lock-step distributed training executor.
+
+``Cluster`` owns the simulated devices and drives one *real* training epoch
+at a time: per GNN layer, it exchanges halo messages through the transport
+(under whatever exchange policy the caller supplies — exact, quantized,
+stale), invokes each device's layer forward/backward, and finally
+allreduces model gradients exactly.
+
+It simultaneously fills an :class:`EpochRecord` with the measured wire
+bytes and the analytic FLOP counts of every (layer, direction) step; the
+schedule simulators later turn those into epoch times under each system's
+overlap policy.
+
+Numerical contract (tested): with an exact exchange and dropout disabled, a
+K-device cluster produces *identical* losses and model gradients to a
+1-device cluster — distribution is purely a systems concern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.exchange import ExactHaloExchange, HaloExchange
+from repro.cluster.records import EpochRecord, PhaseRecord
+from repro.cluster.runtime import DeviceRuntime
+from repro.comm.allreduce import allreduce_sum
+from repro.comm.transport import Transport
+from repro.gnn.coefficients import build_aggregation
+from repro.gnn.model import MODEL_KINDS, DistGNN
+from repro.graph.datasets import GraphDataset
+from repro.graph.partition.book import PartitionBook, build_local_partitions
+from repro.nn.losses import bce_with_logits_loss, softmax_cross_entropy
+from repro.nn.metrics import task_metric
+from repro.utils.seed import RngPool
+from repro.utils.validation import check_in_set
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """All simulated devices for one training job.
+
+    Parameters
+    ----------
+    dataset:
+        The full-graph dataset (features, labels, splits).
+    book:
+        Partition assignment (one partition per simulated device).
+    model_kind:
+        ``"gcn"`` or ``"sage"``.
+    hidden_dim / num_layers / dropout:
+        Model shape (paper defaults: 256 / 3 / 0.5 — scaled down in the
+        benchmark configs).
+    seed:
+        Root seed for weights (shared across replicas), dropout (per
+        device) and stochastic rounding (per device).
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        book: PartitionBook,
+        *,
+        model_kind: str = "gcn",
+        hidden_dim: int = 64,
+        num_layers: int = 3,
+        dropout: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        check_in_set(model_kind, MODEL_KINDS, name="model_kind")
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.dataset = dataset
+        self.book = book
+        self.model_kind = model_kind
+        self.num_devices = book.num_parts
+        self.pool = RngPool(seed).fork("cluster")
+        self.transport = Transport(self.num_devices)
+        self.global_train_count = int(dataset.train_mask.sum())
+
+        dims = [dataset.num_features] + [hidden_dim] * (num_layers - 1) + [
+            dataset.num_classes
+        ]
+        self.dims = dims
+
+        degrees = dataset.graph.degrees.astype(np.float64)
+        parts = build_local_partitions(dataset.graph, book)
+        agg_kind = "gcn" if model_kind == "gcn" else "sage"
+
+        self.devices: list[DeviceRuntime] = []
+        weight_seed_pool = self.pool.fork("weights")
+        for part in parts:
+            agg = build_aggregation(part, degrees, agg_kind)
+            # Every replica consumes the *same* weight stream so replicas
+            # start bit-identical without any broadcast.
+            weight_rng = weight_seed_pool.fork("shared").get("init")
+            model = DistGNN(
+                model_kind,
+                dims,
+                agg,
+                dropout=dropout,
+                weight_rng=weight_rng,
+                dropout_rng=self.pool.device(part.part_id, "dropout"),
+            )
+            owned = part.owned_global
+            self.devices.append(
+                DeviceRuntime(
+                    rank=part.part_id,
+                    part=part,
+                    agg=agg,
+                    model=model,
+                    features=dataset.features[owned],
+                    labels=dataset.labels[owned],
+                    train_mask=dataset.train_mask[owned],
+                    val_mask=dataset.val_mask[owned],
+                    test_mask=dataset.test_mask[owned],
+                )
+            )
+
+        # Static per-device message-row counts (drive quant-time modelling).
+        self._rows_out = np.array(
+            [sum(len(v) for v in d.part.send_map.values()) for d in self.devices],
+            dtype=np.int64,
+        )
+        self._rows_in = np.array([d.part.n_halo for d in self.devices], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_epoch(self, exchange: HaloExchange, epoch: int) -> EpochRecord:
+        """Run one full forward/backward pass and gradient allreduce.
+
+        Does *not* step optimizers — the trainer owns those (it may need to
+        interleave assigner work between gradient computation and update).
+        """
+        devices = self.devices
+        exchange.on_epoch_start(epoch)
+        for dev in devices:
+            dev.model.train()
+            dev.model.zero_grad()
+        self.transport.reset_accounting()
+
+        record = EpochRecord(loss=0.0)
+        num_layers = devices[0].model.num_layers
+
+        # ---- forward ----------------------------------------------------
+        h_by_dev = [dev.features for dev in devices]
+        for layer in range(num_layers):
+            halo = exchange.exchange_embeddings(layer, devices, self.transport, h_by_dev)
+            h_by_dev = [
+                dev.model.layers[layer].forward(h_by_dev[dev.rank], halo[dev.rank])
+                for dev in devices
+            ]
+            record.phases.append(
+                self._phase_record(layer, "fwd", exchange, f"fwd/L{layer}")
+            )
+
+        # ---- loss --------------------------------------------------------
+        d_h = []
+        total_loss = 0.0
+        for dev in devices:
+            loss, d_logits = self._loss(dev, h_by_dev[dev.rank])
+            total_loss += loss
+            d_h.append(d_logits)
+        record.loss = float(total_loss)
+
+        # ---- backward ------------------------------------------------------
+        for layer in reversed(range(num_layers)):
+            d_own_list: list[np.ndarray] = []
+            d_halo_list: list[np.ndarray] = []
+            for dev in devices:
+                d_own, d_halo = dev.model.layers[layer].backward(d_h[dev.rank])
+                d_own_list.append(d_own)
+                d_halo_list.append(d_halo)
+            exchange.exchange_gradients(
+                layer, devices, self.transport, d_halo_list, d_own_list
+            )
+            record.phases.append(
+                self._phase_record(layer, "bwd", exchange, f"bwd/L{layer}")
+            )
+            d_h = d_own_list
+
+        # ---- model-gradient allreduce -----------------------------------
+        vectors = [dev.model.grad_vector() for dev in devices]
+        reduced = allreduce_sum(vectors)
+        for dev in devices:
+            dev.model.set_grad_vector(reduced)
+        record.grad_allreduce_bytes = int(reduced.nbytes)
+        return record
+
+    def _loss(self, dev: DeviceRuntime, logits: np.ndarray) -> tuple[float, np.ndarray]:
+        if self.dataset.multilabel:
+            return bce_with_logits_loss(
+                logits,
+                dev.labels,
+                dev.train_mask,
+                normalizer=self.global_train_count,
+            )
+        return softmax_cross_entropy(
+            logits,
+            dev.labels,
+            dev.train_mask,
+            normalizer=self.global_train_count,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def full_logits(self) -> np.ndarray:
+        """Exact (un-quantized) eval-mode forward; global logits matrix."""
+        devices = self.devices
+        exchange = ExactHaloExchange()
+        transport = Transport(self.num_devices)
+        for dev in devices:
+            dev.model.eval()
+        h_by_dev = [dev.features for dev in devices]
+        for layer in range(devices[0].model.num_layers):
+            halo = exchange.exchange_embeddings(layer, devices, transport, h_by_dev)
+            h_by_dev = [
+                dev.model.layers[layer].forward(h_by_dev[dev.rank], halo[dev.rank])
+                for dev in devices
+            ]
+        logits = np.zeros(
+            (self.dataset.num_nodes, self.dims[-1]), dtype=np.float32
+        )
+        for dev in devices:
+            logits[dev.part.owned_global] = h_by_dev[dev.rank]
+        for dev in devices:
+            dev.model.train()
+        return logits
+
+    def evaluate(self) -> dict[str, float]:
+        """Global metrics on train/val/test splits (paper's 'accuracy')."""
+        logits = self.full_logits()
+        ds = self.dataset
+        return {
+            split: task_metric(
+                logits, ds.labels, getattr(ds, f"{split}_mask"), multilabel=ds.multilabel
+            )
+            for split in ("train", "val", "test")
+        }
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _phase_record(
+        self, layer: int, phase: str, exchange: HaloExchange, tag: str
+    ) -> PhaseRecord:
+        n = self.num_devices
+        d_in, d_out = self.dims[layer], self.dims[layer + 1]
+        dense_factor = 2.0 if self.model_kind == "sage" else 1.0
+        if phase == "bwd":
+            dense_factor *= 2.0  # d_input GEMM + weight-gradient GEMM
+
+        agg_flops = np.zeros(n)
+        agg_central = np.zeros(n)
+        dense_flops = np.zeros(n)
+        dense_central = np.zeros(n)
+        quant_send = np.zeros(n)
+        quant_recv = np.zeros(n)
+        for dev in self.devices:
+            nnz = dev.agg.nnz
+            nnz_central = dev.agg.nnz_for_rows(dev.part.central_mask)
+            agg_flops[dev.rank] = 2.0 * nnz * d_in
+            agg_central[dev.rank] = 2.0 * nnz_central * d_in
+            dense = dense_factor * 2.0 * dev.n_owned * d_in * d_out
+            dense_flops[dev.rank] = dense
+            central_frac = dev.part.n_central / max(dev.n_owned, 1)
+            dense_central[dev.rank] = dense * central_frac
+            if exchange.quantizes:
+                # Quantize what we send, de-quantize what we receive; the
+                # message width is the layer *input* width in both passes.
+                sent = self._rows_out[dev.rank] if phase == "fwd" else self._rows_in[dev.rank]
+                recv = self._rows_in[dev.rank] if phase == "fwd" else self._rows_out[dev.rank]
+                quant_send[dev.rank] = 4.0 * d_in * sent
+                quant_recv[dev.rank] = 4.0 * d_in * recv
+
+        return PhaseRecord(
+            layer=layer,
+            phase=phase,
+            bytes_matrix=self.transport.bytes_matrix(tag),
+            quant_send_bytes=quant_send,
+            quant_recv_bytes=quant_recv,
+            agg_flops=agg_flops,
+            agg_flops_central=agg_central,
+            dense_flops=dense_flops,
+            dense_flops_central=dense_central,
+        )

@@ -1,0 +1,236 @@
+"""Halo exchange strategies: exact (Vanilla) and quantized (AdaQP).
+
+An exchange implements the two message movements of distributed full-graph
+training:
+
+* **embeddings** (forward): each device sends, per peer, the current
+  activations of the boundary rows that peer's halo needs;
+* **gradients** (backward): each device sends, per halo-owner, the
+  accumulated embedding gradients of that owner's nodes, which the owner
+  adds into its own backward signal.
+
+The quantized exchange additionally consults a :class:`BitProvider` for the
+per-message bit-widths and (optionally) feeds an input tracer — the hook
+the Adaptive Bit-width Assigner hangs off.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.comm.transport import Transport
+from repro.quant.mixed import MixedPrecisionEncoder
+from repro.quant.theory import SUPPORTED_BITS
+from repro.utils.validation import check_in_set
+
+__all__ = [
+    "BitProvider",
+    "FixedBitProvider",
+    "UniformRandomBitProvider",
+    "HaloExchange",
+    "ExactHaloExchange",
+    "QuantizedHaloExchange",
+]
+
+
+class BitProvider(Protocol):
+    """Supplies per-message bit-widths for one transfer."""
+
+    def bits_for(
+        self, layer: int, phase: str, src: int, dst: int, n_rows: int
+    ) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+class FixedBitProvider:
+    """Every message gets the same bit-width (the paper's naive scheme)."""
+
+    def __init__(self, bits: int) -> None:
+        check_in_set(bits, SUPPORTED_BITS, name="bits")
+        self.bits = int(bits)
+
+    def bits_for(
+        self, layer: int, phase: str, src: int, dst: int, n_rows: int
+    ) -> np.ndarray:
+        return np.full(n_rows, self.bits, dtype=np.int64)
+
+
+class UniformRandomBitProvider:
+    """Uniform random bit-width per message (paper Table 6's baseline).
+
+    Assignments are resampled every ``period`` epochs, mirroring how the
+    adaptive scheme re-assigns periodically (buffer sizes change at the
+    same cadence in both schemes).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        choices: tuple[int, ...] = SUPPORTED_BITS,
+        period: int = 50,
+    ) -> None:
+        for b in choices:
+            check_in_set(b, SUPPORTED_BITS, name="choices entry")
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.rng = rng
+        self.choices = np.asarray(choices, dtype=np.int64)
+        self.period = int(period)
+        self._epoch = 0
+        self._cache: dict[tuple[int, str, int, int], np.ndarray] = {}
+
+    def set_epoch(self, epoch: int) -> None:
+        if epoch % self.period == 0:
+            self._cache.clear()
+        self._epoch = epoch
+
+    def bits_for(
+        self, layer: int, phase: str, src: int, dst: int, n_rows: int
+    ) -> np.ndarray:
+        key = (layer, phase, src, dst)
+        cached = self._cache.get(key)
+        if cached is None or cached.size != n_rows:
+            cached = self.rng.choice(self.choices, size=n_rows)
+            self._cache[key] = cached
+        return cached
+
+
+class HaloExchange:
+    """Base class; subclasses override the payload encode/decode policy."""
+
+    #: whether payloads pass through quantize/de-quantize kernels
+    quantizes: bool = False
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Hook for per-epoch state (bit re-sampling, staleness caches)."""
+
+    def exchange_embeddings(
+        self,
+        layer: int,
+        devices: list,  # list[DeviceRuntime]; untyped to avoid cycle
+        transport: Transport,
+        h_by_dev: list[np.ndarray],
+    ) -> list[np.ndarray]:
+        """All-to-all halo fetch; returns per device an (n_halo, d) matrix."""
+        tag = f"fwd/L{layer}"
+        for dev in devices:
+            part = dev.part
+            for q in part.peers_out():
+                rows = part.send_map[q]
+                self._post(
+                    transport, layer, "fwd", dev.rank, q, tag, h_by_dev[dev.rank][rows]
+                )
+        halo_by_dev: list[np.ndarray] = []
+        for dev in devices:
+            part = dev.part
+            d = h_by_dev[dev.rank].shape[1]
+            halo = np.zeros((part.n_halo, d), dtype=np.float32)
+            for p, payload in transport.collect(dev.rank, tag).items():
+                halo[part.recv_map[p]] = self._decode(payload)
+            halo_by_dev.append(halo)
+        return halo_by_dev
+
+    def exchange_gradients(
+        self,
+        layer: int,
+        devices: list,
+        transport: Transport,
+        d_halo_by_dev: list[np.ndarray],
+        d_own_by_dev: list[np.ndarray],
+    ) -> None:
+        """Route halo gradients back to owners, accumulating in-place."""
+        tag = f"bwd/L{layer}"
+        for dev in devices:
+            part = dev.part
+            for q in part.peers_in():
+                slots = part.recv_map[q]
+                self._post(
+                    transport,
+                    layer,
+                    "bwd",
+                    dev.rank,
+                    q,
+                    tag,
+                    d_halo_by_dev[dev.rank][slots],
+                )
+        for dev in devices:
+            part = dev.part
+            for p, payload in transport.collect(dev.rank, tag).items():
+                d_own_by_dev[dev.rank][part.send_map[p]] += self._decode(payload)
+
+    # -- policy hooks --------------------------------------------------------
+    def _post(
+        self,
+        transport: Transport,
+        layer: int,
+        phase: str,
+        src: int,
+        dst: int,
+        tag: str,
+        rows: np.ndarray,
+    ) -> None:
+        raise NotImplementedError
+
+    def _decode(self, payload: object) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ExactHaloExchange(HaloExchange):
+    """Full-precision float32 transfers (Vanilla and evaluation passes)."""
+
+    quantizes = False
+
+    def _post(self, transport, layer, phase, src, dst, tag, rows) -> None:
+        rows = np.ascontiguousarray(rows, dtype=np.float32)
+        transport.post(src, dst, tag, rows, rows.nbytes)
+
+    def _decode(self, payload: object) -> np.ndarray:
+        return payload  # type: ignore[return-value]
+
+
+class QuantizedHaloExchange(HaloExchange):
+    """AdaQP's transfers: per-message stochastic quantization + packing.
+
+    Parameters
+    ----------
+    bit_provider:
+        Source of per-message bit-widths (fixed, uniform-random or the
+        adaptive assigner).
+    rng:
+        Stream for stochastic rounding.
+    tracer:
+        Optional object with ``observe(phase, layer, src, dst, rows)``;
+        the adaptive assigner registers one to see every transfer's input
+        statistics (paper Fig. 6, step 1).
+    """
+
+    quantizes = True
+
+    def __init__(
+        self,
+        bit_provider: BitProvider,
+        rng: np.random.Generator,
+        tracer: object | None = None,
+    ) -> None:
+        self.bit_provider = bit_provider
+        self.encoder = MixedPrecisionEncoder(rng)
+        self.tracer = tracer
+
+    def on_epoch_start(self, epoch: int) -> None:
+        set_epoch = getattr(self.bit_provider, "set_epoch", None)
+        if set_epoch is not None:
+            set_epoch(epoch)
+
+    def _post(self, transport, layer, phase, src, dst, tag, rows) -> None:
+        rows = np.ascontiguousarray(rows, dtype=np.float32)
+        if self.tracer is not None:
+            self.tracer.observe(phase, layer, src, dst, rows)
+        bits = self.bit_provider.bits_for(layer, phase, src, dst, rows.shape[0])
+        payload = self.encoder.encode(rows, bits)
+        transport.post(src, dst, tag, payload, payload.wire_bytes)
+
+    def _decode(self, payload: object) -> np.ndarray:
+        return payload.decode()  # type: ignore[union-attr]

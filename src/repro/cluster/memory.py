@@ -1,0 +1,86 @@
+"""Per-device memory and transfer-volume estimator.
+
+Reproduces the paper's footnote-1 argument for *message* compression over
+*gradient* compression: for GNNs, model gradients are tiny next to the
+node features and layer embeddings that cross devices every epoch (the
+paper quotes 0.55 MB of gradients vs 1.17 GB features / 3.00 GB embeddings
+for a 3-layer, hidden-256 GCN on ogbn-products).
+
+The estimator is analytic (counts, not allocation tracking): given a
+cluster it reports, per device, the bytes of features, per-layer
+activations, halo buffers and model parameters/gradients — and the epoch
+wire volume for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+
+__all__ = ["MemoryFootprint", "estimate_memory"]
+
+_F32 = 4  # bytes per float32 element
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Analytic per-device byte counts for one training job."""
+
+    device: int
+    feature_bytes: int
+    activation_bytes: int  # all layer outputs kept for backward
+    halo_buffer_bytes: int  # receive buffers across layers
+    model_param_bytes: int
+    model_grad_bytes: int
+
+    @property
+    def message_bytes(self) -> int:
+        """Data that crosses devices (features/embeddings/halo traffic)."""
+        return self.halo_buffer_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.feature_bytes
+            + self.activation_bytes
+            + self.halo_buffer_bytes
+            + self.model_param_bytes
+            + self.model_grad_bytes
+        )
+
+
+def estimate_memory(cluster: Cluster) -> list[MemoryFootprint]:
+    """Estimate every device's footprint for ``cluster``'s configuration.
+
+    Examples
+    --------
+    >>> from repro.graph import load_dataset, partition_graph
+    >>> from repro.cluster import Cluster
+    >>> ds = load_dataset("yelp", scale="tiny")
+    >>> book = partition_graph(ds.graph, 2, method="metis")
+    >>> cluster = Cluster(ds, book, hidden_dim=16)
+    >>> fp = estimate_memory(cluster)[0]
+    >>> fp.model_grad_bytes < fp.message_bytes
+    True
+    """
+    dims = cluster.dims
+    footprints = []
+    for dev in cluster.devices:
+        n = dev.n_owned
+        h = dev.part.n_halo
+        feature_bytes = n * dims[0] * _F32
+        activation_bytes = sum(n * d_out * _F32 for d_out in dims[1:])
+        halo_buffer_bytes = sum(h * d_in * _F32 for d_in in dims[:-1])
+        params = dev.model.num_parameters()
+        footprints.append(
+            MemoryFootprint(
+                device=dev.rank,
+                feature_bytes=feature_bytes,
+                activation_bytes=activation_bytes,
+                halo_buffer_bytes=halo_buffer_bytes,
+                model_param_bytes=params * _F32,
+                model_grad_bytes=params * _F32,
+            )
+        )
+    return footprints

@@ -1,0 +1,90 @@
+"""Execution records: what one epoch produced, per layer and direction.
+
+The cluster fills these while executing real numerics; the schedule
+simulators (``repro.core.scheduler``) consume them to produce epoch times
+under each system's overlap policy.  Keeping measurement (records) separate
+from policy (schedules) lets one training run be re-timed under several
+schedules — used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PhaseRecord", "EpochRecord"]
+
+
+@dataclass
+class PhaseRecord:
+    """One (layer, direction) step across all devices.
+
+    Attributes
+    ----------
+    layer / phase:
+        Layer index and ``"fwd"`` or ``"bwd"``.
+    bytes_matrix:
+        ``(N, N)`` wire bytes actually posted for this step.
+    quant_send_bytes / quant_recv_bytes:
+        Per device: float32 bytes passed through the quantize kernel before
+        sending / the de-quantize kernel after receiving (zero when the
+        exchange is exact).  Kept separate because AdaQP's three-stage
+        schedule places them in different stages (Fig. 7).
+    agg_flops / agg_flops_central:
+        Per device: sparse aggregation FLOPs, total and for central rows.
+    dense_flops / dense_flops_central:
+        Per device: dense (GEMM) FLOPs, total and attributable to central
+        rows.
+    """
+
+    layer: int
+    phase: str
+    bytes_matrix: np.ndarray
+    quant_send_bytes: np.ndarray
+    quant_recv_bytes: np.ndarray
+    agg_flops: np.ndarray
+    agg_flops_central: np.ndarray
+    dense_flops: np.ndarray
+    dense_flops_central: np.ndarray
+
+    @property
+    def num_devices(self) -> int:
+        return int(self.bytes_matrix.shape[0])
+
+    @property
+    def quant_float_bytes(self) -> np.ndarray:
+        """Total float bytes through quant kernels (send + receive sides)."""
+        return self.quant_send_bytes + self.quant_recv_bytes
+
+    @property
+    def agg_flops_marginal(self) -> np.ndarray:
+        return self.agg_flops - self.agg_flops_central
+
+    @property
+    def dense_flops_marginal(self) -> np.ndarray:
+        return self.dense_flops - self.dense_flops_central
+
+
+@dataclass
+class EpochRecord:
+    """Everything one training epoch produced (numerics + accounting)."""
+
+    loss: float
+    phases: list[PhaseRecord] = field(default_factory=list)
+    grad_allreduce_bytes: int = 0
+    # Wall-clock seconds of *host-side* work measured for real (bit-width
+    # assignment solving); simulated device time never lands here.
+    host_overhead_s: float = 0.0
+
+    def total_wire_bytes(self) -> int:
+        return int(sum(p.bytes_matrix.sum() for p in self.phases))
+
+    def bytes_by_pair(self) -> np.ndarray:
+        """Sum of wire bytes over all phases, per (src, dst) pair."""
+        if not self.phases:
+            raise ValueError("epoch has no recorded phases")
+        total = np.zeros_like(self.phases[0].bytes_matrix)
+        for p in self.phases:
+            total = total + p.bytes_matrix
+        return total

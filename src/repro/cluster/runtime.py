@@ -1,0 +1,55 @@
+"""Per-device state: partition, model replica, local data and RNG streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gnn.coefficients import AggregationContext
+from repro.gnn.model import DistGNN
+from repro.graph.partition.book import LocalPartition
+
+__all__ = ["DeviceRuntime"]
+
+
+@dataclass
+class DeviceRuntime:
+    """One simulated GPU worker.
+
+    Holds everything rank-local: the graph partition, the weighted
+    aggregation operator, the model replica (identically initialized across
+    ranks), this rank's slice of features/labels/masks, and the local
+    training-node count (the global count normalizes the loss so that
+    summing device losses reproduces the single-machine loss exactly).
+    """
+
+    rank: int
+    part: LocalPartition
+    agg: AggregationContext
+    model: DistGNN
+    features: np.ndarray  # (n_owned, F) float32
+    labels: np.ndarray  # (n_owned,) int64 or (n_owned, C) float32
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.part.n_owned
+        for name in ("features", "train_mask", "val_mask", "test_mask"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise ValueError(f"{name} has {arr.shape[0]} rows, partition owns {n}")
+        if self.labels.shape[0] != n:
+            raise ValueError("labels misaligned with partition")
+
+    @property
+    def n_owned(self) -> int:
+        return self.part.n_owned
+
+    @property
+    def n_train(self) -> int:
+        return int(self.train_mask.sum())
+
+    def central_row_mask(self) -> np.ndarray:
+        return self.part.central_mask

@@ -1,0 +1,59 @@
+"""Model-gradient allreduce: exact numerics plus a ring-allreduce time model.
+
+The paper deliberately does *not* compress model gradients (they are tiny
+next to messages — its footnote 1 quantifies this), so the reproduction
+averages them exactly.  Timing uses the standard ring-allreduce cost:
+``2 (N-1)/N · bytes`` cross the slowest link, plus ``2 (N-1)`` latency
+terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.costmodel import LinkCostModel
+
+__all__ = ["allreduce_sum", "allreduce_mean", "ring_allreduce_time"]
+
+
+def allreduce_sum(vectors: list[np.ndarray]) -> np.ndarray:
+    """Exact sum of per-device gradient vectors (all devices get the same).
+
+    This is the correct reduction here: each device's loss is normalized by
+    the *global* training-node count, so device gradients are partial sums
+    of the full-graph gradient.  Summation order is fixed (device order) and
+    accumulation is float64, so every caller observes a bit-identical
+    result — required for replicas to stay in sync.
+    """
+    if not vectors:
+        raise ValueError("allreduce needs at least one vector")
+    first = vectors[0]
+    for v in vectors[1:]:
+        if v.shape != first.shape:
+            raise ValueError("all gradient vectors must have the same shape")
+    total = np.zeros_like(first, dtype=np.float64)
+    for v in vectors:
+        total += v
+    return total.astype(first.dtype)
+
+
+def allreduce_mean(vectors: list[np.ndarray]) -> np.ndarray:
+    """Exact mean of per-device vectors (for locally-normalized losses)."""
+    mean = allreduce_sum(vectors).astype(np.float64) / len(vectors)
+    return mean.astype(vectors[0].dtype)
+
+
+def ring_allreduce_time(nbytes: int, cost: LinkCostModel) -> float:
+    """Ring allreduce wall time for ``nbytes`` of gradient data.
+
+    Uses the slowest link's θ (the ring necessarily crosses it) and the
+    canonical ``2 (N-1)/N`` volume factor.
+    """
+    n = cost.topology.num_devices
+    if n == 1 or nbytes <= 0:
+        return 0.0
+    off_diag = ~np.eye(n, dtype=bool)
+    theta_worst = float(cost.theta[off_diag].max())
+    gamma_worst = float(cost.gamma[off_diag].max())
+    volume_factor = 2.0 * (n - 1) / n
+    return volume_factor * nbytes * theta_worst + 2.0 * (n - 1) * gamma_worst

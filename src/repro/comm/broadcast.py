@@ -1,0 +1,44 @@
+"""Sequential broadcast time model (the SANCUS communication pattern).
+
+The paper attributes SANCUS's poor throughput to "sequential node
+broadcasts, which is less efficient than the ring all2all communication
+pattern" (Sec. 5.1).  We model it accordingly: sources broadcast one at a
+time, and each broadcast unicasts its payload to every receiver in turn
+over that source's links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.costmodel import LinkCostModel
+
+__all__ = ["sequential_broadcast_time"]
+
+
+def sequential_broadcast_time(
+    bytes_per_source: np.ndarray, cost: LinkCostModel, *, skipped: np.ndarray | None = None
+) -> float:
+    """Time for every device to broadcast its payload to all others.
+
+    Parameters
+    ----------
+    bytes_per_source:
+        ``bytes_per_source[s]`` = payload device ``s`` broadcasts.
+    skipped:
+        Optional boolean mask; ``skipped[s]`` means source ``s`` skips its
+        broadcast this round (SANCUS's staleness-triggered skipping), so it
+        contributes no time.
+    """
+    n = cost.topology.num_devices
+    bytes_per_source = np.asarray(bytes_per_source, dtype=np.float64)
+    if bytes_per_source.shape != (n,):
+        raise ValueError(f"bytes_per_source must have length {n}")
+    if skipped is None:
+        skipped = np.zeros(n, dtype=bool)
+    total = 0.0
+    for s in range(n):
+        if skipped[s] or bytes_per_source[s] <= 0:
+            continue
+        total += sum(cost.time(s, d, bytes_per_source[s]) for d in range(n) if d != s)
+    return float(total)

@@ -1,0 +1,60 @@
+"""Ring all2all communication schedule (paper Fig. 8).
+
+For ``N`` devices the exchange takes ``N - 1`` rounds; in round ``i`` every
+device ``j`` sends to ``(j + i) mod N`` and receives from ``(j - i) mod N``.
+Rounds are barrier-synchronized, so each round costs the *maximum* pair
+time — the straggler effect the paper's minimax bit-width objective
+(Eqn. 10) attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.costmodel import LinkCostModel
+
+__all__ = ["ring_rounds", "ring_all2all_time"]
+
+
+def ring_rounds(num_devices: int) -> list[list[tuple[int, int]]]:
+    """The ``N-1`` rounds of (src, dst) pairs.
+
+    >>> ring_rounds(3)
+    [[(0, 1), (1, 2), (2, 0)], [(0, 2), (1, 0), (2, 1)]]
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    return [
+        [(j, (j + i) % num_devices) for j in range(num_devices)]
+        for i in range(1, num_devices)
+    ]
+
+
+def ring_all2all_time(
+    bytes_matrix: np.ndarray, cost: LinkCostModel
+) -> tuple[float, list[float]]:
+    """Total and per-round times of a ring all2all exchange.
+
+    Parameters
+    ----------
+    bytes_matrix:
+        ``bytes_matrix[s, d]`` = payload bytes device ``s`` sends to ``d``.
+        Zero entries cost nothing (the pair simply idles that round).
+
+    Returns
+    -------
+    (total_seconds, per_round_seconds):
+        ``total = sum(per_round)``; each round is the max over its pairs.
+    """
+    n = cost.topology.num_devices
+    bytes_matrix = np.asarray(bytes_matrix, dtype=np.float64)
+    if bytes_matrix.shape != (n, n):
+        raise ValueError(f"bytes_matrix must be ({n}, {n})")
+    per_round: list[float] = []
+    for round_pairs in ring_rounds(n):
+        round_time = max(
+            (cost.time(s, d, bytes_matrix[s, d]) for s, d in round_pairs),
+            default=0.0,
+        )
+        per_round.append(round_time)
+    return float(sum(per_round)), per_round

@@ -1,0 +1,91 @@
+"""In-memory transport between simulated devices, with byte accounting.
+
+Real payload objects (quantized byte streams or float arrays) are routed
+through per-destination mailboxes; every ``post`` records its wire size in
+a per-tag byte matrix.  Those matrices are exactly what the schedule
+simulators consume — the simulated clock is driven by *measured* byte
+counts, not estimates (DESIGN.md §4.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Transport"]
+
+
+@dataclass
+class _Envelope:
+    src: int
+    payload: object
+    nbytes: int
+
+
+class Transport:
+    """Mailbox-based message router for ``num_devices`` simulated devices.
+
+    Tags namespace independent exchanges (e.g. ``"fwd/layer0"`` vs
+    ``"bwd/layer2"``); within a tag each (src, dst) pair may post at most
+    one envelope per collection cycle, mirroring the one-buffer-per-peer
+    design of the paper's implementation.
+    """
+
+    def __init__(self, num_devices: int) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.num_devices = num_devices
+        self._boxes: dict[tuple[str, int], list[_Envelope]] = defaultdict(list)
+        self._bytes: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def post(self, src: int, dst: int, tag: str, payload: object, nbytes: int) -> None:
+        """Queue ``payload`` from ``src`` to ``dst`` under ``tag``."""
+        self._check_device(src)
+        self._check_device(dst)
+        if src == dst:
+            raise ValueError("devices do not message themselves")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        for env in self._boxes[(tag, dst)]:
+            if env.src == src:
+                raise RuntimeError(
+                    f"duplicate post on tag {tag!r} for pair {src}->{dst}"
+                )
+        self._boxes[(tag, dst)].append(_Envelope(src=src, payload=payload, nbytes=nbytes))
+        matrix = self._bytes.setdefault(
+            tag, np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
+        )
+        matrix[src, dst] += int(nbytes)
+
+    def collect(self, dst: int, tag: str) -> dict[int, object]:
+        """Drain ``dst``'s mailbox for ``tag``; returns ``{src: payload}``."""
+        self._check_device(dst)
+        envelopes = self._boxes.pop((tag, dst), [])
+        return {env.src: env.payload for env in envelopes}
+
+    # ------------------------------------------------------------------
+    def bytes_matrix(self, tag: str) -> np.ndarray:
+        """Cumulative bytes posted under ``tag`` as an (N, N) matrix."""
+        if tag in self._bytes:
+            return self._bytes[tag].copy()
+        return np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
+
+    def total_bytes(self) -> int:
+        return int(sum(m.sum() for m in self._bytes.values()))
+
+    def reset_accounting(self) -> None:
+        """Clear byte counters (mailboxes must already be drained)."""
+        if any(self._boxes.values()):
+            pending = [key for key, box in self._boxes.items() if box]
+            raise RuntimeError(f"undelivered messages remain: {pending}")
+        self._bytes.clear()
+
+    def pending_tags(self) -> list[str]:
+        return sorted({tag for (tag, _), box in self._boxes.items() if box})
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < self.num_devices:
+            raise ValueError(f"device {device} out of range [0, {self.num_devices})")

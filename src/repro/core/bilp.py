@@ -1,0 +1,268 @@
+"""The variance–time bi-objective bit-width assignment problem (Sec. 4.2).
+
+For one GNN layer's forward (or backward) communication round, choose a
+bit-width ``b_g ∈ B`` for every message *group* ``g`` to jointly minimize:
+
+* **variance** (Eqn. 11): ``Σ_g β_g / (2^{b_g} - 1)²``;
+* **straggler time** (Eqn. 10): ``max_i  θ_i · bytes_i(b) + γ_i`` over
+  directed device pairs ``i``.
+
+The weighted-sum scalarization (Eqn. 12) combines them with weight ``λ``;
+both objectives are normalized to their worst-case values so ``λ`` has a
+scale-free meaning (λ = 1 → pure variance minimization = everything at max
+bits; λ = 0 → pure time minimization = everything at min bits).
+
+Solvers:
+
+* :func:`solve_milp` — exact, via the one-hot MILP and HiGHS
+  (``scipy.optimize.milp``), standing in for the paper's GUROBI;
+* :func:`solve_greedy` — start at max bits, repeatedly demote the group
+  with the best scalarized improvement on the current straggler pair;
+* :func:`solve_bruteforce` — exhaustive, for small-instance cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.quant.mixed import GROUP_HEADER_BYTES
+from repro.quant.stochastic import METADATA_BYTES_PER_ROW
+from repro.quant.theory import SUPPORTED_BITS
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "GroupSpec",
+    "BitWidthProblem",
+    "evaluate_assignment",
+    "solve_milp",
+    "solve_greedy",
+    "solve_bruteforce",
+]
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One message group: messages of one (src → dst) pair sharing a bit-width.
+
+    ``beta`` is the summed β of the member messages (Sec. 4.2);
+    ``n_rows × dim`` elements cross the wire for this group.
+    """
+
+    src: int
+    dst: int
+    beta: float
+    n_rows: int
+    dim: int
+
+    def payload_bytes(self, bits: int) -> float:
+        """Wire bytes at ``bits``: packed payload + metadata + header."""
+        packed = self.n_rows * self.dim * bits / 8.0
+        return packed + self.n_rows * METADATA_BYTES_PER_ROW + GROUP_HEADER_BYTES
+
+
+@dataclass
+class BitWidthProblem:
+    """One communication round's assignment instance."""
+
+    groups: list[GroupSpec]
+    pair_theta: dict[tuple[int, int], float]
+    pair_gamma: dict[tuple[int, int], float]
+    lam: float = 0.5
+    bit_choices: tuple[int, ...] = SUPPORTED_BITS
+    _pair_index: dict[tuple[int, int], list[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_probability(self.lam, name="lam")
+        if not self.groups:
+            raise ValueError("problem has no message groups")
+        self.bit_choices = tuple(sorted(int(b) for b in self.bit_choices))
+        if len(self.bit_choices) < 1:
+            raise ValueError("need at least one bit choice")
+        self._pair_index = {}
+        for g_idx, g in enumerate(self.groups):
+            pair = (g.src, g.dst)
+            if pair not in self.pair_theta or pair not in self.pair_gamma:
+                raise ValueError(f"missing cost parameters for pair {pair}")
+            self._pair_index.setdefault(pair, []).append(g_idx)
+
+    # -- objective pieces ---------------------------------------------------
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        return sorted(self._pair_index)
+
+    def pair_time(self, pair: tuple[int, int], bits: np.ndarray) -> float:
+        total_bytes = sum(
+            self.groups[g].payload_bytes(int(bits[g])) for g in self._pair_index[pair]
+        )
+        return self.pair_theta[pair] * total_bytes + self.pair_gamma[pair]
+
+    def worst_time(self, bits: np.ndarray) -> float:
+        return max(self.pair_time(pair, bits) for pair in self.pairs)
+
+    def variance(self, bits: np.ndarray) -> float:
+        betas = np.array([g.beta for g in self.groups])
+        return float((betas / (2.0 ** bits.astype(np.float64) - 1.0) ** 2).sum())
+
+    # -- normalizers (worst cases) -------------------------------------------
+    def variance_reference(self) -> float:
+        """Variance with everything at the *lowest* bit-width (max variance)."""
+        lo = np.full(len(self.groups), self.bit_choices[0])
+        return max(self.variance(lo), 1e-30)
+
+    def time_reference(self) -> float:
+        """Straggler time with everything at the *highest* bit-width."""
+        hi = np.full(len(self.groups), self.bit_choices[-1])
+        return max(self.worst_time(hi), 1e-30)
+
+    def scalarized(self, bits: np.ndarray) -> float:
+        """Eqn. 12's objective with normalized terms."""
+        var_term = self.variance(bits) / self.variance_reference()
+        time_term = self.worst_time(bits) / self.time_reference()
+        return self.lam * var_term + (1.0 - self.lam) * time_term
+
+
+def evaluate_assignment(
+    problem: BitWidthProblem, bits: np.ndarray
+) -> dict[str, float]:
+    """Summary of one assignment: variance, straggler time, scalarized value."""
+    bits = np.asarray(bits)
+    if bits.shape != (len(problem.groups),):
+        raise ValueError("bits must have one entry per group")
+    return {
+        "variance": problem.variance(bits),
+        "worst_time": problem.worst_time(bits),
+        "scalarized": problem.scalarized(bits),
+    }
+
+
+def solve_milp(problem: BitWidthProblem, *, time_limit: float = 10.0) -> np.ndarray:
+    """Exact solution of Eqn. 12 via a one-hot MILP (HiGHS).
+
+    Variables: ``x[g, b] ∈ {0, 1}`` (group g uses bit-width b) and the
+    auxiliary straggler time ``Z``; constraints pick one bit-width per
+    group and force every pair's time under ``Z``.
+    """
+    groups = problem.groups
+    choices = problem.bit_choices
+    n_g, n_b = len(groups), len(choices)
+    n_x = n_g * n_b
+    v_ref = problem.variance_reference()
+    t_ref = problem.time_reference()
+
+    # Objective: λ/v_ref · Σ c_gb x_gb + (1-λ)/t_ref · Z, plus a vanishing
+    # per-bit tie-break so equal-objective solutions prefer fewer bytes
+    # (matters at λ = 0, where variance coefficients are all zero).
+    tie_break = 1e-6 / max(n_g, 1)
+    cost = np.zeros(n_x + 1)
+    for g_idx, g in enumerate(groups):
+        for b_idx, b in enumerate(choices):
+            cost[g_idx * n_b + b_idx] = (
+                problem.lam * (g.beta / (2.0**b - 1.0) ** 2) / v_ref
+                + tie_break * b
+            )
+    cost[-1] = (1.0 - problem.lam) / t_ref
+
+    constraints = []
+    # Σ_b x_gb = 1
+    a_onehot = np.zeros((n_g, n_x + 1))
+    for g_idx in range(n_g):
+        a_onehot[g_idx, g_idx * n_b : (g_idx + 1) * n_b] = 1.0
+    constraints.append(LinearConstraint(a_onehot, lb=1.0, ub=1.0))
+
+    # θ_i Σ bytes·x + γ_i ≤ Z  →  θ_i Σ bytes·x − Z ≤ −γ_i
+    pairs = problem.pairs
+    a_time = np.zeros((len(pairs), n_x + 1))
+    ub_time = np.zeros(len(pairs))
+    for p_idx, pair in enumerate(pairs):
+        theta = problem.pair_theta[pair]
+        for g_idx in problem._pair_index[pair]:
+            for b_idx, b in enumerate(choices):
+                a_time[p_idx, g_idx * n_b + b_idx] = theta * groups[
+                    g_idx
+                ].payload_bytes(b)
+        a_time[p_idx, -1] = -1.0
+        ub_time[p_idx] = -problem.pair_gamma[pair]
+    constraints.append(LinearConstraint(a_time, lb=-np.inf, ub=ub_time))
+
+    integrality = np.concatenate([np.ones(n_x), [0]])
+    bounds = Bounds(
+        lb=np.concatenate([np.zeros(n_x), [0.0]]),
+        ub=np.concatenate([np.ones(n_x), [np.inf]]),
+    )
+    result = milp(
+        c=cost,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        options={"time_limit": time_limit, "mip_rel_gap": 1e-6},
+    )
+    if not result.success or result.x is None:
+        # HiGHS hit the time limit or an edge case; the greedy solution is
+        # always feasible.
+        return solve_greedy(problem)
+    x = result.x[:n_x].reshape(n_g, n_b)
+    picked = np.argmax(x, axis=1)
+    return np.array([choices[b] for b in picked], dtype=np.int64)
+
+
+def solve_greedy(problem: BitWidthProblem) -> np.ndarray:
+    """Greedy demotion from max bits, guided by the scalarized objective.
+
+    Equal-value demotions are accepted too (they shed bytes at no
+    objective cost, e.g. on non-straggler pairs when λ = 0); termination
+    is guaranteed because bits only ever decrease.
+    """
+    choices = problem.bit_choices
+    bits = np.full(len(problem.groups), choices[-1], dtype=np.int64)
+    best_value = problem.scalarized(bits)
+    improved = True
+    while improved:
+        improved = False
+        best_move: tuple[int, int] | None = None
+        move_value = np.inf
+        for g_idx in range(len(problem.groups)):
+            level = choices.index(int(bits[g_idx]))
+            if level == 0:
+                continue
+            candidate = bits.copy()
+            candidate[g_idx] = choices[level - 1]
+            value = problem.scalarized(candidate)
+            if value < move_value:
+                move_value = value
+                best_move = (g_idx, choices[level - 1])
+        if best_move is not None and move_value <= best_value + 1e-15:
+            bits[best_move[0]] = best_move[1]
+            best_value = min(best_value, move_value)
+            improved = True
+    return bits
+
+
+def solve_bruteforce(problem: BitWidthProblem) -> np.ndarray:
+    """Exhaustive search (test oracle); only for a handful of groups."""
+    n_g = len(problem.groups)
+    if n_g > 10:
+        raise ValueError("bruteforce limited to 10 groups")
+    choices = problem.bit_choices
+    best_bits: np.ndarray | None = None
+    best_value = np.inf
+    stack = np.zeros(n_g, dtype=np.int64)
+
+    def recurse(idx: int) -> None:
+        nonlocal best_bits, best_value
+        if idx == n_g:
+            bits = np.array([choices[i] for i in stack], dtype=np.int64)
+            value = problem.scalarized(bits)
+            if value < best_value:
+                best_value = value
+                best_bits = bits
+            return
+        for level in range(len(choices)):
+            stack[idx] = level
+            recurse(idx + 1)
+
+    recurse(0)
+    assert best_bits is not None
+    return best_bits

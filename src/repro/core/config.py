@@ -1,0 +1,62 @@
+"""Run configuration (the paper's Table 8, plus simulator knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gnn.model import MODEL_KINDS
+from repro.quant.theory import SUPPORTED_BITS
+from repro.utils.validation import check_in_set, check_probability
+
+__all__ = ["RunConfig"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Hyper-parameters for one training run.
+
+    Model/optimizer fields follow the paper's Table 8 (3 layers, LayerNorm,
+    Adam at lr 0.01); AdaQP fields follow Sec. 3.3/5.5 (λ, message group
+    size, re-assignment period, B = {2, 4, 8}).
+    """
+
+    # Model / optimizer
+    model_kind: str = "gcn"
+    hidden_dim: int = 64
+    num_layers: int = 3
+    dropout: float = 0.5
+    lr: float = 0.01
+    epochs: int = 60
+    eval_every: int = 5
+    seed: int = 0
+
+    # AdaQP
+    lam: float = 0.5
+    group_size: int = 100
+    reassign_period: int = 20
+    bit_choices: tuple[int, ...] = SUPPORTED_BITS
+    solver: str = "milp"
+    default_bits: int = 8
+    fixed_bits: int = 2  # for the fixed-bit-width systems
+    uniform_period: int = 20  # resampling cadence of the uniform baseline
+
+    # Baselines
+    sancus_staleness: int = 4
+
+    def __post_init__(self) -> None:
+        check_in_set(self.model_kind, MODEL_KINDS, name="model_kind")
+        check_probability(self.dropout, name="dropout")
+        check_probability(self.lam, name="lam")
+        if self.hidden_dim < 1 or self.num_layers < 1:
+            raise ValueError("hidden_dim and num_layers must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        for b in self.bit_choices:
+            check_in_set(b, SUPPORTED_BITS, name="bit_choices entry")
+        check_in_set(self.fixed_bits, SUPPORTED_BITS, name="fixed_bits")
+
+    def with_overrides(self, **kwargs) -> "RunConfig":
+        """Functional update (configs are frozen)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,254 @@
+"""Schedule simulators: how each system turns one epoch's work into time.
+
+Each schedule consumes an :class:`~repro.cluster.records.EpochRecord`
+(measured wire bytes + analytic FLOPs) plus the link cost model and the
+device performance model, and returns the epoch's simulated duration with
+a comm/comp/quant breakdown.  Keeping the schedule separate from execution
+lets one training run be re-timed under several policies (used by the
+overlap-ablation benchmark).
+
+Policies (paper Fig. 4):
+
+* **Vanilla** — per layer and direction: barrier-synchronized ring all2all,
+  then compute; nothing overlaps.
+* **AdaQP** — the three-stage GPU-resource-isolated pipeline of Fig. 7:
+  (1) quantize outgoing marginal messages; (2) marginal-graph ring
+  all2all *in parallel with* central-graph compute; (3) de-quantize, then
+  marginal-graph compute.  Reported "computation" covers only the marginal
+  graph — central compute is hidden inside stage 2, exactly the paper's
+  accounting for Fig. 10.
+* **PipeGCN** — cross-iteration pipelining: the epoch's total communication
+  fully overlaps its total computation (staleness makes this legal), so
+  epoch time is the max of the two.
+* **SANCUS** — sequential (unicast) embedding broadcasts; skipped
+  broadcasts (historical embeddings) simply contribute no bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.perfmodel import PerfModel
+from repro.cluster.records import EpochRecord, PhaseRecord
+from repro.comm.allreduce import ring_allreduce_time
+from repro.comm.costmodel import LinkCostModel
+from repro.comm.ring import ring_all2all_time
+
+__all__ = [
+    "ScheduleResult",
+    "schedule_vanilla",
+    "schedule_adaqp",
+    "schedule_pipegcn",
+    "schedule_sancus",
+    "SCHEDULES",
+    "device_comm_times",
+    "device_compute_times",
+]
+
+
+@dataclass
+class ScheduleResult:
+    """Simulated epoch duration and its breakdown.
+
+    ``comm + comp + quant`` equals ``epoch_time`` for the barrier-style
+    schedules (Vanilla, AdaQP, SANCUS); for PipeGCN the epoch is the max of
+    overlapped totals, so the buckets describe the overlapped quantities
+    instead of stacking.
+    """
+
+    epoch_time: float
+    comm_time: float
+    comp_time: float
+    quant_time: float
+    detail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Epochs per second."""
+        return 1.0 / self.epoch_time if self.epoch_time > 0 else float("inf")
+
+
+def _phase_comm_ring(phase: PhaseRecord, cost: LinkCostModel) -> float:
+    total, _ = ring_all2all_time(phase.bytes_matrix, cost)
+    return total
+
+
+def _phase_comp_full(phase: PhaseRecord, perf: PerfModel) -> float:
+    """Max over devices of the full (all-node) layer computation."""
+    times = [
+        perf.compute_time(phase.agg_flops[d], phase.dense_flops[d])
+        for d in range(phase.num_devices)
+    ]
+    return max(times)
+
+
+def schedule_vanilla(
+    record: EpochRecord, cost: LinkCostModel, perf: PerfModel
+) -> ScheduleResult:
+    """Synchronous interleaved comm→comp per layer (paper Fig. 4a)."""
+    comm = sum(_phase_comm_ring(p, cost) for p in record.phases)
+    comp = sum(_phase_comp_full(p, perf) for p in record.phases)
+    comm += ring_allreduce_time(record.grad_allreduce_bytes, cost)
+    epoch = comm + comp
+    return ScheduleResult(
+        epoch_time=epoch, comm_time=comm, comp_time=comp, quant_time=0.0
+    )
+
+
+def schedule_adaqp(
+    record: EpochRecord, cost: LinkCostModel, perf: PerfModel
+) -> ScheduleResult:
+    """AdaQP's three-stage overlap (paper Figs. 4b and 7)."""
+    comm_bucket = 0.0
+    comp_bucket = 0.0
+    quant_bucket = 0.0
+    epoch = 0.0
+    for phase in record.phases:
+        n = phase.num_devices
+        stage1 = max(perf.quant_time(phase.quant_send_bytes[d]) for d in range(n))
+        ring = _phase_comm_ring(phase, cost)
+        central = max(
+            perf.compute_time(
+                phase.agg_flops_central[d], phase.dense_flops_central[d]
+            )
+            for d in range(n)
+        )
+        stage2 = max(ring, central)
+        dequant = max(perf.quant_time(phase.quant_recv_bytes[d]) for d in range(n))
+        marginal = max(
+            perf.compute_time(
+                phase.agg_flops_marginal[d], phase.dense_flops_marginal[d]
+            )
+            for d in range(n)
+        )
+        stage3 = dequant + marginal
+        epoch += stage1 + stage2 + stage3
+        quant_bucket += stage1 + dequant
+        comm_bucket += stage2  # central compute hides inside this stage
+        comp_bucket += marginal
+    allreduce = ring_allreduce_time(record.grad_allreduce_bytes, cost)
+    comm_bucket += allreduce
+    epoch += allreduce
+    return ScheduleResult(
+        epoch_time=epoch,
+        comm_time=comm_bucket,
+        comp_time=comp_bucket,
+        quant_time=quant_bucket,
+    )
+
+
+def schedule_pipegcn(
+    record: EpochRecord, cost: LinkCostModel, perf: PerfModel
+) -> ScheduleResult:
+    """Cross-iteration pipelining: comm hides under compute (or vice versa)."""
+    comm = sum(_phase_comm_ring(p, cost) for p in record.phases)
+    comp = sum(_phase_comp_full(p, perf) for p in record.phases)
+    allreduce = ring_allreduce_time(record.grad_allreduce_bytes, cost)
+    epoch = max(comm, comp) + allreduce
+    return ScheduleResult(
+        epoch_time=epoch,
+        comm_time=comm + allreduce,
+        comp_time=comp,
+        quant_time=0.0,
+        detail={"overlapped": min(comm, comp)},
+    )
+
+
+def schedule_sancus(
+    record: EpochRecord, cost: LinkCostModel, perf: PerfModel
+) -> ScheduleResult:
+    """Sequential unicast broadcasts (no overlap), as the paper describes."""
+    comm = 0.0
+    for phase in record.phases:
+        bm = phase.bytes_matrix
+        n = phase.num_devices
+        comm += sum(
+            cost.time(s, d, bm[s, d]) for s in range(n) for d in range(n) if s != d
+        )
+    comp = sum(_phase_comp_full(p, perf) for p in record.phases)
+    allreduce = ring_allreduce_time(record.grad_allreduce_bytes, cost)
+    comm += allreduce
+    epoch = comm + comp
+    return ScheduleResult(
+        epoch_time=epoch, comm_time=comm, comp_time=comp, quant_time=0.0
+    )
+
+
+def schedule_quantized_no_overlap(
+    record: EpochRecord, cost: LinkCostModel, perf: PerfModel
+) -> ScheduleResult:
+    """Quantization without parallelization (ablation): Vanilla's serial
+    comm → comp layout, plus the quant/de-quant kernels on the critical
+    path.  Isolates how much of AdaQP's win comes from traffic reduction
+    alone."""
+    comm_bucket = 0.0
+    comp_bucket = 0.0
+    quant_bucket = 0.0
+    for phase in record.phases:
+        n = phase.num_devices
+        quant = max(perf.quant_time(phase.quant_send_bytes[d]) for d in range(n))
+        dequant = max(perf.quant_time(phase.quant_recv_bytes[d]) for d in range(n))
+        comm_bucket += _phase_comm_ring(phase, cost)
+        comp_bucket += _phase_comp_full(phase, perf)
+        quant_bucket += quant + dequant
+    comm_bucket += ring_allreduce_time(record.grad_allreduce_bytes, cost)
+    epoch = comm_bucket + comp_bucket + quant_bucket
+    return ScheduleResult(
+        epoch_time=epoch,
+        comm_time=comm_bucket,
+        comp_time=comp_bucket,
+        quant_time=quant_bucket,
+    )
+
+
+SCHEDULES = {
+    "vanilla": schedule_vanilla,
+    "adaqp": schedule_adaqp,
+    "pipegcn": schedule_pipegcn,
+    "sancus": schedule_sancus,
+    "quantized-no-overlap": schedule_quantized_no_overlap,
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-device views (Table 2, Fig. 3 benchmarks)
+# ---------------------------------------------------------------------------
+def device_comm_times(
+    record: EpochRecord, cost: LinkCostModel
+) -> np.ndarray:
+    """Per-device communication occupancy: each ring round, a device is busy
+    for its own send; rounds are barriers, so the device also waits for the
+    round's straggler.  This returns the *send occupancy* (the paper's
+    per-device 'comm.' column in Table 2)."""
+    if not record.phases:
+        raise ValueError("record has no phases")
+    n = record.phases[0].num_devices
+    busy = np.zeros(n)
+    for phase in record.phases:
+        bm = phase.bytes_matrix
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    busy[s] += cost.time(s, d, bm[s, d])
+    return busy
+
+
+def device_compute_times(
+    record: EpochRecord, perf: PerfModel, *, central_only: bool = False
+) -> np.ndarray:
+    """Per-device total compute time across the epoch's phases."""
+    if not record.phases:
+        raise ValueError("record has no phases")
+    n = record.phases[0].num_devices
+    total = np.zeros(n)
+    for phase in record.phases:
+        for d in range(n):
+            if central_only:
+                total[d] += perf.compute_time(
+                    phase.agg_flops_central[d], phase.dense_flops_central[d]
+                )
+            else:
+                total[d] += perf.compute_time(phase.agg_flops[d], phase.dense_flops[d])
+    return total

@@ -1,0 +1,288 @@
+"""End-to-end training orchestration for every system.
+
+:func:`train` is the repository's main entry point: pick a system name
+(``"adaqp"``, ``"vanilla"``, ``"pipegcn"``, ``"sancus"``,
+``"adaqp-uniform"``, ``"adaqp-fixed"``), a dataset, a partition book and a
+topology; get back real accuracy curves, simulated throughput and the
+paper's time breakdowns.
+
+Division of labour (DESIGN.md §4):
+
+* the :class:`~repro.cluster.cluster.Cluster` executes real numerics and
+  records bytes/FLOPs;
+* the system's schedule converts each epoch's record into simulated time;
+* the assigner's MILP solves are *measured* (they are real host work) and
+  reported separately, like the paper's "Assign" bars in Fig. 10(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.pipegcn import StaleHaloExchange
+from repro.baselines.sancus import BroadcastSkipExchange
+from repro.cluster.cluster import Cluster
+from repro.cluster.exchange import (
+    ExactHaloExchange,
+    FixedBitProvider,
+    HaloExchange,
+    QuantizedHaloExchange,
+    UniformRandomBitProvider,
+)
+from repro.cluster.perfmodel import PerfModel
+from repro.comm.costmodel import LinkCostModel
+from repro.comm.topology import ClusterTopology, parse_topology
+from repro.core.assigner import AdaptiveBitWidthAssigner
+from repro.core.config import RunConfig
+from repro.core.scheduler import (
+    ScheduleResult,
+    schedule_adaqp,
+    schedule_pipegcn,
+    schedule_quantized_no_overlap,
+    schedule_sancus,
+    schedule_vanilla,
+)
+from repro.graph.datasets import GraphDataset
+from repro.graph.partition.book import PartitionBook
+from repro.nn.optim import Adam
+from repro.utils.logging import get_logger
+from repro.utils.seed import RngPool
+
+__all__ = ["SYSTEMS", "TrainResult", "train", "build_system"]
+
+logger = get_logger("core.trainer")
+
+SYSTEMS = (
+    "vanilla",
+    "adaqp",
+    "adaqp-uniform",
+    "adaqp-fixed",
+    "pipegcn",
+    "sancus",
+    # Ablations isolating AdaQP's two contributions:
+    "adaqp-no-overlap",  # adaptive quantization, serial schedule
+    "vanilla-overlap",  # central/marginal overlap, full precision
+)
+
+
+@dataclass
+class TrainResult:
+    """Everything one training run produced."""
+
+    system: str
+    dataset: str
+    topology: str
+    model_kind: str
+    # Learning quality (real numerics)
+    curve_epochs: list[int] = field(default_factory=list)
+    curve_val: list[float] = field(default_factory=list)
+    curve_test: list[float] = field(default_factory=list)
+    curve_loss: list[float] = field(default_factory=list)
+    final_val: float = float("nan")
+    final_test: float = float("nan")
+    # Simulated performance
+    epoch_times: list[float] = field(default_factory=list)
+    comm_time_total: float = 0.0
+    comp_time_total: float = 0.0
+    quant_time_total: float = 0.0
+    wire_bytes_total: int = 0
+    # Host-side measured overhead (bit-width assignment)
+    assign_seconds: float = 0.0
+    bit_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_times)
+
+    @property
+    def epoch_time_mean(self) -> float:
+        return float(np.mean(self.epoch_times)) if self.epoch_times else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Simulated epochs per second (the paper's Table 4 metric)."""
+        mean = self.epoch_time_mean
+        return 1.0 / mean if mean > 0 else float("inf")
+
+    @property
+    def train_wallclock(self) -> float:
+        """Simulated training seconds (sum of epoch times)."""
+        return float(np.sum(self.epoch_times))
+
+    @property
+    def total_wallclock(self) -> float:
+        """Paper's wall-clock: simulated training plus measured assignment."""
+        return self.train_wallclock + self.assign_seconds
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-epoch comm/comp/quant seconds (paper Fig. 10a)."""
+        n = max(self.epochs, 1)
+        return {
+            "comm": self.comm_time_total / n,
+            "comp": self.comp_time_total / n,
+            "quant": self.quant_time_total / n,
+        }
+
+
+@dataclass
+class _SystemSetup:
+    exchange: HaloExchange
+    schedule: object  # Callable[[EpochRecord, LinkCostModel, PerfModel], ScheduleResult]
+    assigner: AdaptiveBitWidthAssigner | None = None
+
+
+def build_system(
+    name: str,
+    cluster: Cluster,
+    cost_model: LinkCostModel,
+    config: RunConfig,
+) -> _SystemSetup:
+    """Compose the exchange policy + schedule for one system name."""
+    pool = RngPool(config.seed).fork(f"system/{name}")
+    if name == "vanilla":
+        return _SystemSetup(exchange=ExactHaloExchange(), schedule=schedule_vanilla)
+    if name == "adaqp":
+        assigner = AdaptiveBitWidthAssigner(
+            cluster,
+            cost_model,
+            lam=config.lam,
+            group_size=config.group_size,
+            period=config.reassign_period,
+            bit_choices=config.bit_choices,
+            solver=config.solver,
+            default_bits=config.default_bits,
+        )
+        exchange = QuantizedHaloExchange(
+            assigner, pool.get("rounding"), tracer=assigner
+        )
+        return _SystemSetup(exchange=exchange, schedule=schedule_adaqp, assigner=assigner)
+    if name == "adaqp-uniform":
+        provider = UniformRandomBitProvider(
+            pool.get("uniform-bits"),
+            choices=config.bit_choices,
+            period=config.uniform_period,
+        )
+        exchange = QuantizedHaloExchange(provider, pool.get("rounding"))
+        return _SystemSetup(exchange=exchange, schedule=schedule_adaqp)
+    if name == "adaqp-fixed":
+        exchange = QuantizedHaloExchange(
+            FixedBitProvider(config.fixed_bits), pool.get("rounding")
+        )
+        return _SystemSetup(exchange=exchange, schedule=schedule_adaqp)
+    if name == "adaqp-no-overlap":
+        assigner = AdaptiveBitWidthAssigner(
+            cluster,
+            cost_model,
+            lam=config.lam,
+            group_size=config.group_size,
+            period=config.reassign_period,
+            bit_choices=config.bit_choices,
+            solver=config.solver,
+            default_bits=config.default_bits,
+        )
+        exchange = QuantizedHaloExchange(
+            assigner, pool.get("rounding"), tracer=assigner
+        )
+        return _SystemSetup(
+            exchange=exchange,
+            schedule=schedule_quantized_no_overlap,
+            assigner=assigner,
+        )
+    if name == "vanilla-overlap":
+        # Full-precision messages under AdaQP's three-stage overlap (the
+        # exact record has zero quant bytes, so stages 1/3 cost nothing
+        # beyond the marginal compute).
+        return _SystemSetup(exchange=ExactHaloExchange(), schedule=schedule_adaqp)
+    if name == "pipegcn":
+        return _SystemSetup(exchange=StaleHaloExchange(), schedule=schedule_pipegcn)
+    if name == "sancus":
+        return _SystemSetup(
+            exchange=BroadcastSkipExchange(config.sancus_staleness),
+            schedule=schedule_sancus,
+        )
+    raise ValueError(f"unknown system {name!r}; choose from {SYSTEMS}")
+
+
+def train(
+    system: str,
+    dataset: GraphDataset,
+    book: PartitionBook,
+    topology: ClusterTopology | str,
+    config: RunConfig | None = None,
+    *,
+    cost_model: LinkCostModel | None = None,
+    perf_model: PerfModel | None = None,
+) -> TrainResult:
+    """Train ``system`` on ``dataset`` partitioned by ``book``.
+
+    Examples
+    --------
+    >>> from repro.graph import load_dataset, partition_graph
+    >>> from repro.core import RunConfig
+    >>> ds = load_dataset("yelp", scale="tiny")
+    >>> book = partition_graph(ds.graph, 4, method="metis")
+    >>> cfg = RunConfig(epochs=2, hidden_dim=8, eval_every=1)
+    >>> result = train("adaqp", ds, book, "2M-2D", cfg)
+    >>> result.epochs
+    2
+    """
+    config = config or RunConfig()
+    if isinstance(topology, str):
+        topology = parse_topology(topology)
+    if topology.num_devices != book.num_parts:
+        raise ValueError(
+            f"topology {topology.name} has {topology.num_devices} devices but the "
+            f"partition book has {book.num_parts} parts"
+        )
+    cost_model = cost_model or LinkCostModel.for_topology(topology)
+    perf_model = perf_model or PerfModel()
+
+    cluster = Cluster(
+        dataset,
+        book,
+        model_kind=config.model_kind,
+        hidden_dim=config.hidden_dim,
+        num_layers=config.num_layers,
+        dropout=config.dropout,
+        seed=config.seed,
+    )
+    setup = build_system(system, cluster, cost_model, config)
+    optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]
+
+    result = TrainResult(
+        system=system,
+        dataset=dataset.spec.name,
+        topology=topology.name,
+        model_kind=config.model_kind,
+    )
+
+    for epoch in range(config.epochs):
+        record = cluster.train_epoch(setup.exchange, epoch)
+        for opt in optimizers:
+            opt.step()
+
+        sched: ScheduleResult = setup.schedule(record, cost_model, perf_model)
+        result.epoch_times.append(sched.epoch_time)
+        result.comm_time_total += sched.comm_time
+        result.comp_time_total += sched.comp_time
+        result.quant_time_total += sched.quant_time
+        result.wire_bytes_total += record.total_wire_bytes()
+        result.curve_loss.append(record.loss)
+
+        if epoch % config.eval_every == 0 or epoch == config.epochs - 1:
+            metrics = cluster.evaluate()
+            result.curve_epochs.append(epoch)
+            result.curve_val.append(metrics["val"])
+            result.curve_test.append(metrics["test"])
+            logger.info(
+                "%s epoch %d: loss=%.4f val=%.4f", system, epoch, record.loss, metrics["val"]
+            )
+
+    result.final_val = result.curve_val[-1] if result.curve_val else float("nan")
+    result.final_test = result.curve_test[-1] if result.curve_test else float("nan")
+    if setup.assigner is not None:
+        result.assign_seconds = setup.assigner.assignment_seconds
+        result.bit_histogram = setup.assigner.assignment_histogram()
+    return result

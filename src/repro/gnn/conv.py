@@ -1,0 +1,95 @@
+"""Graph convolution layers with explicit distributed backward passes.
+
+Both convolutions share the same contract:
+
+* ``forward(x_own, x_halo)`` consumes the device's own node inputs plus the
+  halo inputs *fetched from peers* (possibly de-quantized), and returns the
+  new embeddings of owned nodes;
+* ``backward(d_out)`` accumulates weight gradients and returns
+  ``(d_x_own, d_x_halo)`` — the halo part is exactly the "embedding
+  gradients (errors)" the paper quantizes and routes back to owners during
+  the backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.coefficients import AggregationContext
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+__all__ = ["GCNConv", "SAGEConv"]
+
+
+class GCNConv(Module):
+    """GCN layer: ``out = (P @ [x_own; x_halo]) @ W + b``.
+
+    ``P`` carries the symmetric normalization including the self loop, so a
+    single sparse-dense product realizes Eqn. 3.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        agg: AggregationContext,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.agg = agg
+        self.linear = Linear(in_features, out_features, rng)
+        self._cache_shapes: tuple[int, int] | None = None
+
+    def forward(self, x_own: np.ndarray, x_halo: np.ndarray) -> np.ndarray:
+        x_full = np.vstack([x_own, x_halo]) if x_halo.size else x_own
+        z = self.agg.aggregate(x_full)
+        self._cache_shapes = (x_own.shape[0], x_halo.shape[0])
+        return self.linear.forward(z)
+
+    def backward(self, d_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self._cache_shapes is None:
+            raise RuntimeError("backward called before forward")
+        n_own, n_halo = self._cache_shapes
+        self._cache_shapes = None
+        d_z = self.linear.backward(d_out)
+        d_full = self.agg.aggregate_transpose(d_z)
+        return d_full[:n_own], d_full[n_own : n_own + n_halo]
+
+
+class SAGEConv(Module):
+    """GraphSAGE (mean): ``out = x_own @ W_root + (P @ x_full) @ W_neigh + b``.
+
+    ``P`` is the neighbor-mean operator; the root term keeps the node's own
+    representation at full precision (it never crosses devices).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        agg: AggregationContext,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.agg = agg
+        self.root = Linear(in_features, out_features, rng, bias=True)
+        self.neigh = Linear(in_features, out_features, rng, bias=False)
+        self._cache_shapes: tuple[int, int] | None = None
+
+    def forward(self, x_own: np.ndarray, x_halo: np.ndarray) -> np.ndarray:
+        x_full = np.vstack([x_own, x_halo]) if x_halo.size else x_own
+        z = self.agg.aggregate(x_full)
+        self._cache_shapes = (x_own.shape[0], x_halo.shape[0])
+        return self.root.forward(x_own) + self.neigh.forward(z)
+
+    def backward(self, d_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self._cache_shapes is None:
+            raise RuntimeError("backward called before forward")
+        n_own, n_halo = self._cache_shapes
+        self._cache_shapes = None
+        d_x_own = self.root.backward(d_out)
+        d_z = self.neigh.backward(d_out)
+        d_full = self.agg.aggregate_transpose(d_z)
+        d_x_own = d_x_own + d_full[:n_own]
+        return d_x_own, d_full[n_own : n_own + n_halo]

@@ -1,0 +1,125 @@
+"""The full GNN model: stacked conv layers with LayerNorm/ReLU/Dropout.
+
+Mirrors the paper's configuration (Table 8): 3 layers, hidden width 256,
+LayerNorm between layers, dropout, Adam at lr 0.01 (optimizer lives with
+the trainer).  The model is *layer-driven*: the cluster orchestrator calls
+one layer at a time, exchanging halo messages before each layer's forward
+and after each layer's backward — the model never talks to the network
+itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.coefficients import AggregationContext
+from repro.gnn.conv import GCNConv, SAGEConv
+from repro.nn.layers import Dropout, LayerNorm, ReLU
+from repro.nn.module import Module
+from repro.utils.validation import check_in_set
+
+__all__ = ["MODEL_KINDS", "GNNLayer", "DistGNN"]
+
+MODEL_KINDS = ("gcn", "sage")
+
+
+class GNNLayer(Module):
+    """One GNN block: conv followed by optional LayerNorm + ReLU + Dropout.
+
+    The final layer of a network skips the post-processing (raw logits).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        in_features: int,
+        out_features: int,
+        agg: AggregationContext,
+        rng: np.random.Generator,
+        *,
+        dropout: float,
+        is_output: bool,
+        dropout_rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        check_in_set(kind, MODEL_KINDS, name="kind")
+        conv_cls = GCNConv if kind == "gcn" else SAGEConv
+        self.conv = conv_cls(in_features, out_features, agg, rng)
+        self.is_output = bool(is_output)
+        if not self.is_output:
+            self.norm = LayerNorm(out_features)
+            self.act = ReLU()
+            self.drop = Dropout(dropout, dropout_rng)
+
+    def forward(self, x_own: np.ndarray, x_halo: np.ndarray) -> np.ndarray:
+        h = self.conv.forward(x_own, x_halo)
+        if self.is_output:
+            return h
+        h = self.norm.forward(h)
+        h = self.act.forward(h)
+        return self.drop.forward(h)
+
+    def backward(self, d_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if not self.is_output:
+            d_out = self.drop.backward(d_out)
+            d_out = self.act.backward(d_out)
+            d_out = self.norm.backward(d_out)
+        return self.conv.backward(d_out)
+
+
+class DistGNN(Module):
+    """A stack of :class:`GNNLayer` blocks sharing one aggregation context.
+
+    Parameters
+    ----------
+    kind:
+        ``"gcn"`` or ``"sage"``.
+    dims:
+        Layer widths ``[in, hidden, ..., out]``; ``len(dims) - 1`` layers.
+    agg:
+        This device's aggregation operator (shape fixed across layers,
+        because full-graph training touches all 1-hop halos every layer).
+    weight_rng:
+        Stream for weight init — all replicas must share this stream's
+        sequence so they start identical (the trainer arranges that).
+    dropout_rng:
+        Per-device stream for dropout masks.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        dims: list[int],
+        agg: AggregationContext,
+        *,
+        dropout: float,
+        weight_rng: np.random.Generator,
+        dropout_rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        check_in_set(kind, MODEL_KINDS, name="kind")
+        if len(dims) < 2:
+            raise ValueError("dims needs at least [in, out]")
+        self.kind = kind
+        self.dims = list(dims)
+        self.layers = [
+            GNNLayer(
+                kind,
+                dims[i],
+                dims[i + 1],
+                agg,
+                weight_rng,
+                dropout=dropout,
+                is_output=(i == len(dims) - 2),
+                dropout_rng=dropout_rng,
+            )
+            for i in range(len(dims) - 1)
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def layer_dims(self, layer: int) -> tuple[int, int]:
+        """(input width, output width) of ``layer``."""
+        return self.dims[layer], self.dims[layer + 1]

@@ -1,0 +1,44 @@
+"""Graph substrate: CSR graphs, synthetic datasets and graph partitioning.
+
+This subpackage replaces DGL's graph storage and the real benchmark datasets
+(Reddit, Yelp, ogbn-products, AmazonProducts), which are not available
+offline.  See DESIGN.md §1 for the substitution rationale.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    CommunityGraphConfig,
+    generate_community_graph,
+    generate_features_and_labels,
+)
+from repro.graph.datasets import (
+    DATASET_CATALOG,
+    DatasetSpec,
+    GraphDataset,
+    available_datasets,
+    load_dataset,
+)
+from repro.graph.partition import (
+    LocalPartition,
+    PartitionBook,
+    build_local_partitions,
+    metis_like_partition,
+    partition_graph,
+)
+
+__all__ = [
+    "Graph",
+    "CommunityGraphConfig",
+    "generate_community_graph",
+    "generate_features_and_labels",
+    "DATASET_CATALOG",
+    "DatasetSpec",
+    "GraphDataset",
+    "available_datasets",
+    "load_dataset",
+    "LocalPartition",
+    "PartitionBook",
+    "build_local_partitions",
+    "metis_like_partition",
+    "partition_graph",
+]

@@ -1,0 +1,152 @@
+"""Immutable undirected graph in CSR (compressed sparse row) form.
+
+The whole stack — partitioning, distributed aggregation, communication-volume
+accounting — operates on this one structure, mirroring the role DGL's graph
+object plays for the original AdaQP implementation.
+
+Conventions
+-----------
+* Graphs are **undirected**: every edge ``{u, v}`` is stored twice, once in
+  each row.  ``num_edges`` counts undirected edges.
+* Self-loops are **not** stored; GNN layers add the self term through
+  aggregation coefficients instead (Eqn. 3 of the paper).
+* Node ids are ``0 .. num_nodes-1``; ``indices`` within each row are sorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_array
+
+__all__ = ["Graph"]
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An undirected graph stored in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; row pointer.
+    indices:
+        ``int64`` array of length ``2 * num_edges``; column (neighbor) ids,
+        sorted within each row.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_array(self.indptr, name="indptr", ndim=1, dtype_kind="iu")
+        check_array(self.indices, name="indices", ndim=1, dtype_kind="iu")
+        if self.indptr.size < 1:
+            raise ValueError("indptr must have at least one element")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_nodes
+        ):
+            raise ValueError("indices contain out-of-range node ids")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int,
+        *,
+        deduplicate: bool = True,
+    ) -> "Graph":
+        """Build an undirected graph from an edge list.
+
+        Edges are symmetrized, self-loops dropped and (optionally) parallel
+        edges collapsed.
+
+        >>> g = Graph.from_edges(np.array([0, 1]), np.array([1, 2]), 3)
+        >>> g.num_edges
+        2
+        >>> g.neighbors(1).tolist()
+        [0, 2]
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        num_nodes = int(num_nodes)
+        if src.size and (min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= num_nodes):
+            raise ValueError("edge endpoints out of range")
+
+        keep = src != dst  # drop self-loops
+        src, dst = src[keep], dst[keep]
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        if deduplicate and all_src.size:
+            key = all_src * num_nodes + all_dst
+            _, unique_idx = np.unique(key, return_index=True)
+            all_src, all_dst = all_src[unique_idx], all_dst[unique_idx]
+
+        order = np.lexsort((all_dst, all_src))
+        all_src, all_dst = all_src[order], all_dst[order]
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, all_src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return Graph(indptr=indptr, indices=all_dst.astype(np.int64))
+
+    @staticmethod
+    def from_scipy(mat: sp.spmatrix) -> "Graph":
+        """Build from a (square, symmetric) SciPy sparse adjacency matrix."""
+        csr = sp.csr_matrix(mat)
+        if csr.shape[0] != csr.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        coo = csr.tocoo()
+        return Graph.from_edges(coo.row.astype(np.int64), coo.col.astype(np.int64), csr.shape[0])
+
+    # ------------------------------------------------------------------
+    # Properties & queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *undirected* edges."""
+        return int(self.indices.size // 2)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Node degrees (self-loops excluded, as they are never stored)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of node ``v`` (a view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
+
+    def to_scipy(self, dtype: np.dtype = np.float64) -> sp.csr_matrix:
+        """Return the adjacency matrix as ``scipy.sparse.csr_matrix``."""
+        data = np.ones(self.indices.size, dtype=dtype)
+        return sp.csr_matrix(
+            (data, self.indices, self.indptr), shape=(self.num_nodes, self.num_nodes)
+        )
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` covering every directed arc (both directions)."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        return src, self.indices.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

@@ -1,0 +1,43 @@
+"""Graph partitioning: METIS-like multilevel k-way plus simple baselines.
+
+The paper partitions input graphs with DGL's METIS before training; here the
+same role is played by :func:`metis_like_partition` (multilevel heavy-edge
+coarsening, greedy initial partition, boundary refinement).  The
+:class:`PartitionBook` / :class:`LocalPartition` pair captures everything the
+distributed runtime needs: node ownership, halo (remote 1-hop neighbor)
+sets, and per-peer send/receive index maps.
+"""
+
+from repro.graph.partition.book import (
+    LocalPartition,
+    PartitionBook,
+    build_local_partitions,
+)
+from repro.graph.partition.metis_like import metis_like_partition
+from repro.graph.partition.simple import (
+    bfs_partition,
+    random_partition,
+    spectral_partition,
+)
+from repro.graph.partition.quality import (
+    balance,
+    edge_cut,
+    pairwise_boundary_counts,
+    remote_neighbor_ratio,
+)
+from repro.graph.partition.api import partition_graph
+
+__all__ = [
+    "PartitionBook",
+    "LocalPartition",
+    "build_local_partitions",
+    "metis_like_partition",
+    "random_partition",
+    "bfs_partition",
+    "spectral_partition",
+    "partition_graph",
+    "edge_cut",
+    "balance",
+    "pairwise_boundary_counts",
+    "remote_neighbor_ratio",
+]

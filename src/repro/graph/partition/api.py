@@ -1,0 +1,38 @@
+"""Unified partitioning entry point."""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.partition.book import PartitionBook
+from repro.graph.partition.metis_like import metis_like_partition
+from repro.graph.partition.simple import bfs_partition, random_partition, spectral_partition
+from repro.utils.validation import check_in_set
+
+__all__ = ["partition_graph"]
+
+_METHODS = ("metis", "random", "bfs", "spectral")
+
+
+def partition_graph(
+    graph: Graph, num_parts: int, *, method: str = "metis", seed: int = 0
+) -> PartitionBook:
+    """Partition ``graph`` into ``num_parts`` parts using ``method``.
+
+    ``method`` is one of ``"metis"`` (multilevel, the default and the
+    paper's choice), ``"random"``, ``"bfs"`` or ``"spectral"``.
+
+    Examples
+    --------
+    >>> from repro.graph.datasets import load_dataset
+    >>> ds = load_dataset("yelp", scale="tiny")
+    >>> partition_graph(ds.graph, 2, method="random").num_parts
+    2
+    """
+    check_in_set(method, _METHODS, name="method")
+    if method == "metis":
+        return metis_like_partition(graph, num_parts, seed=seed)
+    if method == "random":
+        return random_partition(graph, num_parts, seed=seed)
+    if method == "bfs":
+        return bfs_partition(graph, num_parts, seed=seed)
+    return spectral_partition(graph, num_parts, seed=seed)

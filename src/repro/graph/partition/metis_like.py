@@ -1,0 +1,261 @@
+"""Multilevel k-way graph partitioner (METIS substitute).
+
+Three classic phases (Karypis & Kumar 1997), each implemented with
+vectorized NumPy/SciPy primitives:
+
+1. **Coarsening** — repeated handshake heavy-edge matching: every node
+   proposes to its heaviest-weight neighbor; mutual proposals contract into
+   a super-node.  Edge and node weights accumulate through contraction, so
+   coarse cuts equal fine cuts.
+2. **Initial partition** — greedy region growing on the coarsest graph:
+   parts are grown one at a time from a high-degree seed, always absorbing
+   the unassigned node with the strongest connection to the growing part,
+   until the part reaches its node-weight target.
+3. **Refinement** — at every uncoarsening step, several passes of greedy
+   boundary moves (simplified Fiduccia–Mattheyses): a node moves to the
+   neighboring part with the largest positive cut gain, subject to a balance
+   tolerance.
+
+Quality is not METIS-grade, but it delivers what the experiments need:
+balanced parts, low cut, and *unequal pairwise boundary volumes* (the
+paper's Fig. 2 phenomenon arises from exactly this kind of partitioner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+from repro.graph.partition.book import PartitionBook
+from repro.utils.seed import rng_from_seed
+
+__all__ = ["metis_like_partition"]
+
+
+@dataclass
+class _Level:
+    """One level of the multilevel hierarchy."""
+
+    adj: sp.csr_matrix  # weighted adjacency at this level
+    node_w: np.ndarray  # node weights at this level
+    mapping: np.ndarray | None  # this-level node -> next-coarser-level node
+
+
+def metis_like_partition(
+    graph: Graph,
+    num_parts: int,
+    *,
+    seed: int = 0,
+    balance_tolerance: float = 1.05,
+    refine_passes: int = 6,
+    coarsen_target_factor: int = 16,
+) -> PartitionBook:
+    """Partition ``graph`` into ``num_parts`` balanced parts.
+
+    Parameters
+    ----------
+    balance_tolerance:
+        Maximum allowed ``max_part_weight / ideal_part_weight`` during
+        refinement moves (METIS's *ufactor* analogue).
+    refine_passes:
+        Boundary-refinement passes per uncoarsening level.
+    coarsen_target_factor:
+        Coarsening stops when the graph has fewer than
+        ``coarsen_target_factor * num_parts`` super-nodes.
+
+    Examples
+    --------
+    >>> from repro.graph.datasets import load_dataset
+    >>> ds = load_dataset("yelp", scale="tiny")
+    >>> book = metis_like_partition(ds.graph, 4, seed=0)
+    >>> int(book.sizes().min()) > 0
+    True
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    n = graph.num_nodes
+    if num_parts == 1:
+        return PartitionBook(part_of=np.zeros(n, dtype=np.int32), num_parts=1)
+    if num_parts > n:
+        raise ValueError(f"cannot split {n} nodes into {num_parts} parts")
+
+    rng = rng_from_seed(seed)
+
+    # ---- Phase 1: coarsen --------------------------------------------------
+    levels: list[_Level] = [
+        _Level(adj=graph.to_scipy(dtype=np.float64), node_w=np.ones(n), mapping=None)
+    ]
+    target = max(64, coarsen_target_factor * num_parts)
+    while levels[-1].adj.shape[0] > target:
+        top = levels[-1]
+        mapping, n_coarse = _handshake_matching(top.adj, rng)
+        if n_coarse >= 0.95 * top.adj.shape[0]:  # matching stalled
+            break
+        top.mapping = mapping
+        coarse_adj, coarse_w = _contract(top.adj, top.node_w, mapping, n_coarse)
+        levels.append(_Level(adj=coarse_adj, node_w=coarse_w, mapping=None))
+
+    # ---- Phase 2: initial partition on the coarsest graph -------------------
+    coarsest = levels[-1]
+    parts = _greedy_growing(coarsest.adj, coarsest.node_w, num_parts, rng)
+    parts = _refine(
+        coarsest.adj, coarsest.node_w, parts, num_parts, balance_tolerance, refine_passes
+    )
+
+    # ---- Phase 3: uncoarsen + refine ----------------------------------------
+    for level in reversed(levels[:-1]):
+        assert level.mapping is not None
+        parts = parts[level.mapping]
+        parts = _refine(
+            level.adj, level.node_w, parts, num_parts, balance_tolerance, refine_passes
+        )
+
+    _ensure_nonempty(parts, num_parts)
+    return PartitionBook(part_of=parts.astype(np.int32), num_parts=num_parts)
+
+
+def _handshake_matching(
+    adj: sp.csr_matrix, rng: np.random.Generator
+) -> tuple[np.ndarray, int]:
+    """One round of mutual heavy-edge matching.
+
+    Every node points at its heaviest neighbor (random tie-break); nodes
+    that point at each other contract.  Returns ``(mapping, n_coarse)``
+    where ``mapping[v]`` is the coarse id of fine node ``v``.
+    """
+    n = adj.shape[0]
+    degrees = np.diff(adj.indptr)
+    # Random multiplicative jitter breaks weight ties without changing order
+    # of magnitude, keeping the "heavy edge" preference intact.
+    jitter = adj.copy()
+    jitter.data = jitter.data * (1.0 + 0.01 * rng.random(jitter.data.size))
+    candidate = np.full(n, -1, dtype=np.int64)
+    nonempty = degrees > 0
+    if nonempty.any():
+        arg = np.asarray(jitter.argmax(axis=1)).ravel()
+        candidate[nonempty] = arg[nonempty]
+
+    safe = np.clip(candidate, 0, n - 1)
+    mutual = (candidate >= 0) & (candidate[safe] == np.arange(n)) & (np.arange(n) < candidate)
+    pair_lo = np.flatnonzero(mutual)
+    pair_hi = candidate[pair_lo]
+
+    mapping = np.full(n, -1, dtype=np.int64)
+    mapping[pair_lo] = np.arange(pair_lo.size)
+    mapping[pair_hi] = mapping[pair_lo]
+    singles = np.flatnonzero(mapping < 0)
+    mapping[singles] = pair_lo.size + np.arange(singles.size)
+    n_coarse = pair_lo.size + singles.size
+    return mapping, n_coarse
+
+
+def _contract(
+    adj: sp.csr_matrix, node_w: np.ndarray, mapping: np.ndarray, n_coarse: int
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Contract matched pairs: ``A' = P^T A P`` with summed weights."""
+    n = adj.shape[0]
+    proj = sp.csr_matrix((np.ones(n), (np.arange(n), mapping)), shape=(n, n_coarse))
+    coarse = (proj.T @ adj @ proj).tocsr()
+    coarse.setdiag(0)  # intra-supernode edges vanish from the cut
+    coarse.eliminate_zeros()
+    coarse_w = np.zeros(n_coarse)
+    np.add.at(coarse_w, mapping, node_w)
+    return coarse, coarse_w
+
+
+def _greedy_growing(
+    adj: sp.csr_matrix, node_w: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Grow ``k`` parts sequentially by strongest-connection absorption."""
+    n = adj.shape[0]
+    parts = np.full(n, -1, dtype=np.int64)
+    target = node_w.sum() / k
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+
+    for p in range(k - 1):
+        unassigned = parts < 0
+        if not unassigned.any():
+            break
+        # Seed: highest-degree unassigned node (hubs anchor parts well).
+        seed = int(np.flatnonzero(unassigned)[np.argmax(degrees[unassigned])])
+        parts[seed] = p
+        weight = node_w[seed]
+        # Connection strength of every node to the growing part; assigned
+        # nodes are masked out so argmax only sees candidates.
+        conn = np.asarray(adj[[seed]].todense()).ravel().astype(np.float64)
+        conn[parts >= 0] = -np.inf
+        while weight < target:
+            cand = int(np.argmax(conn))
+            if not np.isfinite(conn[cand]) or conn[cand] <= 0:
+                # Disconnected frontier: jump to the next unassigned hub.
+                rest = parts < 0
+                if not rest.any():
+                    break
+                cand = int(np.flatnonzero(rest)[np.argmax(degrees[rest])])
+            parts[cand] = p
+            weight += node_w[cand]
+            conn += np.asarray(adj[[cand]].todense()).ravel()
+            conn[parts >= 0] = -np.inf
+    parts[parts < 0] = k - 1
+    return parts
+
+
+def _refine(
+    adj: sp.csr_matrix,
+    node_w: np.ndarray,
+    parts: np.ndarray,
+    k: int,
+    balance_tolerance: float,
+    passes: int,
+) -> np.ndarray:
+    """Greedy boundary refinement (simplified FM) with a balance constraint."""
+    parts = parts.copy()
+    n = adj.shape[0]
+    max_w = balance_tolerance * node_w.sum() / k
+
+    for _ in range(passes):
+        onehot = sp.csr_matrix((np.ones(n), (np.arange(n), parts)), shape=(n, k))
+        conn = np.asarray((adj @ onehot).todense())  # (n, k) connection weights
+        own = conn[np.arange(n), parts]
+        best_part = np.argmax(conn, axis=1)
+        best_conn = conn[np.arange(n), best_part]
+        gains = best_conn - own
+        movers = np.flatnonzero((gains > 1e-12) & (best_part != parts))
+        if movers.size == 0:
+            break
+        part_w = np.zeros(k)
+        np.add.at(part_w, parts, node_w)
+        part_count = np.bincount(parts, minlength=k)
+        moved = 0
+        for v in movers[np.argsort(-gains[movers])]:
+            dst = int(best_part[v])
+            src = int(parts[v])
+            if dst == src:
+                continue
+            if part_w[dst] + node_w[v] > max_w:
+                continue
+            if part_count[src] <= 1:  # never empty a part
+                continue
+            parts[v] = dst
+            part_w[src] -= node_w[v]
+            part_w[dst] += node_w[v]
+            part_count[src] -= 1
+            part_count[dst] += 1
+            moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def _ensure_nonempty(parts: np.ndarray, k: int) -> None:
+    """Repair any empty part by stealing from the largest part (in place)."""
+    sizes = np.bincount(parts, minlength=k)
+    for p in np.flatnonzero(sizes == 0):
+        donor = int(np.argmax(sizes))
+        victim = int(np.flatnonzero(parts == donor)[0])
+        parts[victim] = p
+        sizes[donor] -= 1
+        sizes[p] += 1

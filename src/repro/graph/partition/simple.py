@@ -1,0 +1,99 @@
+"""Baseline partitioners: random, BFS-chunked and spectral.
+
+These exist for ablations (partition quality strongly influences the
+communication results, see paper Sec. 4.1 factor (i)) and as fast fallbacks
+for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graph.graph import Graph
+from repro.graph.partition.book import PartitionBook
+from repro.utils.seed import rng_from_seed
+
+__all__ = ["random_partition", "bfs_partition", "spectral_partition"]
+
+
+def _balanced_chunks(order: np.ndarray, num_parts: int) -> np.ndarray:
+    """Assign nodes to parts by contiguous chunks of an ordering."""
+    n = order.size
+    parts = np.empty(n, dtype=np.int32)
+    bounds = np.linspace(0, n, num_parts + 1).astype(np.int64)
+    for p in range(num_parts):
+        parts[order[bounds[p] : bounds[p + 1]]] = p
+    return parts
+
+
+def random_partition(graph: Graph, num_parts: int, *, seed: int = 0) -> PartitionBook:
+    """Uniformly random balanced partition (worst-case communication)."""
+    if num_parts > graph.num_nodes:
+        raise ValueError("more parts than nodes")
+    rng = rng_from_seed(seed)
+    order = rng.permutation(graph.num_nodes)
+    return PartitionBook(part_of=_balanced_chunks(order, num_parts), num_parts=num_parts)
+
+
+def bfs_partition(graph: Graph, num_parts: int, *, seed: int = 0) -> PartitionBook:
+    """Chunk a BFS traversal order into equal parts (cheap locality)."""
+    if num_parts > graph.num_nodes:
+        raise ValueError("more parts than nodes")
+    rng = rng_from_seed(seed)
+    n = graph.num_nodes
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    # Multi-source BFS covering all components.
+    while pos < n:
+        seeds = np.flatnonzero(~visited)
+        start = int(seeds[rng.integers(seeds.size)])
+        frontier = [start]
+        visited[start] = True
+        while frontier:
+            next_frontier: list[int] = []
+            for u in frontier:
+                order[pos] = u
+                pos += 1
+                for v in graph.neighbors(u):
+                    if not visited[v]:
+                        visited[v] = True
+                        next_frontier.append(int(v))
+            frontier = next_frontier
+    return PartitionBook(part_of=_balanced_chunks(order, num_parts), num_parts=num_parts)
+
+
+def spectral_partition(graph: Graph, num_parts: int, *, seed: int = 0) -> PartitionBook:
+    """Spectral embedding + balanced 1-D sweep.
+
+    Embeds nodes with the Fiedler-adjacent eigenvectors of the normalized
+    Laplacian and chunks the sorted first non-trivial coordinate.  Balanced
+    by construction; cut quality sits between random and METIS-like.
+    """
+    n = graph.num_nodes
+    if num_parts > n:
+        raise ValueError("more parts than nodes")
+    if num_parts == 1:
+        return PartitionBook(part_of=np.zeros(n, dtype=np.int32), num_parts=1)
+
+    adj = graph.to_scipy(dtype=np.float64)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-12)), 0.0)
+    d_half = sp.diags(inv_sqrt)
+    lap = sp.identity(n) - d_half @ adj @ d_half
+
+    k = min(max(2, int(np.ceil(np.log2(num_parts))) + 1), n - 1)
+    rng = rng_from_seed(seed)
+    v0 = rng.standard_normal(n)
+    try:
+        _, vecs = spla.eigsh(lap, k=k, sigma=0, which="LM", v0=v0, maxiter=5000)
+    except (spla.ArpackNoConvergence, RuntimeError):
+        # Fall back to dense for tiny/awkward graphs.
+        dense = lap.toarray()
+        _, dense_vecs = np.linalg.eigh(dense)
+        vecs = dense_vecs[:, :k]
+    fiedler = vecs[:, 1] if vecs.shape[1] > 1 else vecs[:, 0]
+    order = np.argsort(fiedler, kind="stable")
+    return PartitionBook(part_of=_balanced_chunks(order, num_parts), num_parts=num_parts)

@@ -1,0 +1,37 @@
+"""Minimal neural-network substrate (the PyTorch replacement).
+
+Every layer implements an explicit ``forward``/``backward`` pair with an
+internal cache, the classic "layers as objects" design.  Explicit backward
+is a feature here, not a limitation: AdaQP quantizes *embedding gradients*
+flowing between devices during the backward pass, so the reproduction needs
+direct control over exactly where gradients cross device boundaries.
+
+Gradient correctness for every layer is enforced by numerical
+differentiation tests (see ``tests/nn``).
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Dropout, LayerNorm, Linear, ReLU
+from repro.nn.losses import bce_with_logits_loss, softmax_cross_entropy
+from repro.nn.metrics import accuracy, micro_f1
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+from repro.nn.gradcheck import numerical_gradient
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "ReLU",
+    "Dropout",
+    "softmax_cross_entropy",
+    "bce_with_logits_loss",
+    "accuracy",
+    "micro_f1",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "init",
+    "numerical_gradient",
+]

@@ -1,0 +1,137 @@
+"""Dense layers with explicit forward/backward.
+
+Each layer caches whatever its backward pass needs during forward and
+consumes that cache exactly once in ``backward``.  The backward contract is
+uniform: given ``d_out = dL/d_output`` it accumulates parameter gradients
+into ``Parameter.grad`` and returns ``dL/d_input``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.validation import check_probability
+
+__all__ = ["Linear", "LayerNorm", "ReLU", "Dropout"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with ``W`` of shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        *,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self._cache_x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache_x = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, d_out: np.ndarray) -> np.ndarray:
+        x = self._cache_x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        self._cache_x = None
+        self.weight.grad += x.T @ d_out
+        if self.bias is not None:
+            self.bias.grad += d_out.sum(axis=0)
+        return d_out @ self.weight.data.T
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension (paper's norm choice)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.eps = float(eps)
+        self.gamma = Parameter(init.ones((dim,)))
+        self.beta = Parameter(init.zeros((dim,)))
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, x)
+        return x_hat * self.gamma.data + self.beta.data
+
+    def backward(self, d_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, _ = self._cache
+        self._cache = None
+        self.gamma.grad += (d_out * x_hat).sum(axis=0)
+        self.beta.grad += d_out.sum(axis=0)
+        d_xhat = d_out * self.gamma.data
+        # Standard layer-norm backward: project out the mean and the
+        # component along x_hat before rescaling by 1/std.
+        d = self.dim
+        dx = (
+            d_xhat
+            - d_xhat.mean(axis=-1, keepdims=True)
+            - x_hat * (d_xhat * x_hat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return dx
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, d_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        mask, self._mask = self._mask, None
+        return d_out * mask
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit, per-device RNG stream.
+
+    The RNG is injected rather than global so that every simulated device
+    draws an independent, reproducible mask sequence.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.p = check_probability(p, name="p")
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, d_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:  # eval mode or p == 0: identity
+            return d_out
+        mask, self._mask = self._mask, None
+        return d_out * mask

@@ -1,0 +1,102 @@
+"""Masked losses for node classification.
+
+Both losses return ``(loss_sum_contribution, d_logits)`` where the scalar
+and gradient are normalized by an explicit ``normalizer``.  In distributed
+full-graph training every device holds a *subset* of the training nodes, so
+the normalizer (the global training-node count) must be supplied by the
+caller — each device then contributes ``local_sum / global_count`` and the
+device losses/gradients sum to exactly the single-machine quantity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import expit
+
+__all__ = ["softmax_cross_entropy", "bce_with_logits_loss"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    mask: np.ndarray,
+    *,
+    normalizer: float | None = None,
+) -> tuple[float, np.ndarray]:
+    """Masked softmax cross-entropy for single-label classification.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, C)`` raw scores.
+    labels:
+        ``(n,)`` integer class ids.
+    mask:
+        ``(n,)`` boolean; only masked rows contribute loss/gradient.
+    normalizer:
+        Divisor for the mean; defaults to the local mask count (the
+        single-machine case).  Distributed callers pass the global count.
+
+    Returns
+    -------
+    (loss, d_logits):
+        Scalar loss contribution and ``(n, C)`` gradient (zero on unmasked
+        rows).
+    """
+    n, _ = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} incompatible with logits {logits.shape}")
+    if mask.shape != (n,):
+        raise ValueError("mask shape mismatch")
+    count = float(mask.sum()) if normalizer is None else float(normalizer)
+    d_logits = np.zeros_like(logits)
+    if count == 0 or not mask.any():
+        return 0.0, d_logits
+
+    sel = logits[mask]
+    sel_labels = labels[mask]
+    # Numerically stable log-softmax.
+    shifted = sel - sel.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    loss = float(-log_probs[np.arange(sel.shape[0]), sel_labels].sum() / count)
+
+    probs = np.exp(log_probs)
+    probs[np.arange(sel.shape[0]), sel_labels] -= 1.0
+    d_logits[mask] = probs / count
+    return loss, d_logits.astype(logits.dtype)
+
+
+def bce_with_logits_loss(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    mask: np.ndarray,
+    *,
+    normalizer: float | None = None,
+) -> tuple[float, np.ndarray]:
+    """Masked multi-label binary cross-entropy with logits.
+
+    Loss per element uses the numerically stable form
+    ``max(z, 0) - z*y + log(1 + exp(-|z|))``; the mean is taken over
+    ``normalizer * C`` elements (``normalizer`` defaults to the local mask
+    count).
+    """
+    n, c = logits.shape
+    if targets.shape != (n, c):
+        raise ValueError(f"targets shape {targets.shape} != logits shape {logits.shape}")
+    if mask.shape != (n,):
+        raise ValueError("mask shape mismatch")
+    count = float(mask.sum()) if normalizer is None else float(normalizer)
+    d_logits = np.zeros_like(logits)
+    if count == 0 or not mask.any():
+        return 0.0, d_logits
+
+    z = logits[mask]
+    y = targets[mask]
+    elementwise = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+    denom = count * c
+    loss = float(elementwise.sum() / denom)
+
+    sigma = expit(z)  # numerically stable sigmoid
+    d_logits[mask] = (sigma - y) / denom
+    return loss, d_logits.astype(logits.dtype)

@@ -1,0 +1,47 @@
+"""Stochastic integer quantization of GNN messages (paper Sec. 2.3, 3.2).
+
+Pipeline:
+
+1. :func:`quantize_stochastic` maps each float32 message vector to
+   ``b``-bit integers with a per-vector zero-point and scale (Eqn. 4),
+   using stochastic rounding so de-quantization is *unbiased* (Theorem 1);
+2. :mod:`repro.quant.packing` packs 2/4/8-bit integer payloads into dense
+   ``uint8`` byte streams (the "merge into uniform 8-bit byte streams"
+   step of the paper's implementation section);
+3. :class:`MixedPrecisionEncoder` groups rows by assigned bit-width,
+   quantizes each group and concatenates the streams — the exact wire
+   format the adaptive bit-width assigner feeds;
+4. :mod:`repro.quant.theory` evaluates the paper's variance formulas
+   (Theorem 1's vector variance, Theorem 3's β values and layer bound
+   ``Q_l``) used by the bi-objective assignment problem.
+"""
+
+from repro.quant.stochastic import (
+    QuantizedTensor,
+    dequantize,
+    quantize_stochastic,
+    stochastic_round,
+)
+from repro.quant.packing import pack_bits, unpack_bits
+from repro.quant.mixed import MixedPrecisionEncoder, MixedPrecisionPayload
+from repro.quant.theory import (
+    SUPPORTED_BITS,
+    beta_values,
+    quantization_variance,
+    variance_objective,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_stochastic",
+    "dequantize",
+    "stochastic_round",
+    "pack_bits",
+    "unpack_bits",
+    "MixedPrecisionEncoder",
+    "MixedPrecisionPayload",
+    "SUPPORTED_BITS",
+    "quantization_variance",
+    "beta_values",
+    "variance_objective",
+]

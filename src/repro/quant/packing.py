@@ -1,0 +1,70 @@
+"""Bit-packing of integer codes into dense byte streams.
+
+The paper merges 2- and 4-bit quantized messages into uniform 8-bit byte
+streams before transmission (following EXACT, Liu et al. 2021).  These
+helpers implement that packing: ``pack_bits`` fits ``8 / bits`` codes per
+byte, ``unpack_bits`` inverts it exactly.
+
+Layout: little-endian within each byte — code ``i`` of a byte occupies bits
+``[i*b, (i+1)*b)``.  The layout is an internal wire format; only the
+round-trip property matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_in_set
+
+__all__ = ["pack_bits", "unpack_bits"]
+
+_ALLOWED_BITS = (1, 2, 4, 8)
+
+
+def pack_bits(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack ``bits``-bit integer codes into a ``uint8`` stream.
+
+    >>> import numpy as np
+    >>> stream = pack_bits(np.array([1, 2, 3, 0], dtype=np.uint8), 2)
+    >>> stream.shape
+    (1,)
+    >>> unpack_bits(stream, 2, 4).tolist()
+    [1, 2, 3, 0]
+    """
+    check_in_set(bits, _ALLOWED_BITS, name="bits")
+    codes = np.ascontiguousarray(codes, dtype=np.uint8).ravel()
+    if codes.size and int(codes.max()) >= (1 << bits):
+        raise ValueError(f"codes exceed {bits}-bit range")
+    if bits == 8:
+        return codes.copy()
+
+    per_byte = 8 // bits
+    padded_len = -(-codes.size // per_byte) * per_byte  # ceil to multiple
+    padded = np.zeros(padded_len, dtype=np.uint8)
+    padded[: codes.size] = codes
+    groups = padded.reshape(-1, per_byte)
+    shifts = (np.arange(per_byte, dtype=np.uint8) * bits)[None, :]
+    return np.bitwise_or.reduce(
+        (groups.astype(np.uint16) << shifts).astype(np.uint16), axis=1
+    ).astype(np.uint8)
+
+
+def unpack_bits(stream: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Unpack ``count`` codes of width ``bits`` from a ``uint8`` stream."""
+    check_in_set(bits, _ALLOWED_BITS, name="bits")
+    check_array(stream, name="stream", ndim=1, dtype_kind="u")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if bits == 8:
+        if count > stream.size:
+            raise ValueError("stream too short")
+        return stream[:count].copy()
+
+    per_byte = 8 // bits
+    needed_bytes = -(-count // per_byte)
+    if needed_bytes > stream.size:
+        raise ValueError("stream too short")
+    mask = np.uint8((1 << bits) - 1)
+    shifts = (np.arange(per_byte, dtype=np.uint8) * bits)[None, :]
+    codes = ((stream[:needed_bytes, None] >> shifts) & mask).reshape(-1)
+    return codes[:count].astype(np.uint8)

@@ -1,0 +1,135 @@
+"""Stochastic integer quantization (paper Eqns. 4–5, Theorem 1).
+
+For a message vector ``h`` and bit-width ``b``:
+
+* zero-point ``Z = min(h)``;
+* scale ``S = (max(h) - min(h)) / (2^b - 1)``;
+* quantized value ``q = round_st((h - Z) / S)`` where ``round_st`` rounds up
+  with probability equal to the fractional part (stochastic rounding);
+* de-quantization ``ĥ = q * S + Z``.
+
+Stochastic rounding makes ``E[ĥ] = h`` (unbiased) with per-element variance
+at most ``S²/6`` under the uniform-fraction assumption, giving Theorem 1's
+vector variance ``D · S² / 6``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_in_set
+
+__all__ = ["QuantizedTensor", "stochastic_round", "quantize_stochastic", "dequantize"]
+
+_ALLOWED_BITS = (1, 2, 4, 8)
+
+# Wire overhead per message vector: zero-point + scale, both float32.
+METADATA_BYTES_PER_ROW = 8
+
+
+@dataclass
+class QuantizedTensor:
+    """A batch of quantized message vectors sharing one bit-width.
+
+    ``codes`` stores the integer codes *unpacked* (one ``uint8`` per
+    element) for computational convenience; :attr:`wire_bytes` reports the
+    size the payload occupies on the wire after bit-packing (the quantity
+    the communication model charges for).
+    """
+
+    codes: np.ndarray  # (n, D) uint8
+    zero_point: np.ndarray  # (n,) float32
+    scale: np.ndarray  # (n,) float32
+    bits: int
+
+    def __post_init__(self) -> None:
+        check_array(self.codes, name="codes", ndim=2, dtype_kind="u")
+        check_in_set(self.bits, _ALLOWED_BITS, name="bits")
+        n = self.codes.shape[0]
+        if self.zero_point.shape != (n,) or self.scale.shape != (n,):
+            raise ValueError("zero_point and scale must be per-row vectors")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.codes.shape  # type: ignore[return-value]
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire: packed payload + per-row (Z, S) metadata."""
+        n, d = self.codes.shape
+        payload = (n * d * self.bits + 7) // 8
+        return payload + n * METADATA_BYTES_PER_ROW
+
+    def dequantize(self) -> np.ndarray:
+        return dequantize(self)
+
+
+def stochastic_round(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Round each element up with probability equal to its fractional part.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> vals = stochastic_round(np.full(10000, 0.25), rng)
+    >>> 0.2 < vals.mean() < 0.3
+    True
+    """
+    floor = np.floor(x)
+    frac = x - floor
+    return floor + (rng.random(x.shape) < frac)
+
+
+def quantize_stochastic(
+    h: np.ndarray, bits: int, rng: np.random.Generator
+) -> QuantizedTensor:
+    """Quantize a batch of message vectors to ``bits``-bit integers.
+
+    Parameters
+    ----------
+    h:
+        ``(n, D)`` float array; each *row* is one node's message vector and
+        gets its own zero-point/scale (as in the paper, where Z and S are
+        per-message).
+    bits:
+        One of ``{1, 2, 4, 8}`` (the paper's B = {2, 4, 8}; 1 is supported
+        for stress tests).
+    rng:
+        Source of the stochastic-rounding randomness.
+
+    Notes
+    -----
+    Constant rows (``max == min``) quantize exactly: scale 0 is kept and
+    de-quantization returns the zero-point, so no special casing leaks into
+    the variance accounting (a constant vector has zero variance).
+    """
+    check_array(np.asarray(h), name="h", ndim=2)
+    check_in_set(bits, _ALLOWED_BITS, name="bits")
+    h = np.asarray(h, dtype=np.float32)
+    n, _ = h.shape
+
+    levels = float(2**bits - 1)
+    z = h.min(axis=1)
+    h_max = h.max(axis=1)
+    scale = (h_max - z) / levels  # 0 for constant rows
+
+    safe_scale = np.where(scale > 0, scale, 1.0)
+    normalized = (h - z[:, None]) / safe_scale[:, None]
+    codes = stochastic_round(normalized, rng)
+    # Stochastic rounding can emit ``levels + 1`` on the max element when
+    # the fractional part is exactly 0 at the top of the range; clip keeps
+    # codes within b bits without biasing interior values.
+    np.clip(codes, 0, levels, out=codes)
+    return QuantizedTensor(
+        codes=codes.astype(np.uint8),
+        zero_point=z.astype(np.float32),
+        scale=scale.astype(np.float32),
+        bits=int(bits),
+    )
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    """Recover float32 message vectors (Eqn. 5): ``ĥ = codes * S + Z``."""
+    return (
+        q.codes.astype(np.float32) * q.scale[:, None] + q.zero_point[:, None]
+    ).astype(np.float32)

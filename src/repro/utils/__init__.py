@@ -1,0 +1,31 @@
+"""Shared utilities: seeding, logging, timing, formatting and validation.
+
+These are the lowest-level helpers in the repository; every other subpackage
+may depend on :mod:`repro.utils` but this package depends only on NumPy and
+the standard library.
+"""
+
+from repro.utils.seed import RngPool, rng_from_seed
+from repro.utils.logging import get_logger
+from repro.utils.timing import Stopwatch
+from repro.utils.format import format_bytes, format_seconds, render_table
+from repro.utils.validation import (
+    check_array,
+    check_in_set,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngPool",
+    "rng_from_seed",
+    "get_logger",
+    "Stopwatch",
+    "format_bytes",
+    "format_seconds",
+    "render_table",
+    "check_array",
+    "check_in_set",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,78 @@
+"""Human-readable formatting: byte sizes, durations and ASCII tables.
+
+The benchmark harness regenerates the paper's tables as plain-text tables;
+:func:`render_table` is the single formatter used everywhere so all outputs
+look consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_bytes", "format_seconds", "render_table"]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a binary unit suffix.
+
+    >>> format_bytes(2048)
+    '2.00 KiB'
+    """
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration, choosing the most readable unit.
+
+    >>> format_seconds(0.00042)
+    '420.0 us'
+    """
+    s = float(seconds)
+    if s < 0:
+        return f"-{format_seconds(-s)}"
+    if s < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    if s < 120.0:
+        return f"{s:.2f} s"
+    return f"{s / 60.0:.1f} min"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table (GitHub-flavoured markdown style).
+
+    All cells are stringified with ``str``; numeric alignment is left to the
+    caller (pre-format floats before passing them in).
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

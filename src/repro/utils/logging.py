@@ -1,0 +1,39 @@
+"""Logging setup shared by the library, examples and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    level = getattr(logging, level_name, logging.WARNING)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        root.addHandler(handler)
+    root.setLevel(level)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Verbosity is controlled by the ``REPRO_LOG_LEVEL`` environment variable
+    (default ``WARNING``), so library code can log progress without polluting
+    test output.
+    """
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,65 @@
+"""Input validation helpers used across public entry points.
+
+Raising early with precise messages keeps the simulation code itself free of
+defensive clutter: modules validate at their public boundary and then trust
+their internal invariants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+import numpy as np
+
+__all__ = ["check_array", "check_positive", "check_probability", "check_in_set"]
+
+
+def check_array(
+    x: np.ndarray,
+    *,
+    name: str,
+    ndim: int | None = None,
+    dtype_kind: str | None = None,
+    allow_empty: bool = True,
+) -> np.ndarray:
+    """Validate that ``x`` is an ndarray with the expected shape/dtype family.
+
+    ``dtype_kind`` matches :attr:`numpy.dtype.kind` (``"f"`` float,
+    ``"i"`` signed int, ``"u"`` unsigned int, ``"b"`` bool).
+    """
+    if not isinstance(x, np.ndarray):
+        raise TypeError(f"{name} must be a numpy array, got {type(x).__name__}")
+    if ndim is not None and x.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {x.shape}")
+    if dtype_kind is not None and x.dtype.kind not in dtype_kind:
+        raise TypeError(
+            f"{name} must have dtype kind in {dtype_kind!r}, got {x.dtype}"
+        )
+    if not allow_empty and x.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    return x
+
+
+def check_positive(value: float, *, name: str, strict: bool = True) -> float:
+    """Validate a (strictly) positive scalar."""
+    v = float(value)
+    if strict and not v > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return v
+
+
+def check_probability(value: float, *, name: str) -> float:
+    """Validate a scalar in the closed interval [0, 1]."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return v
+
+
+def check_in_set(value: object, allowed: Collection[object], *, name: str) -> object:
+    """Validate membership in a finite set of options."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+    return value

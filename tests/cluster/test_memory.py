@@ -1,0 +1,45 @@
+"""Memory/size estimator (the footnote-1 argument)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.memory import estimate_memory
+from repro.graph.partition.api import partition_graph
+
+
+@pytest.fixture(scope="module")
+def cluster(tiny_dataset):
+    book = partition_graph(tiny_dataset.graph, 4, method="metis", seed=0)
+    return Cluster(tiny_dataset, book, model_kind="gcn", hidden_dim=32, num_layers=3,
+                   dropout=0.0, seed=0)
+
+
+def test_one_footprint_per_device(cluster):
+    footprints = estimate_memory(cluster)
+    assert len(footprints) == 4
+    assert [fp.device for fp in footprints] == [0, 1, 2, 3]
+
+
+def test_feature_bytes_exact(cluster):
+    for fp, dev in zip(estimate_memory(cluster), cluster.devices):
+        assert fp.feature_bytes == dev.features.nbytes
+
+
+def test_param_and_grad_bytes_match_model(cluster):
+    for fp, dev in zip(estimate_memory(cluster), cluster.devices):
+        assert fp.model_param_bytes == dev.model.num_parameters() * 4
+        assert fp.model_grad_bytes == fp.model_param_bytes
+
+
+def test_messages_dwarf_gradients(cluster):
+    """The paper's footnote-1 shape at our scale."""
+    for fp in estimate_memory(cluster):
+        assert fp.message_bytes > 2 * fp.model_grad_bytes
+
+
+def test_total_is_sum_of_components(cluster):
+    fp = estimate_memory(cluster)[0]
+    assert fp.total_bytes == (
+        fp.feature_bytes + fp.activation_bytes + fp.halo_buffer_bytes
+        + fp.model_param_bytes + fp.model_grad_bytes
+    )

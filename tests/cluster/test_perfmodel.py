@@ -1,0 +1,47 @@
+"""Device performance model."""
+
+import pytest
+
+from repro.cluster.perfmodel import PerfModel
+
+
+def test_flop_formulas():
+    assert PerfModel.gemm_flops(10, 20, 30) == 2 * 10 * 20 * 30
+    assert PerfModel.spmm_flops(100, 8) == 2 * 100 * 8
+
+
+def test_times_positive_and_monotone():
+    pm = PerfModel()
+    assert pm.gemm_time(1e6) > pm.gemm_time(1e3) > 0
+    assert pm.spmm_time(1e6) > pm.spmm_time(1e3)
+    assert pm.quant_time(1e6) > pm.quant_time(1e3)
+
+
+def test_zero_work_zero_quant_time():
+    pm = PerfModel()
+    assert pm.quant_time(0) == 0.0
+
+
+def test_launch_overhead_included():
+    pm = PerfModel(kernel_launch_s=1.0)
+    assert pm.gemm_time(1) > 1.0
+
+
+def test_spmm_slower_than_gemm_per_flop():
+    pm = PerfModel()
+    flops = 1e9
+    assert pm.spmm_time(flops) > pm.gemm_time(flops)
+
+
+def test_compute_time_is_sum_of_stages():
+    pm = PerfModel()
+    assert pm.compute_time(1e6, 1e6) == pytest.approx(
+        pm.spmm_time(1e6) + pm.gemm_time(1e6)
+    )
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(ValueError):
+        PerfModel(gemm_flops_per_s=0)
+    with pytest.raises(ValueError):
+        PerfModel(kernel_launch_s=-1)

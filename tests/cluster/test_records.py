@@ -1,0 +1,47 @@
+"""EpochRecord / PhaseRecord accounting structures."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.records import EpochRecord, PhaseRecord
+
+
+def _phase(layer=0, phase="fwd", n=3):
+    bm = np.arange(n * n, dtype=np.int64).reshape(n, n)
+    np.fill_diagonal(bm, 0)
+    return PhaseRecord(
+        layer=layer,
+        phase=phase,
+        bytes_matrix=bm,
+        quant_send_bytes=np.full(n, 10.0),
+        quant_recv_bytes=np.full(n, 6.0),
+        agg_flops=np.full(n, 100.0),
+        agg_flops_central=np.full(n, 40.0),
+        dense_flops=np.full(n, 200.0),
+        dense_flops_central=np.full(n, 80.0),
+    )
+
+
+def test_phase_derived_quantities():
+    p = _phase()
+    assert p.num_devices == 3
+    assert np.array_equal(p.quant_float_bytes, np.full(3, 16.0))
+    assert np.array_equal(p.agg_flops_marginal, np.full(3, 60.0))
+    assert np.array_equal(p.dense_flops_marginal, np.full(3, 120.0))
+
+
+def test_epoch_totals():
+    rec = EpochRecord(loss=1.5, phases=[_phase(0, "fwd"), _phase(0, "bwd")])
+    per_phase = int(_phase().bytes_matrix.sum())
+    assert rec.total_wire_bytes() == 2 * per_phase
+    assert rec.bytes_by_pair().sum() == 2 * per_phase
+    assert rec.bytes_by_pair()[1, 2] == 2 * 5
+
+
+def test_bytes_by_pair_requires_phases():
+    with pytest.raises(ValueError):
+        EpochRecord(loss=0.0).bytes_by_pair()
+
+
+def test_empty_epoch_zero_bytes():
+    assert EpochRecord(loss=0.0).total_wire_bytes() == 0

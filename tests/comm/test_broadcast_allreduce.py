@@ -1,0 +1,84 @@
+"""Sequential broadcast timing and gradient allreduce."""
+
+import numpy as np
+import pytest
+
+from repro.comm.allreduce import allreduce_mean, allreduce_sum, ring_allreduce_time
+from repro.comm.broadcast import sequential_broadcast_time
+from repro.comm.costmodel import LinkCostModel
+from repro.comm.topology import ClusterTopology
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return LinkCostModel.for_topology(ClusterTopology(1, 3))
+
+
+def test_broadcast_time_manual(cost):
+    per_source = np.array([100.0, 0.0, 200.0])
+    total = sequential_broadcast_time(per_source, cost)
+    expected = (
+        cost.time(0, 1, 100) + cost.time(0, 2, 100)
+        + cost.time(2, 0, 200) + cost.time(2, 1, 200)
+    )
+    assert abs(total - expected) < 1e-15
+
+
+def test_broadcast_skip_mask(cost):
+    per_source = np.array([100.0, 100.0, 100.0])
+    full = sequential_broadcast_time(per_source, cost)
+    skipped = sequential_broadcast_time(
+        per_source, cost, skipped=np.array([True, False, True])
+    )
+    assert skipped < full
+    only_1 = cost.time(1, 0, 100) + cost.time(1, 2, 100)
+    assert abs(skipped - only_1) < 1e-15
+
+
+def test_broadcast_slower_than_ring(cost):
+    """The paper's claim: sequential broadcast loses to ring all2all."""
+    from repro.comm.ring import ring_all2all_time
+
+    nbytes = 10**6
+    bm = np.full((3, 3), nbytes, dtype=float)
+    np.fill_diagonal(bm, 0)
+    ring_total, _ = ring_all2all_time(bm, cost)
+    bcast_total = sequential_broadcast_time(np.full(3, nbytes), cost)
+    assert bcast_total > 2.5 * ring_total
+
+
+def test_broadcast_shape_check(cost):
+    with pytest.raises(ValueError):
+        sequential_broadcast_time(np.zeros(2), cost)
+
+
+def test_allreduce_sum_exact():
+    vecs = [np.array([1.0, 2.0], dtype=np.float32), np.array([3.0, 4.0], dtype=np.float32)]
+    assert np.array_equal(allreduce_sum(vecs), np.array([4.0, 6.0], dtype=np.float32))
+
+
+def test_allreduce_mean_exact():
+    vecs = [np.array([2.0], dtype=np.float32), np.array([4.0], dtype=np.float32)]
+    assert np.array_equal(allreduce_mean(vecs), np.array([3.0], dtype=np.float32))
+
+
+def test_allreduce_deterministic_order():
+    rng = np.random.default_rng(0)
+    vecs = [rng.normal(size=1000).astype(np.float32) for _ in range(8)]
+    assert np.array_equal(allreduce_sum(vecs), allreduce_sum(list(vecs)))
+
+
+def test_allreduce_validation():
+    with pytest.raises(ValueError):
+        allreduce_sum([])
+    with pytest.raises(ValueError):
+        allreduce_sum([np.zeros(2), np.zeros(3)])
+
+
+def test_ring_allreduce_time_scaling(cost):
+    t1 = ring_allreduce_time(10**6, cost)
+    t2 = ring_allreduce_time(2 * 10**6, cost)
+    assert t2 > t1
+    assert ring_allreduce_time(0, cost) == 0.0
+    single = LinkCostModel.for_topology(ClusterTopology(1, 1))
+    assert ring_allreduce_time(10**6, single) == 0.0

@@ -1,0 +1,95 @@
+"""Link cost model: tiers, timing, calibration fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.costmodel import LinkCostModel, fit_linear_cost
+from repro.comm.topology import ClusterTopology
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LinkCostModel.for_topology(ClusterTopology(2, 2))
+
+
+def test_intra_faster_than_inter(model):
+    nbytes = 1_000_000
+    intra = model.time(0, 1, nbytes)
+    inter = model.time(0, 2, nbytes)
+    assert intra < inter
+
+
+def test_diagonal_free(model):
+    assert model.time(1, 1, 10**9) == 0.0
+
+
+def test_zero_bytes_free(model):
+    assert model.time(0, 1, 0) == 0.0
+    assert model.time(0, 1, -5) == 0.0
+
+
+def test_affine_in_bytes(model):
+    t1 = model.time(0, 2, 1000)
+    t2 = model.time(0, 2, 2000)
+    theta, gamma = model.pair_parameters(0, 2)
+    assert abs((t2 - t1) - theta * 1000) < 1e-12
+    assert abs(t1 - (theta * 1000 + gamma)) < 1e-12
+
+
+def test_tier_structure(model):
+    n = 4
+    for s in range(n):
+        for d in range(n):
+            if s == d:
+                continue
+            same = (s < 2) == (d < 2)
+            theta, gamma = model.pair_parameters(s, d)
+            if same:
+                assert theta == model.theta[0, 1]
+            else:
+                assert theta == model.theta[0, 2]
+
+
+def test_shape_validation():
+    topo = ClusterTopology(1, 2)
+    with pytest.raises(ValueError):
+        LinkCostModel(topology=topo, theta=np.zeros((3, 3)), gamma=np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        LinkCostModel(topology=topo, theta=-np.ones((2, 2)), gamma=np.zeros((2, 2)))
+
+
+def test_fit_recovers_parameters():
+    theta_true, gamma_true = 2e-9, 5e-5
+    nbytes = np.linspace(1e3, 1e7, 20)
+    seconds = theta_true * nbytes + gamma_true
+    theta, gamma = fit_linear_cost(nbytes, seconds)
+    assert abs(theta - theta_true) / theta_true < 1e-6
+    assert abs(gamma - gamma_true) / gamma_true < 1e-3
+
+
+def test_fit_noisy_probes():
+    rng = np.random.default_rng(0)
+    nbytes = rng.uniform(1e4, 1e7, 50)
+    seconds = 3e-9 * nbytes + 1e-4 + rng.normal(0, 1e-6, 50)
+    theta, gamma = fit_linear_cost(nbytes, seconds)
+    assert abs(theta - 3e-9) / 3e-9 < 0.05
+
+
+def test_fit_requires_two_probes():
+    with pytest.raises(ValueError):
+        fit_linear_cost(np.array([1.0]), np.array([1.0]))
+
+
+@given(
+    st.floats(min_value=1e-10, max_value=1e-6),
+    st.floats(min_value=0, max_value=1e-2),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_fit_exact_lines(theta_true, gamma_true):
+    nbytes = np.array([1e3, 1e5, 1e6, 1e7])
+    seconds = theta_true * nbytes + gamma_true
+    theta, gamma = fit_linear_cost(nbytes, seconds)
+    assert abs(theta - theta_true) <= 1e-6 * theta_true + 1e-18
+    assert abs(gamma - gamma_true) <= 1e-3 * max(gamma_true, 1e-12) + 1e-9

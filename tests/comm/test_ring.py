@@ -1,0 +1,80 @@
+"""Ring all2all schedule: coverage, permutation structure, timing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.costmodel import LinkCostModel
+from repro.comm.ring import ring_all2all_time, ring_rounds
+from repro.comm.topology import ClusterTopology
+
+
+def test_rounds_structure_small():
+    assert ring_rounds(3) == [[(0, 1), (1, 2), (2, 0)], [(0, 2), (1, 0), (2, 1)]]
+
+
+def test_single_device_no_rounds():
+    assert ring_rounds(1) == []
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_property_rounds_cover_all_pairs_once(n):
+    rounds = ring_rounds(n)
+    assert len(rounds) == n - 1
+    seen = set()
+    for rnd in rounds:
+        senders = [s for s, _ in rnd]
+        receivers = [d for _, d in rnd]
+        # Each device sends once and receives once per round.
+        assert sorted(senders) == list(range(n))
+        assert sorted(receivers) == list(range(n))
+        for pair in rnd:
+            assert pair[0] != pair[1]
+            assert pair not in seen
+            seen.add(pair)
+    assert len(seen) == n * (n - 1)
+
+
+def test_all2all_time_is_sum_of_round_maxima():
+    topo = ClusterTopology(1, 3)
+    cost = LinkCostModel.for_topology(topo)
+    bytes_matrix = np.array(
+        [[0, 100, 200], [300, 0, 400], [500, 600, 0]], dtype=float
+    )
+    total, per_round = ring_all2all_time(bytes_matrix, cost)
+    rounds = ring_rounds(3)
+    for time, rnd in zip(per_round, rounds):
+        expected = max(cost.time(s, d, bytes_matrix[s, d]) for s, d in rnd)
+        assert abs(time - expected) < 1e-15
+    assert abs(total - sum(per_round)) < 1e-15
+
+
+def test_straggler_dominates_round():
+    topo = ClusterTopology(1, 4)
+    cost = LinkCostModel.for_topology(topo)
+    bm = np.zeros((4, 4))
+    bm[0, 1] = 10**7  # one huge pair in round 1
+    total, per_round = ring_all2all_time(bm, cost)
+    assert per_round[0] == cost.time(0, 1, 10**7)
+    assert per_round[1] == 0.0 and per_round[2] == 0.0
+
+
+def test_zero_matrix_is_free():
+    topo = ClusterTopology(2, 2)
+    cost = LinkCostModel.for_topology(topo)
+    total, per_round = ring_all2all_time(np.zeros((4, 4)), cost)
+    assert total == 0.0
+
+
+def test_shape_mismatch_rejected():
+    topo = ClusterTopology(2, 1)
+    cost = LinkCostModel.for_topology(topo)
+    with pytest.raises(ValueError):
+        ring_all2all_time(np.zeros((3, 3)), cost)
+
+
+def test_invalid_device_count():
+    with pytest.raises(ValueError):
+        ring_rounds(0)

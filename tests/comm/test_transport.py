@@ -1,0 +1,96 @@
+"""In-memory transport: routing and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.comm.transport import Transport
+
+
+def test_post_and_collect():
+    t = Transport(3)
+    t.post(0, 2, "fwd/L0", "payload-a", 100)
+    t.post(1, 2, "fwd/L0", "payload-b", 50)
+    got = t.collect(2, "fwd/L0")
+    assert got == {0: "payload-a", 1: "payload-b"}
+    # Mailbox drained.
+    assert t.collect(2, "fwd/L0") == {}
+
+
+def test_tags_namespace_exchanges():
+    t = Transport(2)
+    t.post(0, 1, "fwd/L0", "a", 10)
+    t.post(0, 1, "bwd/L0", "b", 20)
+    assert t.collect(1, "fwd/L0") == {0: "a"}
+    assert t.collect(1, "bwd/L0") == {0: "b"}
+
+
+def test_duplicate_post_rejected():
+    t = Transport(2)
+    t.post(0, 1, "x", "a", 1)
+    with pytest.raises(RuntimeError, match="duplicate"):
+        t.post(0, 1, "x", "b", 1)
+
+
+def test_self_message_rejected():
+    t = Transport(2)
+    with pytest.raises(ValueError, match="themselves"):
+        t.post(1, 1, "x", "a", 1)
+
+
+def test_device_range_checked():
+    t = Transport(2)
+    with pytest.raises(ValueError, match="out of range"):
+        t.post(0, 5, "x", "a", 1)
+    with pytest.raises(ValueError):
+        t.collect(9, "x")
+
+
+def test_negative_bytes_rejected():
+    t = Transport(2)
+    with pytest.raises(ValueError):
+        t.post(0, 1, "x", "a", -1)
+
+
+def test_bytes_matrix_accumulates():
+    t = Transport(3)
+    t.post(0, 1, "x", "a", 100)
+    got = t.collect(1, "x")
+    t.post(0, 1, "x", "b", 50)
+    t.collect(1, "x")
+    m = t.bytes_matrix("x")
+    assert m[0, 1] == 150
+    assert m.sum() == 150
+    assert t.bytes_matrix("unknown").sum() == 0
+
+
+def test_total_bytes():
+    t = Transport(2)
+    t.post(0, 1, "a", None, 10)
+    t.post(1, 0, "b", None, 5)
+    t.collect(1, "a")
+    t.collect(0, "b")
+    assert t.total_bytes() == 15
+
+
+def test_reset_accounting_requires_drained():
+    t = Transport(2)
+    t.post(0, 1, "x", "a", 10)
+    with pytest.raises(RuntimeError, match="undelivered"):
+        t.reset_accounting()
+    t.collect(1, "x")
+    t.reset_accounting()
+    assert t.total_bytes() == 0
+
+
+def test_pending_tags():
+    t = Transport(2)
+    assert t.pending_tags() == []
+    t.post(0, 1, "z", "a", 1)
+    assert t.pending_tags() == ["z"]
+    t.collect(1, "z")
+    assert t.pending_tags() == []
+
+
+def test_invalid_device_count():
+    with pytest.raises(ValueError):
+        Transport(0)

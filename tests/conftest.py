@@ -1,0 +1,61 @@
+"""Shared fixtures: tiny graphs, datasets and partitions used across suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+from repro.graph.partition.api import partition_graph
+from repro.graph.partition.book import PartitionBook, build_local_partitions
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def path_graph():
+    """0-1-2-3-4 path."""
+    src = np.array([0, 1, 2, 3])
+    dst = np.array([1, 2, 3, 4])
+    return Graph.from_edges(src, dst, 5)
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A deterministic ~60-node community graph for structural tests."""
+    gen = np.random.default_rng(7)
+    n = 60
+    src = gen.integers(0, n, 400)
+    dst = (src + gen.integers(1, 6, 400)) % n  # ring-local edges
+    return Graph.from_edges(src, dst, n)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return load_dataset("yelp", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_single_label_dataset():
+    return load_dataset("ogbn-products", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_book(tiny_dataset):
+    return partition_graph(tiny_dataset.graph, 4, method="metis", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_parts(tiny_dataset, tiny_book):
+    return build_local_partitions(tiny_dataset.graph, tiny_book)
+
+
+@pytest.fixture()
+def single_part_book(tiny_dataset):
+    return PartitionBook(
+        part_of=np.zeros(tiny_dataset.num_nodes, dtype=np.int32), num_parts=1
+    )

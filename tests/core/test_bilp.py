@@ -1,0 +1,156 @@
+"""Bi-objective bit-width assignment: solver correctness and λ semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.bilp import (
+    BitWidthProblem,
+    GroupSpec,
+    evaluate_assignment,
+    solve_bruteforce,
+    solve_greedy,
+    solve_milp,
+)
+
+
+def _problem(lam=0.5, n_groups=4, seed=0):
+    rng = np.random.default_rng(seed)
+    groups = []
+    pairs = [(0, 1), (1, 0)]
+    for i in range(n_groups):
+        src, dst = pairs[i % 2]
+        groups.append(
+            GroupSpec(
+                src=src,
+                dst=dst,
+                beta=float(rng.uniform(0.1, 10.0)),
+                n_rows=int(rng.integers(10, 100)),
+                dim=16,
+            )
+        )
+    theta = {p: 4e-8 for p in pairs}
+    gamma = {p: 1e-4 for p in pairs}
+    return BitWidthProblem(
+        groups=groups, pair_theta=theta, pair_gamma=gamma, lam=lam
+    )
+
+
+def test_payload_bytes_increase_with_bits():
+    g = GroupSpec(0, 1, 1.0, 10, 16)
+    assert g.payload_bytes(2) < g.payload_bytes(4) < g.payload_bytes(8)
+
+
+def test_lambda_one_maximizes_bits():
+    problem = _problem(lam=1.0)
+    for solver in (solve_milp, solve_greedy, solve_bruteforce):
+        bits = solver(problem)
+        assert np.all(bits == 8), solver.__name__
+
+
+def test_lambda_zero_minimizes_bits():
+    problem = _problem(lam=0.0)
+    for solver in (solve_milp, solve_greedy):
+        bits = solver(problem)
+        assert np.all(bits == 2), solver.__name__
+
+
+@pytest.mark.parametrize("lam", [0.2, 0.5, 0.8])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_milp_matches_bruteforce_optimum(lam, seed):
+    problem = _problem(lam=lam, n_groups=5, seed=seed)
+    exact = solve_bruteforce(problem)
+    milp = solve_milp(problem)
+    assert problem.scalarized(milp) <= problem.scalarized(exact) + 1e-9
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_greedy_close_to_optimum(seed):
+    problem = _problem(lam=0.5, n_groups=6, seed=seed)
+    exact_val = problem.scalarized(solve_bruteforce(problem))
+    greedy_val = problem.scalarized(solve_greedy(problem))
+    assert greedy_val <= exact_val * 1.2 + 1e-9
+
+
+def test_high_beta_groups_get_more_bits():
+    """At intermediate λ, the variance-heavy group keeps precision."""
+    groups = [
+        GroupSpec(0, 1, beta=100.0, n_rows=50, dim=16),
+        GroupSpec(0, 1, beta=0.001, n_rows=50, dim=16),
+    ]
+    problem = BitWidthProblem(
+        groups=groups,
+        pair_theta={(0, 1): 4e-8},
+        pair_gamma={(0, 1): 1e-4},
+        lam=0.5,
+    )
+    bits = solve_milp(problem)
+    assert bits[0] >= bits[1]
+
+
+def test_minimax_targets_straggler_pair():
+    """The busy pair gets narrow bits; the idle pair can keep wide ones."""
+    groups = [
+        GroupSpec(0, 1, beta=1.0, n_rows=2000, dim=64),  # heavy pair
+        GroupSpec(1, 0, beta=1.0, n_rows=10, dim=64),  # light pair
+    ]
+    problem = BitWidthProblem(
+        groups=groups,
+        pair_theta={(0, 1): 4e-8, (1, 0): 4e-8},
+        pair_gamma={(0, 1): 1e-4, (1, 0): 1e-4},
+        lam=0.5,
+    )
+    bits = solve_milp(problem)
+    assert bits[0] <= bits[1]
+
+
+def test_evaluate_assignment_consistency():
+    problem = _problem()
+    bits = np.full(len(problem.groups), 4)
+    summary = evaluate_assignment(problem, bits)
+    assert summary["variance"] == pytest.approx(problem.variance(bits))
+    assert summary["worst_time"] == pytest.approx(problem.worst_time(bits))
+    with pytest.raises(ValueError):
+        evaluate_assignment(problem, np.array([4]))
+
+
+def test_worst_time_is_max_over_pairs():
+    problem = _problem(n_groups=4)
+    bits = np.full(4, 8)
+    per_pair = [problem.pair_time(p, bits) for p in problem.pairs]
+    assert problem.worst_time(bits) == max(per_pair)
+
+
+def test_problem_validation():
+    with pytest.raises(ValueError, match="no message groups"):
+        BitWidthProblem(groups=[], pair_theta={}, pair_gamma={}, lam=0.5)
+    with pytest.raises(ValueError, match="missing cost"):
+        BitWidthProblem(
+            groups=[GroupSpec(0, 1, 1.0, 1, 1)], pair_theta={}, pair_gamma={}, lam=0.5
+        )
+    with pytest.raises(ValueError):
+        _problem(lam=1.5)
+
+
+def test_bruteforce_size_guard():
+    problem = _problem(n_groups=4)
+    big = BitWidthProblem(
+        groups=[GroupSpec(0, 1, 1.0, 1, 1)] * 11,
+        pair_theta={(0, 1): 1e-8},
+        pair_gamma={(0, 1): 0.0},
+        lam=0.5,
+    )
+    with pytest.raises(ValueError):
+        solve_bruteforce(big)
+    solve_bruteforce(problem)  # within limit
+
+
+def test_variance_time_tradeoff_curve():
+    """Sweeping λ monotonically trades variance against straggler time."""
+    variances, times = [], []
+    for lam in (0.0, 0.5, 1.0):
+        problem = _problem(lam=lam, n_groups=6, seed=5)
+        bits = solve_milp(problem)
+        variances.append(problem.variance(bits))
+        times.append(problem.worst_time(bits))
+    assert variances[0] >= variances[1] >= variances[2]
+    assert times[0] <= times[1] <= times[2]

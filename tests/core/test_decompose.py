@@ -1,0 +1,59 @@
+"""Central/marginal decomposition statistics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.perfmodel import PerfModel
+from repro.core.decompose import decompose_partition
+from repro.gnn.coefficients import build_aggregation
+
+
+@pytest.fixture(scope="module")
+def stats_and_parts(tiny_dataset, tiny_parts):
+    deg = tiny_dataset.graph.degrees.astype(np.float64)
+    out = []
+    for part in tiny_parts:
+        agg = build_aggregation(part, deg, "gcn")
+        out.append((decompose_partition(part, agg), part, agg))
+    return out
+
+
+def test_counts_partition_rows(stats_and_parts):
+    for stats, part, _ in stats_and_parts:
+        assert stats.n_central + stats.n_marginal == stats.n_owned == part.n_owned
+        assert stats.n_marginal == int(part.marginal_mask.sum())
+
+
+def test_nnz_split_consistent(stats_and_parts):
+    for stats, _, agg in stats_and_parts:
+        assert stats.agg_nnz_central + stats.agg_nnz_marginal == stats.agg_nnz_total
+        assert stats.agg_nnz_total == agg.nnz
+
+
+def test_fractions_in_unit_interval(stats_and_parts):
+    for stats, _, _ in stats_and_parts:
+        assert 0.0 <= stats.central_row_fraction <= 1.0
+        assert stats.central_row_fraction + stats.marginal_row_fraction == pytest.approx(1.0)
+
+
+def test_compute_times_positive_and_additive(stats_and_parts):
+    perf = PerfModel()
+    for stats, _, _ in stats_and_parts:
+        central = stats.central_compute_time(16, 8, perf)
+        marginal = stats.marginal_compute_time(16, 8, perf)
+        assert central > 0 and marginal > 0
+        # Stage split costs two launches instead of one, so the sum can
+        # slightly exceed the fused time but never undercut the FLOPs.
+        fused_flops_time = perf.compute_time(
+            PerfModel.spmm_flops(stats.agg_nnz_total, 16),
+            PerfModel.gemm_flops(stats.n_owned, 16, 8),
+        )
+        assert central + marginal >= fused_flops_time - 4 * perf.kernel_launch_s
+
+
+def test_dense_factor_scales_gemm(stats_and_parts):
+    perf = PerfModel()
+    stats = stats_and_parts[0][0]
+    single = stats.central_compute_time(16, 8, perf, dense_factor=1.0)
+    double = stats.central_compute_time(16, 8, perf, dense_factor=2.0)
+    assert double > single

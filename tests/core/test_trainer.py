@@ -1,0 +1,110 @@
+"""End-to-end trainer: every system trains, results are sane/deterministic."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.trainer import SYSTEMS, train
+from repro.graph.partition.api import partition_graph
+
+
+@pytest.fixture(scope="module")
+def case(tiny_single_label_dataset):
+    ds = tiny_single_label_dataset
+    book = partition_graph(ds.graph, 4, method="metis", seed=0)
+    return ds, book
+
+
+def _cfg(**kwargs):
+    base = dict(epochs=4, hidden_dim=8, eval_every=2, dropout=0.0, reassign_period=2)
+    base.update(kwargs)
+    return RunConfig(**base)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_every_system_trains(case, system):
+    ds, book = case
+    result = train(system, ds, book, "2M-2D", _cfg())
+    assert result.epochs == 4
+    assert np.isfinite(result.final_val)
+    assert result.epoch_time_mean > 0
+    assert result.throughput > 0
+    assert len(result.curve_loss) == 4
+    assert result.curve_epochs[-1] == 3  # final epoch always evaluated
+
+
+def test_unknown_system_rejected(case):
+    ds, book = case
+    with pytest.raises(ValueError, match="unknown system"):
+        train("turbo", ds, book, "2M-2D", _cfg())
+
+
+def test_topology_partition_mismatch(case):
+    ds, book = case
+    with pytest.raises(ValueError, match="devices"):
+        train("vanilla", ds, book, "2M-4D", _cfg())
+
+
+def test_deterministic_runs(case):
+    ds, book = case
+    a = train("adaqp", ds, book, "2M-2D", _cfg(seed=3))
+    b = train("adaqp", ds, book, "2M-2D", _cfg(seed=3))
+    assert a.curve_loss == b.curve_loss
+    assert a.final_val == b.final_val
+    assert a.epoch_times == b.epoch_times
+
+
+def test_adaqp_records_assignment_overhead(case):
+    ds, book = case
+    result = train("adaqp", ds, book, "2M-2D", _cfg())
+    assert result.assign_seconds > 0  # period=2 over 4 epochs -> >=1 solve
+    assert sum(result.bit_histogram.values()) > 0
+    assert result.total_wallclock == pytest.approx(
+        result.train_wallclock + result.assign_seconds
+    )
+
+
+def test_vanilla_has_no_quant_time(case):
+    ds, book = case
+    result = train("vanilla", ds, book, "2M-2D", _cfg())
+    assert result.quant_time_total == 0.0
+    assert result.assign_seconds == 0.0
+
+
+def test_adaqp_moves_fewer_bytes_than_vanilla(case):
+    ds, book = case
+    vanilla = train("vanilla", ds, book, "2M-2D", _cfg())
+    adaqp = train("adaqp-fixed", ds, book, "2M-2D", _cfg(fixed_bits=2))
+    assert adaqp.wire_bytes_total < 0.25 * vanilla.wire_bytes_total
+
+
+def test_adaqp_higher_throughput_than_vanilla(case):
+    ds, book = case
+    vanilla = train("vanilla", ds, book, "2M-2D", _cfg())
+    adaqp = train("adaqp", ds, book, "2M-2D", _cfg())
+    assert adaqp.throughput > 1.3 * vanilla.throughput  # paper: 2.19-3.01x
+
+
+def test_breakdown_keys(case):
+    ds, book = case
+    result = train("adaqp", ds, book, "2M-2D", _cfg())
+    bd = result.breakdown()
+    assert set(bd) == {"comm", "comp", "quant"}
+    assert all(v >= 0 for v in bd.values())
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RunConfig(epochs=0)
+    with pytest.raises(ValueError):
+        RunConfig(model_kind="gat")
+    with pytest.raises(ValueError):
+        RunConfig(fixed_bits=5)
+    with pytest.raises(ValueError):
+        RunConfig(lam=2.0)
+
+
+def test_config_with_overrides():
+    cfg = RunConfig().with_overrides(epochs=7, lam=0.25)
+    assert cfg.epochs == 7 and cfg.lam == 0.25
+    assert RunConfig().epochs != 7

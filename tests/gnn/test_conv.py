@@ -1,0 +1,157 @@
+"""Graph convolutions: gradients including the halo path."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.coefficients import build_aggregation
+from repro.gnn.conv import GCNConv, SAGEConv
+from repro.gnn.model import DistGNN, GNNLayer
+from repro.graph.graph import Graph
+from repro.graph.partition.book import PartitionBook, build_local_partitions
+from repro.nn.gradcheck import numerical_gradient, relative_error
+
+RNG = np.random.default_rng(0)
+
+
+def _two_part_case(kind):
+    gen = np.random.default_rng(1)
+    n = 20
+    src = gen.integers(0, n, 60)
+    dst = gen.integers(0, n, 60)
+    graph = Graph.from_edges(src, dst, n)
+    book = PartitionBook(
+        part_of=(np.arange(n) % 2).astype(np.int32), num_parts=2
+    )
+    parts = build_local_partitions(graph, book)
+    deg = graph.degrees.astype(np.float64)
+    agg = build_aggregation(parts[0], deg, kind if kind != "sage" else "sage")
+    return parts[0], agg
+
+
+@pytest.mark.parametrize("kind,cls", [("gcn", GCNConv), ("sage", SAGEConv)])
+def test_conv_forward_shape(kind, cls):
+    part, agg = _two_part_case(kind)
+    conv = cls(6, 4, agg, np.random.default_rng(0))
+    x_own = RNG.normal(size=(part.n_owned, 6)).astype(np.float32)
+    x_halo = RNG.normal(size=(part.n_halo, 6)).astype(np.float32)
+    out = conv.forward(x_own, x_halo)
+    assert out.shape == (part.n_owned, 4)
+
+
+@pytest.mark.parametrize("kind,cls", [("gcn", GCNConv), ("sage", SAGEConv)])
+def test_conv_gradcheck_own_input(kind, cls):
+    part, agg = _two_part_case(kind)
+    conv = cls(3, 2, agg, np.random.default_rng(0))
+    x_own0 = RNG.normal(size=(part.n_owned, 3))
+    x_halo = RNG.normal(size=(part.n_halo, 3))
+    d_out = RNG.normal(size=(part.n_owned, 2))
+
+    def f(x):
+        return float((conv.forward(x, x_halo) * d_out).sum())
+
+    num = numerical_gradient(f, x_own0)
+    conv.forward(x_own0, x_halo)
+    d_own, _ = conv.backward(d_out)
+    assert relative_error(num, d_own) < 1e-4
+
+
+@pytest.mark.parametrize("kind,cls", [("gcn", GCNConv), ("sage", SAGEConv)])
+def test_conv_gradcheck_halo_input(kind, cls):
+    """The halo gradient is exactly what AdaQP sends backward — check it."""
+    part, agg = _two_part_case(kind)
+    conv = cls(3, 2, agg, np.random.default_rng(0))
+    x_own = RNG.normal(size=(part.n_owned, 3))
+    x_halo0 = RNG.normal(size=(part.n_halo, 3))
+    d_out = RNG.normal(size=(part.n_owned, 2))
+
+    def f(xh):
+        return float((conv.forward(x_own, xh) * d_out).sum())
+
+    num = numerical_gradient(f, x_halo0)
+    conv.forward(x_own, x_halo0)
+    _, d_halo = conv.backward(d_out)
+    assert d_halo.shape == x_halo0.shape
+    assert relative_error(num, d_halo) < 1e-4
+
+
+def test_conv_backward_before_forward():
+    part, agg = _two_part_case("gcn")
+    conv = GCNConv(3, 2, agg, np.random.default_rng(0))
+    with pytest.raises(RuntimeError):
+        conv.backward(np.zeros((part.n_owned, 2), dtype=np.float32))
+
+
+def test_sage_root_path_separate_from_neighbors():
+    """With a zero halo + zero neighbors, SAGE reduces to the root Linear."""
+    part, agg = _two_part_case("sage")
+    conv = SAGEConv(3, 2, agg, np.random.default_rng(0))
+    x_own = RNG.normal(size=(part.n_owned, 3)).astype(np.float32)
+    zeros_own = np.zeros_like(x_own)
+    x_halo = np.zeros((part.n_halo, 3), dtype=np.float32)
+    out_zero_neigh = conv.forward(x_own, x_halo) - conv.forward(zeros_own, x_halo)
+    # Root contribution is linear in x_own with both terms sharing x_own;
+    # simply check the conv output changes when only x_own changes.
+    assert np.abs(out_zero_neigh).sum() > 0
+
+
+def test_gnn_layer_output_flag():
+    part, agg = _two_part_case("gcn")
+    pool = np.random.default_rng(0)
+    hidden = GNNLayer(
+        "gcn", 4, 4, agg, pool, dropout=0.0, is_output=False,
+        dropout_rng=np.random.default_rng(1),
+    )
+    output = GNNLayer(
+        "gcn", 4, 4, agg, pool, dropout=0.0, is_output=True,
+        dropout_rng=np.random.default_rng(1),
+    )
+    assert hasattr(hidden, "norm") and not hasattr(output, "norm")
+
+
+def test_gnn_layer_gradcheck_through_post_processing():
+    part, agg = _two_part_case("gcn")
+    layer = GNNLayer(
+        "gcn", 3, 3, agg, np.random.default_rng(0), dropout=0.0, is_output=False,
+        dropout_rng=np.random.default_rng(1),
+    )
+    layer.train()
+    x_own0 = RNG.normal(size=(part.n_owned, 3))
+    x_halo = RNG.normal(size=(part.n_halo, 3))
+    d_out = RNG.normal(size=(part.n_owned, 3))
+
+    def f(x):
+        return float((layer.forward(x, x_halo) * d_out).sum())
+
+    num = numerical_gradient(f, x_own0)
+    layer.forward(x_own0, x_halo)
+    d_own, _ = layer.backward(d_out)
+    assert relative_error(num, d_own) < 5e-4
+
+
+def test_distgnn_construction_and_dims():
+    part, agg = _two_part_case("gcn")
+    model = DistGNN(
+        "gcn", [8, 16, 4], agg, dropout=0.5,
+        weight_rng=np.random.default_rng(0),
+        dropout_rng=np.random.default_rng(1),
+    )
+    assert model.num_layers == 2
+    assert model.layer_dims(0) == (8, 16)
+    assert model.layer_dims(1) == (16, 4)
+    assert model.layers[-1].is_output
+
+
+def test_distgnn_validation():
+    part, agg = _two_part_case("gcn")
+    with pytest.raises(ValueError):
+        DistGNN(
+            "gcn", [8], agg, dropout=0.0,
+            weight_rng=np.random.default_rng(0),
+            dropout_rng=np.random.default_rng(0),
+        )
+    with pytest.raises(ValueError):
+        DistGNN(
+            "gat", [8, 4], agg, dropout=0.0,
+            weight_rng=np.random.default_rng(0),
+            dropout_rng=np.random.default_rng(0),
+        )

@@ -1,0 +1,145 @@
+"""Synthetic graph/feature/label generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    CommunityGraphConfig,
+    generate_community_graph,
+    generate_features_and_labels,
+)
+
+
+def _cfg(**kwargs):
+    base = dict(
+        num_nodes=600,
+        avg_degree=10.0,
+        num_communities=6,
+        homophily=0.85,
+        neighbor_locality=0.9,
+    )
+    base.update(kwargs)
+    return CommunityGraphConfig(**base)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        _cfg(homophily=1.5)
+    with pytest.raises(ValueError):
+        _cfg(num_nodes=-1)
+    with pytest.raises(ValueError):
+        _cfg(num_communities=601)
+
+
+def test_graph_size_and_degree(rng):
+    g, comm = generate_community_graph(_cfg(), np.random.default_rng(0))
+    assert g.num_nodes == 600
+    realized = 2 * g.num_edges / g.num_nodes
+    assert 6.0 < realized < 12.0  # near target after dedup losses
+    assert comm.shape == (600,)
+    assert set(np.unique(comm)) == set(range(6))
+
+
+def test_determinism():
+    g1, c1 = generate_community_graph(_cfg(), np.random.default_rng(3))
+    g2, c2 = generate_community_graph(_cfg(), np.random.default_rng(3))
+    assert np.array_equal(g1.indices, g2.indices)
+    assert np.array_equal(c1, c2)
+
+
+def test_homophily_controls_intra_community_edges():
+    def intra_fraction(h):
+        g, comm = generate_community_graph(
+            _cfg(homophily=h), np.random.default_rng(1)
+        )
+        src, dst = g.edge_array()
+        return float((comm[src] == comm[dst]).mean())
+
+    assert intra_fraction(0.95) > intra_fraction(0.5) + 0.15
+
+
+def test_degree_skew():
+    g, _ = generate_community_graph(
+        _cfg(num_nodes=2000, degree_exponent=2.0), np.random.default_rng(2)
+    )
+    deg = g.degrees
+    assert deg.max() > 4 * np.median(deg)  # heavy tail produces hubs
+
+
+def test_community_size_skew_keeps_all_nonempty():
+    g, comm = generate_community_graph(
+        _cfg(community_size_skew=1.5), np.random.default_rng(4)
+    )
+    assert set(np.unique(comm)) == set(range(6))
+
+
+def test_features_single_label(rng):
+    comm = np.repeat(np.arange(4), 50)
+    feats, labels = generate_features_and_labels(
+        comm, num_features=16, num_classes=4, multilabel=False,
+        rng=np.random.default_rng(0), label_noise=0.0,
+    )
+    assert feats.shape == (200, 16) and feats.dtype == np.float32
+    assert labels.shape == (200,)
+    assert np.array_equal(labels, comm)  # no noise => labels are communities
+
+
+def test_label_noise_fraction():
+    comm = np.zeros(5000, dtype=np.int64)
+    _, labels = generate_features_and_labels(
+        comm, num_features=4, num_classes=10, multilabel=False,
+        rng=np.random.default_rng(0), label_noise=0.3,
+    )
+    flipped = float((labels != 0).mean())
+    assert 0.2 < flipped < 0.35  # 0.3 * (9/10) expected
+
+
+def test_multilabel_structure():
+    comm = np.repeat(np.arange(6), 30)
+    feats, labels = generate_features_and_labels(
+        comm, num_features=8, num_classes=6, multilabel=True,
+        rng=np.random.default_rng(0), label_noise=0.0,
+    )
+    assert labels.shape == (180, 6)
+    # Primary label always set; same community => same label set.
+    assert (labels[np.arange(180), comm] == 1.0).all()
+    first = labels[comm == 2][0]
+    assert (labels[comm == 2] == first).all()
+
+
+def test_features_carry_class_signal():
+    comm = np.repeat(np.arange(2), 300)
+    feats, labels = generate_features_and_labels(
+        comm, num_features=32, num_classes=2, multilabel=False,
+        rng=np.random.default_rng(0), label_noise=0.0, feature_noise=0.5,
+        fine_group=1,
+    )
+    mu0 = feats[labels == 0].mean(axis=0)
+    mu1 = feats[labels == 1].mean(axis=0)
+    assert np.linalg.norm(mu0 - mu1) > 1.0  # distinct centroids
+
+
+def test_fine_structure_shrinks_within_group_separation():
+    comm = np.repeat(np.arange(4), 200)
+
+    def separation(fine_scale):
+        feats, labels = generate_features_and_labels(
+            comm, num_features=32, num_classes=4, multilabel=False,
+            rng=np.random.default_rng(0), label_noise=0.0, feature_noise=0.0,
+            fine_group=2, fine_scale=fine_scale,
+        )
+        mus = [feats[labels == c].mean(axis=0) for c in range(4)]
+        within = np.linalg.norm(mus[0] - mus[1])  # same coarse group
+        across = np.linalg.norm(mus[0] - mus[2])  # different groups
+        return within, across
+
+    within, across = separation(0.3)
+    assert within < across  # fine pairs are closer than cross-group pairs
+
+
+def test_num_classes_must_cover_communities():
+    with pytest.raises(ValueError, match="cover"):
+        generate_features_and_labels(
+            np.array([0, 5]), num_features=4, num_classes=3, multilabel=False,
+            rng=np.random.default_rng(0),
+        )

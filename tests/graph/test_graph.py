@@ -1,0 +1,123 @@
+"""Graph (CSR) structure: construction, invariants, queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+
+
+def test_from_edges_basic(path_graph):
+    assert path_graph.num_nodes == 5
+    assert path_graph.num_edges == 4
+    assert path_graph.neighbors(0).tolist() == [1]
+    assert path_graph.neighbors(1).tolist() == [0, 2]
+
+
+def test_self_loops_dropped():
+    g = Graph.from_edges(np.array([0, 1, 2]), np.array([0, 2, 2]), 3)
+    assert g.num_edges == 1
+    assert not g.has_edge(0, 0)
+
+
+def test_parallel_edges_deduplicated():
+    g = Graph.from_edges(np.array([0, 0, 1]), np.array([1, 1, 0]), 2)
+    assert g.num_edges == 1
+
+
+def test_degrees(path_graph):
+    assert path_graph.degrees.tolist() == [1, 2, 2, 2, 1]
+
+
+def test_has_edge(path_graph):
+    assert path_graph.has_edge(2, 3)
+    assert not path_graph.has_edge(0, 4)
+
+
+def test_to_scipy_symmetric(path_graph):
+    mat = path_graph.to_scipy()
+    assert (mat != mat.T).nnz == 0
+    assert mat.nnz == 2 * path_graph.num_edges
+
+
+def test_from_scipy_roundtrip(path_graph):
+    g2 = Graph.from_scipy(path_graph.to_scipy())
+    assert np.array_equal(g2.indptr, path_graph.indptr)
+    assert np.array_equal(g2.indices, path_graph.indices)
+
+
+def test_edge_array_covers_both_directions(path_graph):
+    src, dst = path_graph.edge_array()
+    assert src.size == 2 * path_graph.num_edges
+    pairs = set(zip(src.tolist(), dst.tolist()))
+    assert (0, 1) in pairs and (1, 0) in pairs
+
+
+def test_out_of_range_edges_rejected():
+    with pytest.raises(ValueError, match="out of range"):
+        Graph.from_edges(np.array([0]), np.array([5]), 3)
+
+
+def test_mismatched_edge_arrays_rejected():
+    with pytest.raises(ValueError, match="same shape"):
+        Graph.from_edges(np.array([0, 1]), np.array([1]), 3)
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError):
+        Graph(indptr=np.array([1, 2], dtype=np.int64), indices=np.array([0], dtype=np.int64))
+
+
+def test_nonsquare_scipy_rejected():
+    import scipy.sparse as sp
+
+    with pytest.raises(ValueError, match="square"):
+        Graph.from_scipy(sp.csr_matrix((2, 3)))
+
+
+def test_empty_graph():
+    g = Graph.from_edges(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 4)
+    assert g.num_nodes == 4
+    assert g.num_edges == 0
+    assert g.degrees.tolist() == [0, 0, 0, 0]
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=80))
+    src = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m)
+    )
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_property_symmetry_and_sortedness(case):
+    n, src, dst = case
+    g = Graph.from_edges(src, dst, n)
+    # Rows sorted, no self loops, symmetric.
+    for v in range(n):
+        nbrs = g.neighbors(v)
+        assert np.all(np.diff(nbrs) > 0)  # sorted + unique
+        assert v not in nbrs
+        for u in nbrs:
+            assert g.has_edge(int(u), v)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_property_edge_count_matches_unique_undirected_pairs(case):
+    n, src, dst = case
+    g = Graph.from_edges(src, dst, n)
+    keep = src != dst
+    pairs = {
+        (min(int(s), int(d)), max(int(s), int(d)))
+        for s, d in zip(src[keep], dst[keep])
+    }
+    assert g.num_edges == len(pairs)

@@ -1,0 +1,103 @@
+"""Partitioners: balance, coverage, quality ordering and the dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partition.api import partition_graph
+from repro.graph.partition.metis_like import metis_like_partition
+from repro.graph.partition.quality import (
+    balance,
+    edge_cut,
+    pairwise_boundary_counts,
+    remote_neighbor_ratio,
+)
+from repro.graph.partition.simple import (
+    bfs_partition,
+    random_partition,
+    spectral_partition,
+)
+
+
+@pytest.mark.parametrize("method", ["metis", "random", "bfs", "spectral"])
+def test_all_methods_cover_all_nodes(tiny_dataset, method):
+    book = partition_graph(tiny_dataset.graph, 4, method=method, seed=0)
+    assert book.num_parts == 4
+    assert book.part_of.size == tiny_dataset.num_nodes
+    assert (book.sizes() > 0).all()
+
+
+@pytest.mark.parametrize("method", ["metis", "random", "bfs", "spectral"])
+def test_balance_bounds(tiny_dataset, method):
+    book = partition_graph(tiny_dataset.graph, 4, method=method, seed=0)
+    assert balance(book) < 1.25
+
+
+def test_metis_beats_random_on_cut(tiny_dataset):
+    g = tiny_dataset.graph
+    cut_metis = edge_cut(g, metis_like_partition(g, 4, seed=0))
+    cut_random = edge_cut(g, random_partition(g, 4, seed=0))
+    assert cut_metis < 0.5 * cut_random
+
+
+def test_metis_determinism(tiny_dataset):
+    a = metis_like_partition(tiny_dataset.graph, 4, seed=5)
+    b = metis_like_partition(tiny_dataset.graph, 4, seed=5)
+    assert np.array_equal(a.part_of, b.part_of)
+
+
+def test_metis_single_part(path_graph):
+    book = metis_like_partition(path_graph, 1)
+    assert book.num_parts == 1
+    assert (book.part_of == 0).all()
+
+
+def test_metis_more_parts_than_nodes_rejected(path_graph):
+    with pytest.raises(ValueError, match="cannot split"):
+        metis_like_partition(path_graph, 10)
+
+
+def test_metis_on_tiny_path(path_graph):
+    book = metis_like_partition(path_graph, 2, seed=0)
+    # A path of 5 nodes split in 2 should cut exactly one edge.
+    assert edge_cut(path_graph, book) <= 2
+
+
+def test_bfs_partition_locality(tiny_dataset):
+    g = tiny_dataset.graph
+    cut_bfs = edge_cut(g, bfs_partition(g, 4, seed=0))
+    cut_random = edge_cut(g, random_partition(g, 4, seed=0))
+    assert cut_bfs < cut_random
+
+
+def test_spectral_partition_small_graph(small_graph):
+    book = spectral_partition(small_graph, 3, seed=0)
+    assert (book.sizes() > 0).all()
+
+
+def test_dispatcher_rejects_unknown_method(tiny_dataset):
+    with pytest.raises(ValueError, match="method"):
+        partition_graph(tiny_dataset.graph, 2, method="kernighan")
+
+
+def test_remote_neighbor_ratio_monotone_in_parts(tiny_single_label_dataset):
+    g = tiny_single_label_dataset.graph
+    r2 = remote_neighbor_ratio(g, metis_like_partition(g, 2, seed=0))
+    r8 = remote_neighbor_ratio(g, metis_like_partition(g, 8, seed=0))
+    assert r8 > r2  # Table 1's trend
+
+
+def test_pairwise_boundary_counts_match_send_maps(tiny_dataset, tiny_book, tiny_parts):
+    counts = pairwise_boundary_counts(tiny_dataset.graph, tiny_book)
+    for part in tiny_parts:
+        for q, rows in part.send_map.items():
+            assert counts[part.part_id, q] == rows.size
+    assert np.diag(counts).sum() == 0
+
+
+def test_edge_cut_manual(path_graph):
+    import numpy as np
+
+    from repro.graph.partition.book import PartitionBook
+
+    book = PartitionBook(part_of=np.array([0, 0, 1, 1, 1]), num_parts=2)
+    assert edge_cut(path_graph, book) == 1

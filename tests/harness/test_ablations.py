@@ -1,0 +1,25 @@
+"""Ablation-harness machinery (fast paths; full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.harness.ablations import (
+    run_ablation_partition_method,
+    run_footnote1_sizes,
+)
+
+
+@pytest.mark.slow
+def test_footnote1_structure():
+    result = run_footnote1_sizes()
+    assert result.rows[-1][0] == "epoch totals"
+    assert result.notes["wire_to_gradient_ratio"] > 1.0
+    # Four device rows + the totals row for the 2M-2D setting.
+    assert len(result.rows) == 5
+
+
+@pytest.mark.slow
+def test_partition_ablation_structure():
+    result = run_ablation_partition_method(epochs=3)
+    methods = [row[0] for row in result.rows]
+    assert methods == ["metis", "spectral", "bfs", "random"]
+    assert set(result.notes["cut_by_method"]) == set(methods)

@@ -1,0 +1,111 @@
+"""Experiment harness: workloads, result I/O and the cheap experiments.
+
+The expensive experiments (Tables 4-7, Figs. 9-11) are exercised by the
+benchmark suite; here we cover the harness machinery and the fast ones.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import (
+    run_fig02_pair_imbalance,
+    run_fig03_central_compute_share,
+    run_table1_comm_overhead,
+    run_table2_overlap_headroom,
+    run_table3_datasets,
+    run_table8_configs,
+)
+from repro.harness.results import ExperimentResult, results_dir, save_result
+from repro.harness.workloads import WORKLOADS, prepared_case, standard_config
+
+
+def test_workloads_cover_all_datasets():
+    assert set(WORKLOADS) == {"reddit", "yelp", "ogbn-products", "amazonproducts"}
+    for wl in WORKLOADS.values():
+        assert len(wl.settings) == 2
+
+
+def test_partition_settings_match_paper():
+    assert WORKLOADS["reddit"].settings == ("2M-1D", "2M-2D")
+    assert WORKLOADS["ogbn-products"].settings == ("2M-2D", "2M-4D")
+
+
+def test_standard_config_dropout_per_dataset():
+    assert standard_config("yelp", "gcn").dropout == 0.1
+    assert standard_config("reddit", "sage").dropout == 0.5
+
+
+def test_standard_config_overrides():
+    cfg = standard_config("reddit", "gcn", epochs=3, lam=0.9)
+    assert cfg.epochs == 3 and cfg.lam == 0.9
+
+
+def test_prepared_case_cached_and_consistent():
+    a = prepared_case("yelp", "2M-2D", 0)
+    b = prepared_case("yelp", "2M-2D", 0)
+    assert a[0] is b[0]  # lru_cache returns identical objects
+    ds, book, topo = a
+    assert topo.num_devices == book.num_parts == 4
+
+
+def test_result_render_and_save(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    result = ExperimentResult(
+        experiment_id="test_exp",
+        title="T",
+        headers=["a", "b"],
+        rows=[[1, np.float64(2.5)]],
+        notes={"k": np.int64(3)},
+    )
+    path = save_result(result)
+    data = json.loads(path.read_text())
+    assert data["rows"] == [[1, 2.5]]
+    assert data["notes"]["k"] == 3
+    assert (tmp_path / "test_exp.txt").exists()
+    assert results_dir() == tmp_path
+
+
+def test_table3_catalog():
+    result = run_table3_datasets()
+    assert len(result.rows) == 4
+    assert result.headers[0] == "Dataset"
+
+
+def test_table8_configs():
+    result = run_table8_configs()
+    assert len(result.rows) == 4
+    assert all(row[4] == "Adam" for row in result.rows)
+
+
+@pytest.mark.slow
+def test_table1_shape():
+    result = run_table1_comm_overhead(epochs=2)
+    assert len(result.rows) == 8  # 4 datasets x 2 settings
+    # Communication share grows with the partition count for every dataset.
+    by_dataset = {}
+    for name, setting, comm, _ in result.rows:
+        by_dataset.setdefault(name, []).append(float(comm.rstrip("%")))
+    for name, values in by_dataset.items():
+        assert values[1] > values[0], name
+
+
+@pytest.mark.slow
+def test_fig02_imbalance():
+    result = run_fig02_pair_imbalance()
+    assert len(result.rows) == 12  # 4 devices -> 12 directed pairs
+    assert result.notes["max_over_min"] > 1.5  # clear imbalance
+
+
+@pytest.mark.slow
+def test_table2_comm_exceeds_central_comp():
+    result = run_table2_overlap_headroom()
+    assert result.notes["comm_exceeds_comp_on_all_devices"]
+
+
+@pytest.mark.slow
+def test_fig03_reduction_in_paper_band():
+    result = run_fig03_central_compute_share()
+    reductions = result.series["reduction_pct"]
+    assert all(15.0 < r < 70.0 for r in reductions)  # paper: 23.2-55.4%

@@ -1,0 +1,55 @@
+"""Accuracy and micro-F1."""
+
+import math
+
+import numpy as np
+
+from repro.nn.metrics import accuracy, micro_f1, task_metric
+
+
+def test_accuracy_manual():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    labels = np.array([0, 1, 1])
+    mask = np.ones(3, dtype=bool)
+    assert abs(accuracy(logits, labels, mask) - 2 / 3) < 1e-9
+
+
+def test_accuracy_respects_mask():
+    logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+    labels = np.array([0, 1])
+    assert accuracy(logits, labels, np.array([True, False])) == 1.0
+
+
+def test_accuracy_empty_mask_nan():
+    assert math.isnan(accuracy(np.zeros((2, 2)), np.zeros(2, int), np.zeros(2, bool)))
+
+
+def test_micro_f1_manual():
+    # predictions: [[+,-],[+,+]] vs truth [[+,-],[-,+]] -> tp=2, fp=1, fn=0
+    logits = np.array([[1.0, -1.0], [2.0, 3.0]])
+    targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+    mask = np.ones(2, dtype=bool)
+    f1 = micro_f1(logits, targets, mask)
+    expected = 2 * 2 / (2 * 2 + 1 + 0)
+    assert abs(f1 - expected) < 1e-9
+
+
+def test_micro_f1_all_negative_predictions():
+    logits = -np.ones((3, 4))
+    targets = np.ones((3, 4))
+    assert micro_f1(logits, targets, np.ones(3, dtype=bool)) == 0.0
+
+
+def test_micro_f1_perfect():
+    targets = (np.random.default_rng(0).random((10, 5)) < 0.5).astype(float)
+    logits = np.where(targets > 0.5, 3.0, -3.0)
+    assert micro_f1(logits, targets, np.ones(10, dtype=bool)) == 1.0
+
+
+def test_task_metric_dispatch():
+    logits = np.array([[1.0, -1.0]])
+    single = task_metric(logits, np.array([0]), np.array([True]), multilabel=False)
+    multi = task_metric(
+        logits, np.array([[1.0, 0.0]]), np.array([True]), multilabel=True
+    )
+    assert single == 1.0 and multi == 1.0

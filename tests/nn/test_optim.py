@@ -1,0 +1,101 @@
+"""Optimizers: reference-step equivalence and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def _param(values):
+    p = Parameter(np.array(values, dtype=np.float32))
+    return p
+
+
+def test_sgd_step():
+    p = _param([1.0, 2.0])
+    p.grad[...] = [0.5, -1.0]
+    SGD([p], lr=0.1).step()
+    assert np.allclose(p.data, [0.95, 2.1])
+
+
+def test_sgd_momentum():
+    p = _param([0.0])
+    opt = SGD([p], lr=1.0, momentum=0.9)
+    p.grad[...] = [1.0]
+    opt.step()  # v=1, x=-1
+    opt.step()  # v=1.9, x=-2.9
+    assert np.allclose(p.data, [-2.9])
+
+
+def test_sgd_weight_decay():
+    p = _param([1.0])
+    opt = SGD([p], lr=0.1, weight_decay=0.5)
+    p.grad[...] = [0.0]
+    opt.step()
+    assert np.allclose(p.data, [1.0 - 0.1 * 0.5])
+
+
+def test_adam_matches_reference():
+    """One Adam step against the textbook update, step-by-step."""
+    p = _param([1.0, -2.0])
+    g = np.array([0.3, -0.1], dtype=np.float32)
+    p.grad[...] = g
+    lr, b1, b2, eps = 0.01, 0.9, 0.999, 1e-8
+    opt = Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+    opt.step()
+    m = (1 - b1) * g
+    v = (1 - b2) * g**2
+    m_hat = m / (1 - b1)
+    v_hat = v / (1 - b2)
+    expected = np.array([1.0, -2.0]) - lr * m_hat / (np.sqrt(v_hat) + eps)
+    assert np.allclose(p.data, expected, atol=1e-6)
+
+
+def test_adam_two_steps_reference():
+    p = _param([0.5])
+    lr, b1, b2, eps = 0.1, 0.9, 0.999, 1e-8
+    opt = Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+    x, m, v = 0.5, 0.0, 0.0
+    for t in (1, 2):
+        g = 2 * x  # gradient of x^2
+        p.grad[...] = [g]
+        opt.step()
+        m = b1 * m + (1 - b1) * g
+        v = b2 * v + (1 - b2) * g * g
+        x = x - lr * (m / (1 - b1**t)) / (np.sqrt(v / (1 - b2**t)) + eps)
+        assert np.allclose(p.data, [x], atol=1e-6)
+        x = float(p.data[0])
+
+
+def test_adam_determinism():
+    def run():
+        p = _param([1.0, 2.0, 3.0])
+        opt = Adam([p], lr=0.05)
+        for i in range(5):
+            p.grad[...] = [0.1 * i, -0.2, 0.3]
+            opt.step()
+        return p.data.copy()
+
+    assert np.array_equal(run(), run())
+
+
+def test_zero_grad():
+    p = _param([1.0])
+    p.grad[...] = [5.0]
+    opt = SGD([p], lr=0.1)
+    opt.zero_grad()
+    assert np.all(p.grad == 0)
+
+
+def test_empty_params_rejected():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_invalid_hyperparams_rejected():
+    p = _param([1.0])
+    with pytest.raises(ValueError):
+        Adam([p], lr=-1.0)
+    with pytest.raises(ValueError):
+        Adam([p], lr=0.1, betas=(1.0, 0.9))

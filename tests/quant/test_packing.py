@@ -1,0 +1,55 @@
+"""Bit packing: exact round trips at every width."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.packing import pack_bits, unpack_bits
+
+
+@pytest.mark.parametrize("bits,per_byte", [(1, 8), (2, 4), (4, 2), (8, 1)])
+def test_packed_size(bits, per_byte):
+    codes = np.zeros(17, dtype=np.uint8)
+    stream = pack_bits(codes, bits)
+    assert stream.size == -(-17 // per_byte)
+
+
+def test_known_2bit_layout():
+    stream = pack_bits(np.array([1, 2, 3, 0], dtype=np.uint8), 2)
+    # little-endian in-byte: 1 | 2<<2 | 3<<4 | 0<<6 = 0b00111001
+    assert stream.tolist() == [0b00111001]
+
+
+def test_roundtrip_empty():
+    assert unpack_bits(pack_bits(np.zeros(0, dtype=np.uint8), 2), 2, 0).size == 0
+
+
+def test_out_of_range_codes_rejected():
+    with pytest.raises(ValueError, match="range"):
+        pack_bits(np.array([4], dtype=np.uint8), 2)
+
+
+def test_short_stream_rejected():
+    with pytest.raises(ValueError, match="short"):
+        unpack_bits(np.zeros(1, dtype=np.uint8), 2, 100)
+    with pytest.raises(ValueError, match="short"):
+        unpack_bits(np.zeros(1, dtype=np.uint8), 8, 2)
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        unpack_bits(np.zeros(1, dtype=np.uint8), 2, -1)
+
+
+@given(
+    st.sampled_from([1, 2, 4, 8]),
+    st.lists(st.integers(min_value=0, max_value=255), min_size=0, max_size=200),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_roundtrip(bits, values):
+    codes = np.array([v % (1 << bits) for v in values], dtype=np.uint8)
+    stream = pack_bits(codes, bits)
+    assert np.array_equal(unpack_bits(stream, bits, codes.size), codes)
+    # Compression: packed stream is ceil(n*bits/8) bytes.
+    assert stream.size == -(-codes.size * bits // 8)

@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "adaqp" in out and "reddit" in out
+
+
+def test_partition_command(capsys):
+    assert main(["partition", "--dataset", "yelp", "--parts", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "edge cut" in out
+    assert "remote-neighbor ratio" in out
+
+
+def test_train_command_small(capsys):
+    code = main(
+        [
+            "train", "--system", "vanilla", "--dataset", "yelp",
+            "--setting", "2M-1D", "--epochs", "2", "--hidden", "8",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+
+
+def test_train_adaqp_prints_bits(capsys):
+    code = main(
+        [
+            "train", "--system", "adaqp", "--dataset", "yelp",
+            "--setting", "2M-1D", "--epochs", "3", "--hidden", "8",
+            "--period", "2",
+        ]
+    )
+    assert code == 0
+    assert "bit-width histogram" in capsys.readouterr().out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table3"]) == 0
+    assert "Table 3" in capsys.readouterr().out
+
+
+def test_invalid_choices_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["train", "--system", "warp-drive"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["experiment", "table99"])
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

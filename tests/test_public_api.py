@@ -1,0 +1,35 @@
+"""Public API surface and integration sanity."""
+
+import numpy as np
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_quickstart_flow():
+    """The README's quickstart, end to end."""
+    ds = repro.load_dataset("yelp", scale="tiny", seed=0)
+    book = repro.partition_graph(ds.graph, 2, method="metis", seed=0)
+    cfg = repro.RunConfig(epochs=3, hidden_dim=8, eval_every=1, dropout=0.0)
+    result = repro.train("adaqp", ds, book, "2M-1D", cfg)
+    assert result.epochs == 3
+    assert np.isfinite(result.final_val)
+    assert result.system == "adaqp"
+    assert result.dataset == "yelp-tiny"
+    assert result.topology == "2M-1D"
+
+
+def test_systems_tuple():
+    assert "adaqp" in repro.SYSTEMS and "vanilla" in repro.SYSTEMS
+
+
+def test_available_datasets():
+    assert len(repro.available_datasets("tiny")) == 4

@@ -1,0 +1,61 @@
+"""Formatting helpers: byte/second units and ASCII tables."""
+
+import pytest
+
+from repro.utils.format import format_bytes, format_seconds, render_table
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (0, "0 B"),
+        (512, "512 B"),
+        (2048, "2.00 KiB"),
+        (5 * 1024**2, "5.00 MiB"),
+        (3 * 1024**3, "3.00 GiB"),
+        (2 * 1024**4, "2.00 TiB"),
+    ],
+)
+def test_format_bytes(value, expected):
+    assert format_bytes(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (5e-7, "0.5 us"),
+        (4.2e-4, "420.0 us"),
+        (0.012, "12.0 ms"),
+        (1.5, "1.50 s"),
+        (240.0, "4.0 min"),
+    ],
+)
+def test_format_seconds(value, expected):
+    assert format_seconds(value) == expected
+
+
+def test_format_seconds_negative():
+    assert format_seconds(-0.5) == "-500.0 ms"
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_render_table_title():
+    out = render_table(["c"], [["v"]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_render_table_ragged_row_rejected():
+    with pytest.raises(ValueError, match="cells"):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_render_table_empty_rows():
+    out = render_table(["a"], [])
+    assert "a" in out

@@ -1,0 +1,45 @@
+"""Stopwatch accumulation semantics."""
+
+from repro.utils.timing import Stopwatch
+
+
+def test_lap_accumulates():
+    sw = Stopwatch()
+    with sw.lap("a"):
+        pass
+    with sw.lap("a"):
+        pass
+    assert sw.counts["a"] == 2
+    assert sw.total("a") >= 0.0
+
+
+def test_add_and_mean():
+    sw = Stopwatch()
+    sw.add("x", 1.0)
+    sw.add("x", 3.0)
+    assert sw.total("x") == 4.0
+    assert sw.mean("x") == 2.0
+
+
+def test_missing_name_is_zero():
+    sw = Stopwatch()
+    assert sw.total("nope") == 0.0
+    assert sw.mean("nope") == 0.0
+
+
+def test_reset():
+    sw = Stopwatch()
+    sw.add("x", 1.0)
+    sw.reset()
+    assert sw.total("x") == 0.0
+    assert sw.counts == {}
+
+
+def test_lap_records_on_exception():
+    sw = Stopwatch()
+    try:
+        with sw.lap("err"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert sw.counts["err"] == 1

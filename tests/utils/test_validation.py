@@ -1,0 +1,60 @@
+"""Boundary validators raise precise errors."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_in_set,
+    check_positive,
+    check_probability,
+)
+
+
+def test_check_array_accepts_valid():
+    x = np.zeros((2, 3), dtype=np.float32)
+    assert check_array(x, name="x", ndim=2, dtype_kind="f") is x
+
+
+def test_check_array_rejects_non_array():
+    with pytest.raises(TypeError, match="x must be a numpy array"):
+        check_array([1, 2], name="x")
+
+
+def test_check_array_rejects_wrong_ndim():
+    with pytest.raises(ValueError, match="2-dimensional"):
+        check_array(np.zeros(3), name="x", ndim=2)
+
+
+def test_check_array_rejects_wrong_dtype():
+    with pytest.raises(TypeError, match="dtype kind"):
+        check_array(np.zeros(3, dtype=np.float32), name="x", dtype_kind="i")
+
+
+def test_check_array_rejects_empty_when_disallowed():
+    with pytest.raises(ValueError, match="empty"):
+        check_array(np.zeros(0), name="x", allow_empty=False)
+
+
+def test_check_positive():
+    assert check_positive(2.5, name="v") == 2.5
+    with pytest.raises(ValueError):
+        check_positive(0, name="v")
+    assert check_positive(0, name="v", strict=False) == 0.0
+    with pytest.raises(ValueError):
+        check_positive(-1, name="v", strict=False)
+
+
+def test_check_probability():
+    assert check_probability(0.0, name="p") == 0.0
+    assert check_probability(1.0, name="p") == 1.0
+    with pytest.raises(ValueError):
+        check_probability(1.5, name="p")
+    with pytest.raises(ValueError):
+        check_probability(-0.1, name="p")
+
+
+def test_check_in_set():
+    assert check_in_set("a", {"a", "b"}, name="k") == "a"
+    with pytest.raises(ValueError, match="must be one of"):
+        check_in_set("c", {"a", "b"}, name="k")
