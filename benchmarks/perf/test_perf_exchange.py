@@ -1,0 +1,56 @@
+"""Wall-clock benchmarks of the fused exchange engine (``-m perf``).
+
+These assert *conservative* floors on the fused/unfused speedup ratios —
+well below the typical measurements recorded in ``BENCH_perf.json`` — so
+they stay green on slow shared runners while still catching a fused path
+that has lost its reason to exist.  The tight regression gate is the
+``repro bench --baseline`` comparison in CI, not these floors.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.perfbench import (
+    bench_decode,
+    bench_encode,
+    bench_epoch,
+    compare_to_baseline,
+    run_bench,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def test_encode_throughput_fused_wins():
+    result = bench_encode(reps=10)
+    assert result["fused_mbps"] > 0
+    assert result["speedup"] > 1.3, result
+
+
+def test_decode_throughput_fused_wins():
+    result = bench_decode(reps=10)
+    assert result["speedup"] > 1.1, result
+
+
+def test_epoch_speedup_on_default_workload():
+    result = bench_epoch(epochs=5, warmup=1)
+    assert result["wire_bytes_match"], "fused engine changed wire accounting"
+    assert result["losses_match"], "fused engine changed numerics"
+    assert result["speedup"] > 1.5, result
+
+
+def test_run_bench_quick_report_roundtrip(tmp_path):
+    report = run_bench(quick=True)
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(report))
+    loaded = json.loads(path.read_text())
+    assert loaded["epoch"]["wire_bytes_match"] is True
+    assert loaded["epoch"]["losses_match"] is True
+    # A report never regresses against itself.
+    assert compare_to_baseline(loaded, loaded) == []
+    # A fabricated faster baseline must trip the gate.
+    inflated = json.loads(path.read_text())
+    inflated["epoch"]["speedup"] *= 10
+    problems = compare_to_baseline(loaded, inflated)
+    assert any("epoch.speedup" in p for p in problems)

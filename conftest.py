@@ -1,0 +1,26 @@
+"""Repository-wide pytest configuration.
+
+Registers the ``perf`` marker and keeps perf benchmarks out of tier-1 runs:
+wall-clock benchmarks are meaningless under the noisy scheduling of a
+normal test session and would double its runtime.  They run only when
+selected explicitly (the CI perf-smoke job uses ``-m perf``)::
+
+    PYTHONPATH=src python -m pytest -m perf benchmarks/perf -q
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "perf: wall-clock performance benchmark (excluded from tier-1)"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        return  # explicit marker expression (e.g. -m perf) takes over
+    skip_perf = pytest.mark.skip(reason="perf benchmark; select with -m perf")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)

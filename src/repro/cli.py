@@ -13,6 +13,10 @@ Commands
     Run one of the harness's table/figure regenerations by id
     (``table1`` ... ``table8``, ``fig02`` ... ``fig11``, ``ablation-*``,
     ``footnote1``) and print the rendered table.
+``bench``
+    Run the fused-exchange-engine performance benchmarks (encode/decode
+    throughput, end-to-end epoch speedup), write ``BENCH_perf.json`` and
+    optionally gate against a baseline (the CI perf-smoke job).
 """
 
 from __future__ import annotations
@@ -92,6 +96,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("id", choices=sorted(_EXPERIMENTS))
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the fused exchange engine (wall-clock)"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller reps/epochs for CI smoke runs")
+    p_bench.add_argument(
+        "--output", default="BENCH_perf.json",
+        help="where to write the JSON report (default: ./BENCH_perf.json)")
+    p_bench.add_argument(
+        "--baseline", default=None,
+        help="baseline BENCH_perf.json to gate speedup ratios against")
+    p_bench.add_argument(
+        "--max-regression", type=float, default=0.2,
+        help="allowed fractional speedup regression vs. baseline (default 0.2)")
+    p_bench.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -188,6 +209,44 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.perfbench import (
+        compare_to_baseline,
+        load_report,
+        render_report,
+        run_bench,
+        save_report,
+    )
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+
+    mode = "quick" if args.quick else "full"
+    print(f"benchmarking the fused exchange engine ({mode} mode)...")
+    report = run_bench(quick=args.quick, seed=args.seed)
+    print(render_report(report))
+    out = save_report(report, args.output)
+    print(f"\nwrote {out}")
+
+    if baseline is not None:
+        problems = compare_to_baseline(
+            report, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            print(f"\nPERF REGRESSION vs {args.baseline}:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print(f"\nno regression vs {args.baseline} "
+              f"(tolerance {args.max_regression:.0%})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -198,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_partition(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")
 
 

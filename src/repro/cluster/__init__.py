@@ -17,6 +17,7 @@ from repro.cluster.exchange import (
     BitProvider,
     ExactHaloExchange,
     FixedBitProvider,
+    FusedQuantizedHaloExchange,
     HaloExchange,
     QuantizedHaloExchange,
     UniformRandomBitProvider,
@@ -33,6 +34,7 @@ __all__ = [
     "HaloExchange",
     "ExactHaloExchange",
     "QuantizedHaloExchange",
+    "FusedQuantizedHaloExchange",
     "BitProvider",
     "FixedBitProvider",
     "UniformRandomBitProvider",

@@ -124,6 +124,12 @@ class Cluster:
         )
         self._rows_in = np.array([d.part.n_halo for d in self.devices], dtype=np.int64)
 
+        # Evaluation's exact exchange is stateless, so one instance serves
+        # every evaluate() call; its Transport stays per-call (a cached one
+        # would accumulate byte accounting and, after an interrupted eval,
+        # poison later calls with stale undelivered envelopes).
+        self._eval_exchange = ExactHaloExchange()
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
@@ -209,7 +215,7 @@ class Cluster:
     def full_logits(self) -> np.ndarray:
         """Exact (un-quantized) eval-mode forward; global logits matrix."""
         devices = self.devices
-        exchange = ExactHaloExchange()
+        exchange = self._eval_exchange
         transport = Transport(self.num_devices)
         for dev in devices:
             dev.model.eval()

@@ -40,6 +40,11 @@ class RunConfig:
     fixed_bits: int = 2  # for the fixed-bit-width systems
     uniform_period: int = 20  # resampling cadence of the uniform baseline
 
+    # Simulator engine: batched (fused) quantized exchange vs. the legacy
+    # per-peer, per-group path.  Both are numerically identical under the
+    # same seed; the flag exists for equivalence tests and benchmarks.
+    fused_exchange: bool = True
+
     # Baselines
     sancus_staleness: int = 4
 

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.cluster.perfmodel import PerfModel
 from repro.gnn.coefficients import AggregationContext
 from repro.graph.partition.book import LocalPartition

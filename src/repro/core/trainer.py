@@ -27,6 +27,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.exchange import (
     ExactHaloExchange,
     FixedBitProvider,
+    FusedQuantizedHaloExchange,
     HaloExchange,
     QuantizedHaloExchange,
     UniformRandomBitProvider,
@@ -141,6 +142,12 @@ def build_system(
 ) -> _SystemSetup:
     """Compose the exchange policy + schedule for one system name."""
     pool = RngPool(config.seed).fork(f"system/{name}")
+    # All adaqp variants run the fused engine by default; the legacy
+    # per-peer path remains available (fused_exchange=False) for the
+    # equivalence suite and the perf benchmarks' unfused baseline.
+    quantized_cls = (
+        FusedQuantizedHaloExchange if config.fused_exchange else QuantizedHaloExchange
+    )
     if name == "vanilla":
         return _SystemSetup(exchange=ExactHaloExchange(), schedule=schedule_vanilla)
     if name == "adaqp":
@@ -154,9 +161,7 @@ def build_system(
             solver=config.solver,
             default_bits=config.default_bits,
         )
-        exchange = QuantizedHaloExchange(
-            assigner, pool.get("rounding"), tracer=assigner
-        )
+        exchange = quantized_cls(assigner, pool.get("rounding"), tracer=assigner)
         return _SystemSetup(exchange=exchange, schedule=schedule_adaqp, assigner=assigner)
     if name == "adaqp-uniform":
         provider = UniformRandomBitProvider(
@@ -164,10 +169,10 @@ def build_system(
             choices=config.bit_choices,
             period=config.uniform_period,
         )
-        exchange = QuantizedHaloExchange(provider, pool.get("rounding"))
+        exchange = quantized_cls(provider, pool.get("rounding"))
         return _SystemSetup(exchange=exchange, schedule=schedule_adaqp)
     if name == "adaqp-fixed":
-        exchange = QuantizedHaloExchange(
+        exchange = quantized_cls(
             FixedBitProvider(config.fixed_bits), pool.get("rounding")
         )
         return _SystemSetup(exchange=exchange, schedule=schedule_adaqp)
@@ -182,9 +187,7 @@ def build_system(
             solver=config.solver,
             default_bits=config.default_bits,
         )
-        exchange = QuantizedHaloExchange(
-            assigner, pool.get("rounding"), tracer=assigner
-        )
+        exchange = quantized_cls(assigner, pool.get("rounding"), tracer=assigner)
         return _SystemSetup(
             exchange=exchange,
             schedule=schedule_quantized_no_overlap,

@@ -23,7 +23,7 @@ secondary labels (multi-label).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,6 +14,11 @@ from repro.harness.workloads import (
     standard_config,
 )
 from repro.harness.results import ExperimentResult, results_dir, save_result
+from repro.harness.perfbench import (
+    compare_to_baseline,
+    render_report,
+    run_bench,
+)
 from repro.harness.ablations import (
     run_ablation_contributions,
     run_ablation_partition_method,
@@ -63,4 +68,7 @@ __all__ = [
     "run_ablation_partition_method",
     "run_ablation_solver",
     "run_footnote1_sizes",
+    "run_bench",
+    "compare_to_baseline",
+    "render_report",
 ]

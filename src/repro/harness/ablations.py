@@ -9,12 +9,9 @@ footnote-1 size argument for compressing messages rather than gradients.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.cluster.cluster import Cluster
 from repro.cluster.exchange import ExactHaloExchange
 from repro.cluster.memory import estimate_memory
-from repro.comm.costmodel import LinkCostModel
 from repro.comm.topology import parse_topology
 from repro.core.trainer import train
 from repro.graph.datasets import load_dataset

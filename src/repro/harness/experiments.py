@@ -24,7 +24,6 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.exchange import ExactHaloExchange, FixedBitProvider, QuantizedHaloExchange
 from repro.cluster.perfmodel import PerfModel
 from repro.comm.costmodel import LinkCostModel
-from repro.core.config import RunConfig
 from repro.core.decompose import decompose_partition
 from repro.core.scheduler import (
     device_comm_times,

@@ -1,0 +1,341 @@
+"""Performance benchmark harness for the fused exchange engine.
+
+Unlike everything else under :mod:`repro.harness`, these benchmarks measure
+*real host wall-clock* of the simulator's hot path — the quantize → pack →
+transmit → unpack → dequantize pipeline — not simulated device time.  They
+answer one question: how much faster is
+:class:`~repro.cluster.exchange.FusedQuantizedHaloExchange` than the legacy
+per-pair :class:`~repro.cluster.exchange.QuantizedHaloExchange`, and is the
+result still numerically identical?
+
+Three benchmark families:
+
+* **encode** / **decode** — microbenchmarks of one exchange step on a
+  synthetic message block (throughput in MB/s of float32 payload);
+* **epoch** — end-to-end ``Cluster.train_epoch`` wall time on the default
+  benchmark workload (the paper's many-partition scalability regime, where
+  per-pair dispatch dominates the legacy path), fused vs. unfused, with a
+  hard equality check on wire bytes and losses.
+
+:func:`run_bench` bundles them into one JSON-serializable report
+(``BENCH_perf.json``); :func:`compare_to_baseline` implements the CI
+regression gate.  The gate compares only *dimensionless* speedup ratios —
+absolute milliseconds differ across machines, ratios travel well.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.comm.costmodel import LinkCostModel
+from repro.comm.topology import parse_topology
+from repro.core.config import RunConfig
+from repro.core.trainer import build_system
+from repro.graph.datasets import load_dataset
+from repro.graph.partition.api import partition_graph
+from repro.quant.fused import FusedStepEncoder, decode_step
+from repro.quant.mixed import MixedPrecisionEncoder
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "bench_encode",
+    "bench_decode",
+    "bench_epoch",
+    "run_bench",
+    "compare_to_baseline",
+    "render_report",
+]
+
+#: The default end-to-end workload: the paper's scalability regime (many
+#: partitions, Table 7), where the legacy path's per-pair dispatch cost is
+#: the bottleneck this engine removes.
+DEFAULT_WORKLOAD = {
+    "dataset": "reddit",
+    "scale": "tiny",
+    "parts": 16,
+    "setting": "4M-4D",
+    "hidden_dim": 32,
+    "num_layers": 3,
+}
+
+# Ratio metrics the CI regression gate watches (see compare_to_baseline).
+_GATED_METRICS = (
+    ("encode", "speedup"),
+    ("decode", "speedup"),
+    ("epoch", "speedup"),
+)
+
+
+def _median_time(fn, reps: int, warmup: int = 3) -> float:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _synthetic_step(
+    seed: int, n_pairs: int, rows_per_pair: int, dim: int
+) -> tuple[np.ndarray, list, np.ndarray, np.ndarray, np.ndarray]:
+    gen = np.random.default_rng(seed)
+    n = n_pairs * rows_per_pair
+    values = gen.normal(size=(max(4 * rows_per_pair, 256), dim)).astype(np.float32)
+    cat_idx = gen.integers(0, values.shape[0], n)
+    bits_cat = gen.choice([2, 4, 8], size=n)
+    pairs = [(0, q + 1) for q in range(n_pairs)]
+    counts = np.full(n_pairs, rows_per_pair, dtype=np.int64)
+    return values, pairs, counts, cat_idx, bits_cat
+
+
+def bench_encode(
+    *,
+    n_pairs: int = 48,
+    rows_per_pair: int = 64,
+    dim: int = 64,
+    reps: int = 30,
+    seed: int = 0,
+) -> dict:
+    """Throughput of one step's encode: legacy per-pair loop vs. fused."""
+    values, pairs, counts, cat_idx, bits_cat = _synthetic_step(
+        seed, n_pairs, rows_per_pair, dim
+    )
+    n = n_pairs * rows_per_pair
+    payload_mb = n * dim * 4 / 1e6
+    bounds = np.arange(0, n + 1, rows_per_pair)
+
+    legacy = MixedPrecisionEncoder(np.random.default_rng(seed))
+
+    def run_legacy():
+        for i in range(n_pairs):
+            sel = cat_idx[bounds[i] : bounds[i + 1]]
+            legacy.encode(values[sel], bits_cat[bounds[i] : bounds[i + 1]])
+
+    fused = FusedStepEncoder(np.random.default_rng(seed))
+    blocks = [(0, 0, n)]
+    plan = fused.plan_for("bench", pairs, counts, blocks, cat_idx, bits_cat, dim)
+
+    def run_fused():
+        fused.encode_step(plan, {0: values})
+
+    t_legacy = _median_time(run_legacy, reps)
+    t_fused = _median_time(run_fused, reps)
+    return {
+        "unfused_ms": t_legacy * 1e3,
+        "fused_ms": t_fused * 1e3,
+        "unfused_mbps": payload_mb / t_legacy,
+        "fused_mbps": payload_mb / t_fused,
+        "speedup": t_legacy / t_fused,
+    }
+
+
+def bench_decode(
+    *,
+    n_pairs: int = 48,
+    rows_per_pair: int = 64,
+    dim: int = 64,
+    reps: int = 30,
+    seed: int = 0,
+) -> dict:
+    """Throughput of one step's decode: per-payload loop vs. batched."""
+    values, pairs, counts, cat_idx, bits_cat = _synthetic_step(
+        seed, n_pairs, rows_per_pair, dim
+    )
+    n = n_pairs * rows_per_pair
+    payload_mb = n * dim * 4 / 1e6
+    fused = FusedStepEncoder(np.random.default_rng(seed))
+    plan = fused.plan_for(
+        "bench", pairs, counts, [(0, 0, n)], cat_idx, bits_cat, dim
+    )
+    payloads = fused.encode_step(plan, {0: values})
+    mailbox = {dst: payload for (_, dst), payload in payloads.items()}
+
+    def run_legacy():
+        for payload in mailbox.values():
+            payload.decode()
+
+    def run_fused():
+        decode_step(mailbox)
+
+    t_legacy = _median_time(run_legacy, reps)
+    t_fused = _median_time(run_fused, reps)
+    return {
+        "unfused_ms": t_legacy * 1e3,
+        "fused_ms": t_fused * 1e3,
+        "unfused_mbps": payload_mb / t_legacy,
+        "fused_mbps": payload_mb / t_fused,
+        "speedup": t_legacy / t_fused,
+    }
+
+
+def bench_epoch(
+    *,
+    system: str = "adaqp-fixed",
+    workload: dict | None = None,
+    epochs: int = 8,
+    warmup: int = 2,
+    seed: int = 0,
+) -> dict:
+    """End-to-end epoch wall time, fused vs. unfused, same RNG stream.
+
+    Also asserts the engine's core contract on the fly: both paths must
+    produce identical per-epoch losses and identical total wire bytes.
+    """
+    wl = dict(DEFAULT_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    topology = parse_topology(wl["setting"])
+    ds = load_dataset(wl["dataset"], scale=wl["scale"], seed=seed)
+    book = partition_graph(ds.graph, wl["parts"], method="metis", seed=seed)
+    cost_model = LinkCostModel.for_topology(topology)
+
+    def run(fused: bool) -> tuple[float, list[float], int]:
+        cfg = RunConfig(
+            epochs=epochs,
+            hidden_dim=wl["hidden_dim"],
+            num_layers=wl["num_layers"],
+            reassign_period=4,
+            seed=seed,
+            fused_exchange=fused,
+        )
+        cluster = Cluster(
+            ds,
+            book,
+            model_kind="gcn",
+            hidden_dim=wl["hidden_dim"],
+            num_layers=wl["num_layers"],
+            dropout=0.5,
+            seed=seed,
+        )
+        setup = build_system(system, cluster, cost_model, cfg)
+        times: list[float] = []
+        losses: list[float] = []
+        wire_bytes = 0
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            record = cluster.train_epoch(setup.exchange, epoch)
+            times.append(time.perf_counter() - t0)
+            losses.append(record.loss)
+            wire_bytes += record.total_wire_bytes()
+        return float(np.median(times[warmup:])), losses, wire_bytes
+
+    t_fused, losses_f, bytes_f = run(True)
+    t_unfused, losses_u, bytes_u = run(False)
+    return {
+        "system": system,
+        "workload": wl,
+        "epochs": epochs,
+        "fused_ms": t_fused * 1e3,
+        "unfused_ms": t_unfused * 1e3,
+        "speedup": t_unfused / t_fused,
+        "wire_bytes_match": bytes_f == bytes_u,
+        "losses_match": losses_f == losses_u,
+    }
+
+
+def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
+    """Run the full perf suite; returns the ``BENCH_perf.json`` payload."""
+    micro_reps = 20 if quick else 40
+    epochs = 5 if quick else 10
+    extra_systems = () if quick else ("adaqp", "adaqp-uniform")
+
+    report: dict = {
+        "bench": "fused-exchange-engine",
+        "schema": 1,
+        "quick": quick,
+        "seed": seed,
+        "encode": bench_encode(reps=micro_reps, seed=seed),
+        "decode": bench_decode(reps=micro_reps, seed=seed),
+        "epoch": bench_epoch(epochs=epochs, warmup=1 if quick else 2, seed=seed),
+    }
+    for system in extra_systems:
+        report[f"epoch_{system}"] = bench_epoch(
+            system=system, epochs=epochs, seed=seed
+        )
+    return report
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, *, max_regression: float = 0.2
+) -> list[str]:
+    """Regression gate: returns a list of failures (empty == pass).
+
+    Gates only on dimensionless speedup ratios (absolute times are
+    machine-dependent) plus the numerical-equivalence flags, which must
+    never be False.
+    """
+    problems: list[str] = []
+    for section, metric in _GATED_METRICS:
+        cur = current.get(section, {}).get(metric)
+        base = baseline.get(section, {}).get(metric)
+        if cur is None or base is None:
+            problems.append(f"missing metric {section}.{metric}")
+            continue
+        floor = base * (1.0 - max_regression)
+        if cur < floor:
+            problems.append(
+                f"{section}.{metric} regressed: {cur:.2f}x < "
+                f"{floor:.2f}x (baseline {base:.2f}x - {max_regression:.0%})"
+            )
+    for key in ("wire_bytes_match", "losses_match"):
+        if not current.get("epoch", {}).get(key, False):
+            problems.append(f"epoch.{key} is False: fused path is not equivalent")
+    return problems
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of one :func:`run_bench` report."""
+    from repro.utils.format import render_table
+
+    rows = []
+    for section in ("encode", "decode"):
+        r = report[section]
+        rows.append(
+            [
+                section,
+                f"{r['unfused_ms']:.2f} ms ({r['unfused_mbps']:.0f} MB/s)",
+                f"{r['fused_ms']:.2f} ms ({r['fused_mbps']:.0f} MB/s)",
+                f"{r['speedup']:.2f}x",
+            ]
+        )
+    for key, r in report.items():
+        if not key.startswith("epoch"):
+            continue
+        label = f"epoch [{r['system']}]"
+        rows.append(
+            [
+                label,
+                f"{r['unfused_ms']:.1f} ms",
+                f"{r['fused_ms']:.1f} ms",
+                f"{r['speedup']:.2f}x",
+            ]
+        )
+    table = render_table(["benchmark", "unfused", "fused", "speedup"], rows)
+    epoch = report["epoch"]
+    checks = (
+        f"equivalence: wire_bytes_match={epoch['wire_bytes_match']} "
+        f"losses_match={epoch['losses_match']}"
+    )
+    wl = epoch["workload"]
+    head = (
+        f"workload: {wl['dataset']}-{wl['scale']}, {wl['parts']} partitions "
+        f"({wl['setting']}), hidden={wl['hidden_dim']}"
+    )
+    return f"{head}\n{table}\n{checks}"
+
+
+def save_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

@@ -20,10 +20,17 @@ from repro.quant.stochastic import (
     QuantizedTensor,
     dequantize,
     quantize_stochastic,
+    quantize_with_noise,
     stochastic_round,
 )
-from repro.quant.packing import pack_bits, unpack_bits
+from repro.quant.packing import (
+    pack_bits,
+    pack_bits_batched,
+    unpack_bits,
+    unpack_bits_batched,
+)
 from repro.quant.mixed import MixedPrecisionEncoder, MixedPrecisionPayload
+from repro.quant.fused import FusedStepEncoder, FusedStepPlan, decode_step
 from repro.quant.theory import (
     SUPPORTED_BITS,
     beta_values,
@@ -34,12 +41,18 @@ from repro.quant.theory import (
 __all__ = [
     "QuantizedTensor",
     "quantize_stochastic",
+    "quantize_with_noise",
     "dequantize",
     "stochastic_round",
     "pack_bits",
     "unpack_bits",
+    "pack_bits_batched",
+    "unpack_bits_batched",
     "MixedPrecisionEncoder",
     "MixedPrecisionPayload",
+    "FusedStepEncoder",
+    "FusedStepPlan",
+    "decode_step",
     "SUPPORTED_BITS",
     "quantization_variance",
     "beta_values",

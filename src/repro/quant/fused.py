@@ -1,0 +1,415 @@
+"""Fused mixed-precision encoding for one whole exchange step.
+
+The legacy path (:class:`~repro.quant.mixed.MixedPrecisionEncoder`) encodes
+each (src, dst) message block independently: per pair, per bit-width group,
+one small quantize kernel, one RNG draw and one pack call.  On the
+simulator's hot path that dispatch overhead dominates — a 16-device,
+3-layer run issues thousands of tiny NumPy calls per epoch.
+
+This module fuses **all** boundary messages of one (layer, phase) step —
+across every source device and every peer — into batched kernels:
+
+* each device's outgoing rows are gathered with one fancy-index ``take``
+  into a contiguous segment of a step-wide buffer, directly in the legacy
+  RNG-consumption order (devices ascending, peers ascending within each
+  device, bit-widths ascending within each pair);
+* rounding noise for the whole step is drawn with one ``rng.random`` call —
+  NumPy generators fill requests sequentially, so one big draw consumes
+  the stream exactly like the legacy per-group draws, making the fused
+  path bitwise-identical to the unfused one under the same seed;
+* stochastic quantization runs as **one** kernel for the whole step: the
+  only bit-width-dependent quantity is the level count ``2^b - 1``, which
+  becomes a per-row vector instead of a per-group scalar;
+* packing runs through :func:`~repro.quant.packing.pack_bits_batched`, one
+  batch per distinct bit-width, producing the same per-(pair, group) byte
+  streams the legacy encoder emits — wire-byte accounting is unchanged;
+* on the receive side, :func:`decode_cluster_step` unpacks and
+  de-quantizes every payload of the step in one batch per bit-width
+  (de-quantization is row-elementwise, so it batches across pairs and
+  receivers without changing a single value).
+
+All index structures (gather orders, group slices, payload skeletons) are
+cached in a :class:`FusedStepPlan` and reused across epochs until the
+bit-width assignment for the step changes (i.e. at reassignment
+boundaries); scratch buffers for the gathers and the noise draw are
+preallocated alongside the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.mixed import MixedPrecisionPayload
+from repro.quant.packing import pack_bits_batched, unpack_bits_batched
+
+__all__ = [
+    "FusedStepPlan",
+    "FusedStepEncoder",
+    "decode_step",
+    "decode_cluster_step",
+]
+
+
+@dataclass
+class _PairGroup:
+    """One (pair, bit-width) group: its slice of the step's legacy order."""
+
+    bits: int
+    start: int
+    stop: int
+    rows: np.ndarray  # local row indices within the pair message, ascending
+
+
+@dataclass
+class FusedStepPlan:
+    """Cached index structures for one (layer, phase) step of the cluster.
+
+    Valid as long as the step's per-row bit assignment (``bits_cat``) is
+    unchanged; the encoder revalidates with ``np.array_equal`` each epoch
+    and rebuilds only at reassignment boundaries.
+    """
+
+    pairs: list[tuple[int, int]]  # (src, dst), legacy iteration order
+    pair_counts: np.ndarray  # rows per pair, same order
+    device_blocks: list[tuple[int, int, int]]  # (rank, start, stop) cat slices
+    cat_idx: np.ndarray  # (n_total,) local source row per cat position
+    bits_cat: np.ndarray  # (n_total,) per-row bits, cat order
+    dim: int
+    perm_legacy: np.ndarray  # cat index of each legacy-order position
+    identity: bool  # True when legacy order == cat order
+    gather_idx: np.ndarray  # local source row per legacy-order position
+    levels: np.ndarray  # (n_total, 1) float32, 2^bits - 1 per legacy row
+    single_bits: int | None  # set when the whole step shares one width
+    pair_groups: dict[tuple[int, int], list[_PairGroup]]
+    # Per distinct bit-width, in payload-emission order: the legacy-order
+    # slices of its groups and their element counts (packing batches).
+    bit_slices: dict[int, list[slice]]
+    bit_elems: dict[int, np.ndarray]
+    # Scratch buffers (reused every epoch while the plan is valid).
+    cat_buf: np.ndarray  # (n_total, dim) float32, cat order
+    legacy_buf: np.ndarray  # (n_total, dim) float32, legacy order
+    noise_buf: np.ndarray  # (n_total, dim) float64, legacy order
+    codes_buf: np.ndarray  # (n_total, dim) uint8, legacy order
+    norm_buf: np.ndarray  # (n_total, dim) float32 scratch
+    floor_buf: np.ndarray  # (n_total, dim) float32 scratch
+    round_buf: np.ndarray  # (n_total, dim) bool scratch
+
+    @property
+    def n_total(self) -> int:
+        return int(self.bits_cat.size)
+
+
+def _build_plan(
+    pairs: list[tuple[int, int]],
+    pair_counts: np.ndarray,
+    device_blocks: list[tuple[int, int, int]],
+    cat_idx: np.ndarray,
+    bits_cat: np.ndarray,
+    dim: int,
+) -> FusedStepPlan:
+    n_total = int(bits_cat.size)
+    pair_id = np.repeat(np.arange(len(pairs), dtype=np.int64), pair_counts)
+
+    # Legacy RNG order: pairs in iteration order, bits ascending within
+    # each pair (MixedPrecisionEncoder iterates sorted unique bits); the
+    # stable sort keeps each group's rows in ascending pair-row order,
+    # matching the legacy np.flatnonzero group indices.
+    perm_legacy = np.argsort(pair_id * 16 + bits_cat, kind="stable")
+    identity = bool((perm_legacy == np.arange(n_total)).all())
+
+    bounds = np.zeros(len(pairs) + 1, dtype=np.int64)
+    np.cumsum(pair_counts, out=bounds[1:])
+
+    pair_groups: dict[tuple[int, int], list[_PairGroup]] = {}
+    bit_slices: dict[int, list[slice]] = {}
+    bit_elems: dict[int, list[int]] = {}
+    pos = 0
+    for i, pair in enumerate(pairs):
+        pair_bits = bits_cat[bounds[i] : bounds[i + 1]]
+        groups: list[_PairGroup] = []
+        for b in np.unique(pair_bits):
+            local_rows = np.flatnonzero(pair_bits == b)
+            group = _PairGroup(
+                bits=int(b), start=pos, stop=pos + local_rows.size, rows=local_rows
+            )
+            groups.append(group)
+            bit_slices.setdefault(int(b), []).append(slice(group.start, group.stop))
+            bit_elems.setdefault(int(b), []).append(local_rows.size * dim)
+            pos += local_rows.size
+        pair_groups[pair] = groups
+
+    bits_legacy = bits_cat[perm_legacy]
+    distinct = sorted(bit_slices)
+    legacy_buf = np.empty((n_total, dim), dtype=np.float32)
+    return FusedStepPlan(
+        pairs=pairs,
+        pair_counts=pair_counts,
+        device_blocks=device_blocks,
+        cat_idx=cat_idx,
+        bits_cat=bits_cat.copy(),
+        dim=dim,
+        perm_legacy=perm_legacy,
+        identity=identity,
+        gather_idx=cat_idx if identity else cat_idx[perm_legacy],
+        levels=((1 << bits_legacy.astype(np.int64)) - 1)[:, None].astype(np.float32),
+        single_bits=distinct[0] if len(distinct) == 1 else None,
+        pair_groups=pair_groups,
+        bit_slices=bit_slices,
+        bit_elems={b: np.asarray(e, dtype=np.int64) for b, e in bit_elems.items()},
+        # When legacy order == cat order the two stage buffers alias: the
+        # tracer path then needs only a single gather.
+        cat_buf=legacy_buf if identity else np.empty((n_total, dim), dtype=np.float32),
+        legacy_buf=legacy_buf,
+        noise_buf=np.empty((n_total, dim), dtype=np.float64),
+        codes_buf=np.empty((n_total, dim), dtype=np.uint8),
+        norm_buf=np.empty((n_total, dim), dtype=np.float32),
+        floor_buf=np.empty((n_total, dim), dtype=np.float32),
+        round_buf=np.empty((n_total, dim), dtype=bool),
+    )
+
+
+class FusedStepEncoder:
+    """Encode a whole (layer, phase) exchange step in batched kernels.
+
+    One instance per exchange; plans are cached per step key and
+    revalidated against the step's current bit assignment.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._plans: dict[object, FusedStepPlan] = {}
+
+    def plan_for(
+        self,
+        key: object,
+        pairs: list[tuple[int, int]],
+        pair_counts: np.ndarray,
+        device_blocks: list[tuple[int, int, int]],
+        cat_idx: np.ndarray,
+        bits_cat: np.ndarray,
+        dim: int,
+    ) -> FusedStepPlan:
+        """Fetch (or rebuild) the cached plan for one step."""
+        plan = self._plans.get(key)
+        if (
+            plan is None
+            or plan.dim != dim
+            or not np.array_equal(plan.bits_cat, bits_cat)
+        ):
+            plan = _build_plan(
+                pairs, pair_counts, device_blocks, cat_idx, bits_cat, dim
+            )
+            self._plans[key] = plan
+        return plan
+
+    def encode_step(
+        self, plan: FusedStepPlan, values_by_rank, observe=None
+    ) -> dict[tuple[int, int], MixedPrecisionPayload]:
+        """Quantize + pack the step's messages; returns per-pair payloads.
+
+        ``values_by_rank`` maps a device rank to the float32 matrix its
+        messages are gathered from (activations or halo gradients); a list
+        indexed by rank works too.  ``observe``, when given, is called per
+        pair with ``(src, dst, rows)`` where ``rows`` is the pair's block
+        in original row order — the tracer hook.
+        """
+        n_total, dim = plan.n_total, plan.dim
+        if n_total == 0:
+            return {}
+
+        if observe is None:
+            for rank, start, stop in plan.device_blocks:
+                vals = values_by_rank[rank]
+                if vals.dtype != np.float32:
+                    vals = np.asarray(vals, dtype=np.float32)
+                np.take(
+                    vals,
+                    plan.gather_idx[start:stop],
+                    axis=0,
+                    out=plan.legacy_buf[start:stop],
+                )
+            h = plan.legacy_buf
+        else:
+            # Tracers need pair blocks in original row order; gather those
+            # first, then permute into legacy order (a no-op when every
+            # pair's block has a single bit-width).
+            for rank, start, stop in plan.device_blocks:
+                vals = values_by_rank[rank]
+                if vals.dtype != np.float32:
+                    vals = np.asarray(vals, dtype=np.float32)
+                np.take(
+                    vals,
+                    plan.cat_idx[start:stop],
+                    axis=0,
+                    out=plan.cat_buf[start:stop],
+                )
+            start = 0
+            for pair, count in zip(plan.pairs, plan.pair_counts):
+                observe(pair[0], pair[1], plan.cat_buf[start : start + int(count)])
+                start += int(count)
+            h = (
+                plan.cat_buf
+                if plan.identity
+                else np.take(
+                    plan.cat_buf, plan.perm_legacy, axis=0, out=plan.legacy_buf
+                )
+            )
+
+        # --- one stochastic-quantization kernel for the whole step -------
+        # Identical arithmetic to quantize_stochastic per group: the level
+        # count is the only group-dependent quantity and enters as a
+        # per-row vector.  One sequential noise draw == the per-group
+        # draws, so codes match the legacy path bit for bit.  All
+        # intermediates live in plan-owned scratch buffers.
+        z32 = h.min(axis=1)
+        scale = h.max(axis=1)
+        scale -= z32
+        scale /= plan.levels[:, 0]
+        safe_scale = np.where(scale > 0, scale, np.float32(1.0))
+        norm = np.subtract(h, z32[:, None], out=plan.norm_buf)
+        norm /= safe_scale[:, None]
+        floor = np.floor(norm, out=plan.floor_buf)
+        noise = self.rng.random(out=plan.noise_buf)
+        np.subtract(norm, floor, out=norm)  # fractional parts
+        round_up = np.less(noise, norm, out=plan.round_buf)
+        codes = np.add(floor, round_up, out=floor)
+        # Codes are >= 0 (normalized values are), so the legacy
+        # clip(0, top) reduces to an upper bound.
+        if plan.single_bits is not None:
+            np.minimum(codes, np.float32((1 << plan.single_bits) - 1), out=codes)
+        else:
+            np.minimum(codes, plan.levels, out=codes)
+        plan.codes_buf[...] = codes  # exact small integers; cast == astype
+        s32 = scale
+
+        # --- pack each distinct bit-width as one batch -------------------
+        streams_by_bits: dict[int, list[np.ndarray]] = {}
+        for bits, slices in plan.bit_slices.items():
+            if len(slices) == 1:
+                segment = plan.codes_buf[slices[0]]
+            elif plan.single_bits is not None:
+                # Single distinct bit-width: the slices tile the buffer.
+                segment = plan.codes_buf
+            else:
+                segment = np.concatenate(
+                    [plan.codes_buf[sl] for sl in slices], axis=0
+                )
+            streams_by_bits[bits] = pack_bits_batched(
+                segment, bits, plan.bit_elems[bits]
+            )
+
+        # --- assemble per-pair payloads ----------------------------------
+        stream_cursor = dict.fromkeys(streams_by_bits, 0)
+        payloads: dict[tuple[int, int], MixedPrecisionPayload] = {}
+        for i, pair in enumerate(plan.pairs):
+            group_bits: list[int] = []
+            group_rows: list[np.ndarray] = []
+            streams: list[np.ndarray] = []
+            zero_points: list[np.ndarray] = []
+            scales: list[np.ndarray] = []
+            for g in plan.pair_groups[pair]:
+                group_bits.append(g.bits)
+                group_rows.append(g.rows)
+                streams.append(streams_by_bits[g.bits][stream_cursor[g.bits]])
+                stream_cursor[g.bits] += 1
+                zero_points.append(z32[g.start : g.stop])
+                scales.append(s32[g.start : g.stop])
+            payloads[pair] = MixedPrecisionPayload(
+                num_rows=int(plan.pair_counts[i]),
+                dim=dim,
+                group_bits=group_bits,
+                group_rows=group_rows,
+                streams=streams,
+                zero_points=zero_points,
+                scales=scales,
+            )
+        return payloads
+
+
+def decode_cluster_step(
+    collects: dict[int, dict[int, MixedPrecisionPayload]],
+) -> dict[int, dict[int, np.ndarray]]:
+    """Decode every payload of one step with batched kernels.
+
+    ``collects`` maps each receiving rank to its ``{src: payload}`` mailbox
+    (the shape :meth:`Transport.collect` returns).  Every (receiver, pair,
+    group) stream of the step is bucketed by bit-width, unpacked through
+    one batched kernel per width and de-quantized in one elementwise
+    kernel; per-pair matrices are then reassembled.  Produces exactly the
+    matrices ``payload.decode()`` would — de-quantization is
+    row-elementwise, so batching cannot change any value — preserving each
+    mailbox's iteration order (gradient accumulation order stays the
+    legacy src-ascending order).
+    """
+    flat: list[tuple[int, int, MixedPrecisionPayload]] = [
+        (dst, src, payload)
+        for dst, mailbox in collects.items()
+        for src, payload in mailbox.items()
+    ]
+    if not flat:
+        return {dst: {} for dst in collects}
+    dims = {p.dim for _, _, p in flat}
+    if len(dims) != 1:
+        raise ValueError("payloads of one step must share their dimension")
+    dim = dims.pop()
+
+    # bits -> parallel lists over that width's groups
+    targets: dict[int, list[tuple[int, int, np.ndarray]]] = {}
+    streams: dict[int, list[np.ndarray]] = {}
+    zero_points: dict[int, list[np.ndarray]] = {}
+    scales: dict[int, list[np.ndarray]] = {}
+    for dst, src, payload in flat:
+        covered = 0
+        for bits, rows, stream, z, s in zip(
+            payload.group_bits,
+            payload.group_rows,
+            payload.streams,
+            payload.zero_points,
+            payload.scales,
+        ):
+            targets.setdefault(bits, []).append((dst, src, rows))
+            streams.setdefault(bits, []).append(stream)
+            zero_points.setdefault(bits, []).append(z)
+            scales.setdefault(bits, []).append(s)
+            covered += rows.size
+        if covered != payload.num_rows:
+            raise ValueError("payload groups do not cover all rows")
+
+    out: dict[int, dict[int, np.ndarray]] = {dst: {} for dst in collects}
+    for dst, src, payload in flat:
+        out[dst][src] = np.empty((payload.num_rows, payload.dim), dtype=np.float32)
+    for bits in sorted(targets):
+        counts = np.asarray(
+            [rows.size * dim for _, _, rows in targets[bits]], dtype=np.int64
+        )
+        codes = unpack_bits_batched(streams[bits], bits, counts).reshape(-1, dim)
+        z_all = (
+            zero_points[bits][0]
+            if len(zero_points[bits]) == 1
+            else np.concatenate(zero_points[bits])
+        )
+        s_all = (
+            scales[bits][0] if len(scales[bits]) == 1 else np.concatenate(scales[bits])
+        )
+        deq = (
+            codes.astype(np.float32) * s_all[:, None] + z_all[:, None]
+        ).astype(np.float32)
+        cursor = 0
+        for dst, src, rows in targets[bits]:
+            mat = out[dst][src]
+            if rows.size == mat.shape[0]:
+                # Full coverage in one group: rows is exactly arange(n).
+                mat[...] = deq[cursor : cursor + rows.size]
+            else:
+                mat[rows] = deq[cursor : cursor + rows.size]
+            cursor += rows.size
+    return out
+
+
+def decode_step(
+    payloads: dict[int, MixedPrecisionPayload],
+) -> dict[int, np.ndarray]:
+    """Decode one receiver's payloads; see :func:`decode_cluster_step`."""
+    return decode_cluster_step({-1: payloads})[-1]

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.utils.validation import check_array, check_in_set
 
-__all__ = ["pack_bits", "unpack_bits"]
+__all__ = ["pack_bits", "unpack_bits", "pack_bits_batched", "unpack_bits_batched"]
 
 _ALLOWED_BITS = (1, 2, 4, 8)
 
@@ -43,10 +43,13 @@ def pack_bits(codes: np.ndarray, bits: int) -> np.ndarray:
     padded = np.zeros(padded_len, dtype=np.uint8)
     padded[: codes.size] = codes
     groups = padded.reshape(-1, per_byte)
-    shifts = (np.arange(per_byte, dtype=np.uint8) * bits)[None, :]
-    return np.bitwise_or.reduce(
-        (groups.astype(np.uint16) << shifts).astype(np.uint16), axis=1
-    ).astype(np.uint8)
+    # Accumulate shifted lanes in uint8 (codes < 2^bits, so every shifted
+    # lane fits the byte); avoids the uint16 round-trip and the slow
+    # axis-1 reduce of the obvious formulation.
+    out = groups[:, 0].copy()
+    for lane in range(1, per_byte):
+        out |= groups[:, lane] << np.uint8(lane * bits)
+    return out
 
 
 def unpack_bits(stream: np.ndarray, bits: int, count: int) -> np.ndarray:
@@ -68,3 +71,66 @@ def unpack_bits(stream: np.ndarray, bits: int, count: int) -> np.ndarray:
     shifts = (np.arange(per_byte, dtype=np.uint8) * bits)[None, :]
     codes = ((stream[:needed_bytes, None] >> shifts) & mask).reshape(-1)
     return codes[:count].astype(np.uint8)
+
+
+def pack_bits_batched(
+    codes: np.ndarray, bits: int, counts: np.ndarray
+) -> list[np.ndarray]:
+    """Pack consecutive segments of ``codes`` into independent byte streams.
+
+    Each segment ``i`` holds ``counts[i]`` codes and produces exactly the
+    bytes ``pack_bits(segment, bits)`` would — segments stay byte-aligned on
+    the wire so receivers can slice streams apart without bit arithmetic.
+    When every segment's bit-length is a whole number of bytes (the common
+    case: row counts × feature dim × bits divisible by 8), the whole batch
+    is packed by one vectorized kernel and split at byte offsets; ragged
+    segments fall back to per-segment packing.
+
+    >>> import numpy as np
+    >>> streams = pack_bits_batched(np.arange(8, dtype=np.uint8) % 4, 2,
+    ...                             np.array([4, 4]))
+    >>> [s.size for s in streams]
+    [1, 1]
+    """
+    check_in_set(bits, _ALLOWED_BITS, name="bits")
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1 or (counts < 0).any():
+        raise ValueError("counts must be a 1-D array of non-negative sizes")
+    codes = np.ascontiguousarray(codes, dtype=np.uint8).ravel()
+    if int(counts.sum()) != codes.size:
+        raise ValueError("counts must sum to the number of codes")
+
+    if bits == 8 or not ((counts * bits) % 8).any():
+        packed = pack_bits(codes, bits)
+        offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts * bits // 8, out=offsets[1:])
+        return [packed[offsets[i] : offsets[i + 1]] for i in range(counts.size)]
+
+    bounds = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return [
+        pack_bits(codes[bounds[i] : bounds[i + 1]], bits) for i in range(counts.size)
+    ]
+
+
+def unpack_bits_batched(
+    streams: list[np.ndarray], bits: int, counts: np.ndarray
+) -> np.ndarray:
+    """Unpack per-segment byte streams back into one concatenated code array.
+
+    Inverse of :func:`pack_bits_batched`: ``streams[i]`` carries
+    ``counts[i]`` codes. Byte-aligned batches are unpacked by a single
+    kernel over the concatenated stream; ragged segments unpack one by one.
+    """
+    check_in_set(bits, _ALLOWED_BITS, name="bits")
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size != len(streams):
+        raise ValueError("one stream per count required")
+    if counts.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+
+    if bits == 8 or not ((counts * bits) % 8).any():
+        return unpack_bits(np.concatenate(streams), bits, int(counts.sum()))
+    return np.concatenate(
+        [unpack_bits(stream, bits, int(n)) for stream, n in zip(streams, counts)]
+    )

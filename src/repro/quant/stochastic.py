@@ -21,7 +21,13 @@ import numpy as np
 
 from repro.utils.validation import check_array, check_in_set
 
-__all__ = ["QuantizedTensor", "stochastic_round", "quantize_stochastic", "dequantize"]
+__all__ = [
+    "QuantizedTensor",
+    "stochastic_round",
+    "quantize_stochastic",
+    "quantize_with_noise",
+    "dequantize",
+]
 
 _ALLOWED_BITS = (1, 2, 4, 8)
 
@@ -106,7 +112,19 @@ def quantize_stochastic(
     check_array(np.asarray(h), name="h", ndim=2)
     check_in_set(bits, _ALLOWED_BITS, name="bits")
     h = np.asarray(h, dtype=np.float32)
-    n, _ = h.shape
+    return quantize_with_noise(h, bits, rng.random(h.shape))
+
+
+def quantize_with_noise(h: np.ndarray, bits: int, noise: np.ndarray) -> QuantizedTensor:
+    """Quantize with pre-drawn uniform rounding noise (the batched kernel).
+
+    Identical arithmetic to :func:`quantize_stochastic`; callers that fuse
+    many message groups into one step draw the noise for the whole step in
+    a single ``rng.random`` call (preserving the per-group RNG stream
+    exactly — NumPy generators fill requests sequentially) and slice it per
+    group.
+    """
+    h = np.asarray(h, dtype=np.float32)
 
     levels = float(2**bits - 1)
     z = h.min(axis=1)
@@ -115,7 +133,8 @@ def quantize_stochastic(
 
     safe_scale = np.where(scale > 0, scale, 1.0)
     normalized = (h - z[:, None]) / safe_scale[:, None]
-    codes = stochastic_round(normalized, rng)
+    floor = np.floor(normalized)
+    codes = floor + (noise < normalized - floor)
     # Stochastic rounding can emit ``levels + 1`` on the max element when
     # the fractional part is exactly 0 at the top of the range; clip keeps
     # codes within b bits without biasing interior values.

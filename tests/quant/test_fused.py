@@ -1,0 +1,137 @@
+"""Encoder-level equivalence of the fused step engine vs. the legacy path."""
+
+import numpy as np
+import pytest
+
+from repro.quant.fused import FusedStepEncoder, decode_cluster_step, decode_step
+from repro.quant.mixed import MixedPrecisionEncoder
+
+
+def _step(seed, n_pairs=5, rows=37, dim=9, bit_choices=(2, 4, 8)):
+    gen = np.random.default_rng(seed)
+    n = n_pairs * rows
+    values = gen.normal(size=(300, dim)).astype(np.float32)
+    cat_idx = gen.integers(0, values.shape[0], n)
+    bits_cat = gen.choice(bit_choices, size=n)
+    pairs = [(0, q + 1) for q in range(n_pairs)]
+    counts = np.full(n_pairs, rows, dtype=np.int64)
+    return values, pairs, counts, cat_idx, bits_cat, dim
+
+
+def _encode_both(seed, **kw):
+    values, pairs, counts, cat_idx, bits_cat, dim = _step(seed, **kw)
+    legacy_enc = MixedPrecisionEncoder(np.random.default_rng(seed + 99))
+    fused_enc = FusedStepEncoder(np.random.default_rng(seed + 99))
+
+    n = int(counts.sum())
+    plan = fused_enc.plan_for("k", pairs, counts, [(0, 0, n)], cat_idx, bits_cat, dim)
+    fused_payloads = fused_enc.encode_step(plan, {0: values})
+
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    legacy_payloads = {}
+    for i, pair in enumerate(pairs):
+        sel = cat_idx[bounds[i] : bounds[i + 1]]
+        legacy_payloads[pair] = legacy_enc.encode(
+            values[sel], bits_cat[bounds[i] : bounds[i + 1]]
+        )
+    return legacy_payloads, fused_payloads
+
+
+@pytest.mark.parametrize("bit_choices", [(2, 4, 8), (8,), (2,), (1, 2, 4, 8)])
+def test_fused_encode_bitwise_identical_to_legacy(bit_choices):
+    legacy, fused = _encode_both(7, bit_choices=bit_choices)
+    assert set(legacy) == set(fused)
+    for pair in legacy:
+        pl, pf = legacy[pair], fused[pair]
+        assert pl.wire_bytes == pf.wire_bytes
+        assert pl.group_bits == pf.group_bits
+        assert all(np.array_equal(a, b) for a, b in zip(pl.group_rows, pf.group_rows))
+        assert all(np.array_equal(a, b) for a, b in zip(pl.streams, pf.streams))
+        assert all(
+            np.array_equal(a, b) for a, b in zip(pl.zero_points, pf.zero_points)
+        )
+        assert all(np.array_equal(a, b) for a, b in zip(pl.scales, pf.scales))
+        assert np.array_equal(pl.decode(), pf.decode())
+
+
+def test_fused_encode_ragged_pair_sizes():
+    gen = np.random.default_rng(3)
+    dim = 7
+    counts = np.array([1, 13, 0, 64, 5], dtype=np.int64)
+    pairs = [(0, q + 1) for q in range(counts.size)]
+    n = int(counts.sum())
+    values = gen.normal(size=(128, dim)).astype(np.float32)
+    cat_idx = gen.integers(0, values.shape[0], n)
+    bits_cat = gen.choice([2, 4, 8], size=n)
+
+    legacy_enc = MixedPrecisionEncoder(np.random.default_rng(11))
+    fused_enc = FusedStepEncoder(np.random.default_rng(11))
+    plan = fused_enc.plan_for("k", pairs, counts, [(0, 0, n)], cat_idx, bits_cat, dim)
+    fused = fused_enc.encode_step(plan, {0: values})
+
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    for i, pair in enumerate(pairs):
+        sel = cat_idx[bounds[i] : bounds[i + 1]]
+        pl = legacy_enc.encode(values[sel], bits_cat[bounds[i] : bounds[i + 1]])
+        assert pl.wire_bytes == fused[pair].wire_bytes
+        assert np.array_equal(pl.decode(), fused[pair].decode())
+
+
+def test_plan_cache_revalidates_on_bit_change():
+    values, pairs, counts, cat_idx, bits_cat, dim = _step(5)
+    enc = FusedStepEncoder(np.random.default_rng(0))
+    n = int(counts.sum())
+    plan1 = enc.plan_for("k", pairs, counts, [(0, 0, n)], cat_idx, bits_cat, dim)
+    plan2 = enc.plan_for("k", pairs, counts, [(0, 0, n)], cat_idx, bits_cat, dim)
+    assert plan1 is plan2  # unchanged bits: cached
+    new_bits = bits_cat.copy()
+    new_bits[0] = 2 if bits_cat[0] != 2 else 4
+    plan3 = enc.plan_for("k", pairs, counts, [(0, 0, n)], cat_idx, new_bits, dim)
+    assert plan3 is not plan1
+
+
+def test_decode_step_matches_payload_decode():
+    _, fused = _encode_both(21)
+    mailbox = {dst: p for (_, dst), p in fused.items()}
+    decoded = decode_step(mailbox)
+    for src, payload in mailbox.items():
+        assert np.array_equal(decoded[src], payload.decode())
+
+
+def test_decode_cluster_step_groups_by_receiver():
+    _, fused = _encode_both(22, n_pairs=4)
+    items = list(fused.items())
+    collects = {
+        10: {src: p for (src, _), p in items[:2]},
+        11: {src: p for (src, _), p in items[2:]},
+    }
+    decoded = decode_cluster_step(collects)
+    assert set(decoded) == {10, 11}
+    for dst, mailbox in collects.items():
+        for src, payload in mailbox.items():
+            assert np.array_equal(decoded[dst][src], payload.decode())
+
+
+def test_decode_cluster_step_empty_mailboxes():
+    assert decode_cluster_step({0: {}, 1: {}}) == {0: {}, 1: {}}
+
+
+def test_encoder_empty_step():
+    enc = FusedStepEncoder(np.random.default_rng(0))
+    plan = enc.plan_for(
+        "k", [], np.zeros(0, dtype=np.int64), [], np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64), 4,
+    )
+    assert enc.encode_step(plan, {}) == {}
+
+
+def test_quantize_with_noise_matches_stochastic():
+    from repro.quant.stochastic import quantize_stochastic, quantize_with_noise
+
+    h = np.random.default_rng(1).normal(size=(50, 8)).astype(np.float32)
+    r1, r2 = np.random.default_rng(5), np.random.default_rng(5)
+    q1 = quantize_stochastic(h, 4, r1)
+    q2 = quantize_with_noise(h, 4, r2.random(h.shape))
+    assert np.array_equal(q1.codes, q2.codes)
+    assert np.array_equal(q1.zero_point, q2.zero_point)
+    assert np.array_equal(q1.scale, q2.scale)

@@ -1,0 +1,75 @@
+"""Property tests for batched bit-packing on ragged segment layouts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.packing import (
+    pack_bits,
+    pack_bits_batched,
+    unpack_bits,
+    unpack_bits_batched,
+)
+
+bits_strategy = st.sampled_from([1, 2, 4, 8])
+counts_strategy = st.lists(st.integers(min_value=0, max_value=65), min_size=0, max_size=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=bits_strategy, counts=counts_strategy, seed=st.integers(0, 2**16))
+def test_batched_pack_matches_per_segment_pack(bits, counts, seed):
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    codes = np.random.default_rng(seed).integers(0, 1 << bits, total, dtype=np.uint8)
+    streams = pack_bits_batched(codes, bits, counts)
+    assert len(streams) == counts.size
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    for i, stream in enumerate(streams):
+        expected = pack_bits(codes[bounds[i] : bounds[i + 1]], bits)
+        assert np.array_equal(stream, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=bits_strategy, counts=counts_strategy, seed=st.integers(0, 2**16))
+def test_batched_roundtrip_ragged(bits, counts, seed):
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    codes = np.random.default_rng(seed).integers(0, 1 << bits, total, dtype=np.uint8)
+    streams = pack_bits_batched(codes, bits, counts)
+    recovered = unpack_bits_batched(streams, bits, counts)
+    assert np.array_equal(recovered, codes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=bits_strategy, counts=counts_strategy, seed=st.integers(0, 2**16))
+def test_batched_unpack_matches_per_segment_unpack(bits, counts, seed):
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    codes = np.random.default_rng(seed).integers(0, 1 << bits, total, dtype=np.uint8)
+    streams = pack_bits_batched(codes, bits, counts)
+    per_segment = [
+        unpack_bits(stream, bits, int(n)) for stream, n in zip(streams, counts)
+    ]
+    batched = unpack_bits_batched(streams, bits, counts)
+    if per_segment:
+        assert np.array_equal(batched, np.concatenate(per_segment))
+    else:
+        assert batched.size == 0
+
+
+def test_pack_batched_validates_counts():
+    codes = np.zeros(10, dtype=np.uint8)
+    try:
+        pack_bits_batched(codes, 2, np.array([4, 4]))  # sums to 8, not 10
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError for mismatched counts")
+
+
+def test_pack_batched_2d_codes():
+    codes = np.arange(24, dtype=np.uint8).reshape(6, 4) % 4
+    streams = pack_bits_batched(codes, 2, np.array([8, 16]))
+    flat = codes.ravel()
+    assert np.array_equal(streams[0], pack_bits(flat[:8], 2))
+    assert np.array_equal(streams[1], pack_bits(flat[8:], 2))
