@@ -1,0 +1,55 @@
+"""Wall-clock benchmarks of the cluster-fused compute engine (``-m perf``).
+
+Same philosophy as ``test_perf_exchange.py``: these floors are
+*conservative* — well below the measurements recorded in
+``BENCH_perf.json`` — so they stay green on slow shared runners while
+still catching an engine that has lost its reason to exist.  The tight
+regression gate is the ``repro bench --baseline`` comparison in CI.
+"""
+
+import pytest
+
+from repro.harness.perfbench import (
+    bench_compute_gemm,
+    bench_compute_spmv,
+    bench_epoch,
+    bench_epoch_vanilla,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def test_stacked_gemm_beats_per_device_loop():
+    result = bench_compute_gemm(reps=15)
+    assert result["fused_mbps"] > 0
+    # vs plain per-device BLAS (the pre-engine cost); the shipped
+    # per-device path additionally pays row_matmul padding
+    # (unfused_padded_ms), against which the stacked call is ~19x.
+    assert result["speedup"] > 1.05, result
+    assert result["unfused_padded_ms"] > result["unfused_ms"], result
+
+
+def test_block_diagonal_spmv_beats_per_device_loop():
+    result = bench_compute_spmv(reps=15)
+    assert result["fused_mbps"] > 0
+    assert result["speedup"] > 1.05, result
+
+
+def test_vanilla_epoch_speedup_on_many_partition_workload():
+    """The engine's headline: ≥2x epochs vs. the PR-1-era state (the
+    checked-in baseline records the measured ratio; this floor is the
+    slow-runner safety margin)."""
+    result = bench_epoch_vanilla(epochs=6, warmup=2)
+    assert result["wire_bytes_match"], "fused engine changed wire accounting"
+    assert result["losses_match"], "fused compute engine changed numerics"
+    assert result["losses_close"], "batched exact exchange diverged"
+    assert result["speedup"] > 1.5, result
+
+
+def test_quantized_epoch_keeps_combined_speedup():
+    result = bench_epoch(epochs=5, warmup=1)
+    assert result["wire_bytes_match"], "fused engines changed wire accounting"
+    assert result["losses_match"], "fused engines changed numerics"
+    assert result["speedup"] > 1.5, result
+    # Compute fusion must never make the quantized epoch slower.
+    assert result["compute_speedup"] > 0.95, result

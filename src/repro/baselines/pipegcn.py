@@ -46,11 +46,15 @@ class StaleHaloExchange(HaloExchange):
         devices: list,
         transport: Transport,
         h_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
         tag = f"fwd/L{layer}"
         for dev in devices:
             part = dev.part
             for q in part.peers_out():
+                # The gather always copies (fancy indexing), so cached
+                # payloads stay frozen even when ``h_by_dev`` entries are
+                # views of the fused engine's reused buffers.
                 rows = np.ascontiguousarray(
                     h_by_dev[dev.rank][part.send_map[q]], dtype=np.float32
                 )
@@ -67,7 +71,7 @@ class StaleHaloExchange(HaloExchange):
         for dev in devices:
             part = dev.part
             d = h_by_dev[dev.rank].shape[1]
-            halo = np.zeros((part.n_halo, d), dtype=np.float32)
+            halo = self._halo_out(out, dev.rank, part.n_halo, d)
             for p, payload in source[dev.rank].items():
                 halo[part.recv_map[p]] = payload
             halo_by_dev.append(halo)

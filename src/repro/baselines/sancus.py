@@ -73,6 +73,7 @@ class BroadcastSkipExchange(HaloExchange):
         devices: list,
         transport: Transport,
         h_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
         tag = f"fwd/L{layer}"
         broadcast = self._broadcast_now()
@@ -82,7 +83,11 @@ class BroadcastSkipExchange(HaloExchange):
             if not peers:
                 continue
             if broadcast:
-                block = np.ascontiguousarray(h_by_dev[dev.rank], dtype=np.float32)
+                # Always copy: the historical cache must hold a frozen
+                # snapshot, and ``h_by_dev`` entries may be views of the
+                # fused compute engine's buffers, which are overwritten
+                # in later epochs (``ascontiguousarray`` would alias them).
+                block = np.array(h_by_dev[dev.rank], dtype=np.float32, order="C")
                 self.broadcasts_sent += 1
                 for q in peers:
                     transport.post(dev.rank, q, tag, block, block.nbytes)
@@ -96,7 +101,7 @@ class BroadcastSkipExchange(HaloExchange):
             hist = self._historical.setdefault((layer, dev.rank), {})
             hist.update(received)
             d = h_by_dev[dev.rank].shape[1]
-            halo = np.zeros((part.n_halo, d), dtype=np.float32)
+            halo = self._halo_out(out, dev.rank, part.n_halo, d)
             for p, block in hist.items():
                 if p not in part.recv_map:
                     continue

@@ -14,9 +14,10 @@ Commands
     (``table1`` ... ``table8``, ``fig02`` ... ``fig11``, ``ablation-*``,
     ``footnote1``) and print the rendered table.
 ``bench``
-    Run the fused-exchange-engine performance benchmarks (encode/decode
-    throughput, end-to-end epoch speedup), write ``BENCH_perf.json`` and
-    optionally gate against a baseline (the CI perf-smoke job).
+    Run the fused-engine performance benchmarks (exchange encode/decode
+    throughput, compute spmv/GEMM throughput, end-to-end epoch speedups),
+    write ``BENCH_perf.json`` and optionally gate against a baseline (the
+    CI perf-smoke job).
 """
 
 from __future__ import annotations
@@ -98,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("id", choices=sorted(_EXPERIMENTS))
 
     p_bench = sub.add_parser(
-        "bench", help="benchmark the fused exchange engine (wall-clock)"
+        "bench", help="benchmark the fused exchange + compute engines (wall-clock)"
     )
     p_bench.add_argument(
         "--quick", action="store_true",
@@ -227,7 +228,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
 
     mode = "quick" if args.quick else "full"
-    print(f"benchmarking the fused exchange engine ({mode} mode)...")
+    print(f"benchmarking the fused engines ({mode} mode)...")
     report = run_bench(quick=args.quick, seed=args.seed)
     print(render_report(report))
     out = save_report(report, args.output)

@@ -10,6 +10,7 @@ records the per-layer byte matrices and FLOP counts that the schedule
 simulators turn into epoch times.
 """
 
+from repro.cluster.compute import FusedClusterCompute, build_block_diagonal
 from repro.cluster.memory import MemoryFootprint, estimate_memory
 from repro.cluster.perfmodel import PerfModel
 from repro.cluster.records import EpochRecord, PhaseRecord
@@ -26,6 +27,8 @@ from repro.cluster.runtime import DeviceRuntime
 from repro.cluster.cluster import Cluster
 
 __all__ = [
+    "FusedClusterCompute",
+    "build_block_diagonal",
     "MemoryFootprint",
     "estimate_memory",
     "PerfModel",

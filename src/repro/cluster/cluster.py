@@ -3,8 +3,16 @@
 ``Cluster`` owns the simulated devices and drives one *real* training epoch
 at a time: per GNN layer, it exchanges halo messages through the transport
 (under whatever exchange policy the caller supplies — exact, quantized,
-stale), invokes each device's layer forward/backward, and finally
-allreduces model gradients exactly.
+stale), runs the layer's forward/backward, and finally allreduces model
+gradients exactly.
+
+Layer compute runs, by default, on the cluster-fused engine
+(:class:`~repro.cluster.compute.FusedClusterCompute`): one block-diagonal
+spmv and one stacked GEMM per layer step for all devices together, with
+halo rows exchanged straight into the stacked buffers.
+``fused_compute=False`` selects the legacy per-device loop — both paths
+are bit-identical under the same seed (the equivalence suite asserts it),
+so the flag is purely an execution-shape escape hatch.
 
 It simultaneously fills an :class:`EpochRecord` with the measured wire
 bytes and the analytic FLOP counts of every (layer, direction) step; the
@@ -20,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.compute import FusedClusterCompute
 from repro.cluster.exchange import ExactHaloExchange, HaloExchange
 from repro.cluster.records import EpochRecord, PhaseRecord
 from repro.cluster.runtime import DeviceRuntime
@@ -54,6 +63,10 @@ class Cluster:
     seed:
         Root seed for weights (shared across replicas), dropout (per
         device) and stochastic rounding (per device).
+    fused_compute:
+        Execute layer compute on the cluster-fused engine (default) or the
+        legacy per-device loop.  Both are bit-identical under the same
+        seed; the flag exists for the equivalence suite and benchmarks.
     """
 
     def __init__(
@@ -66,6 +79,7 @@ class Cluster:
         num_layers: int = 3,
         dropout: float = 0.5,
         seed: int = 0,
+        fused_compute: bool = True,
     ) -> None:
         check_in_set(model_kind, MODEL_KINDS, name="model_kind")
         if num_layers < 1:
@@ -130,6 +144,20 @@ class Cluster:
         # poison later calls with stale undelivered envelopes).
         self._eval_exchange = ExactHaloExchange()
 
+        # The fused engine's step plan (operators, stacked buffers, views)
+        # is static across epochs, so it is built once and lazily; the
+        # per-phase FLOP-accounting arrays are likewise cached.
+        self.fused_compute = bool(fused_compute)
+        self._engine: FusedClusterCompute | None = None
+        self._phase_static: dict[tuple[int, str, bool], tuple[np.ndarray, ...]] = {}
+
+    def _compute_engine(self) -> FusedClusterCompute:
+        if self._engine is None:
+            self._engine = FusedClusterCompute(
+                self.devices, self.dims, self.model_kind
+            )
+        return self._engine
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
@@ -142,14 +170,36 @@ class Cluster:
         devices = self.devices
         exchange.on_epoch_start(epoch)
         for dev in devices:
-            dev.model.train()
-            dev.model.zero_grad()
+            if not dev.model.training:
+                dev.model.train()
+            if not self.fused_compute:
+                # The fused engine never reads replica grads mid-epoch and
+                # overwrites them wholesale at reduce time, so the legacy
+                # per-parameter zeroing walk is skipped there.
+                dev.model.zero_grad()
         self.transport.reset_accounting()
 
         record = EpochRecord(loss=0.0)
         num_layers = devices[0].model.num_layers
 
-        # ---- forward ----------------------------------------------------
+        if self.fused_compute:
+            engine = self._compute_engine()
+            engine.begin_epoch()
+            for layer in range(num_layers):
+                engine.forward_layer(layer, exchange, self.transport, training=True)
+                record.phases.append(
+                    self._phase_record(layer, "fwd", exchange, f"fwd/L{layer}")
+                )
+            record.loss = engine.epoch_loss(self._loss)
+            for layer in reversed(range(num_layers)):
+                engine.backward_layer(layer, exchange, self.transport)
+                record.phases.append(
+                    self._phase_record(layer, "bwd", exchange, f"bwd/L{layer}")
+                )
+            record.grad_allreduce_bytes = engine.reduce_gradients()
+            return record
+
+        # ---- forward (legacy per-device path) ---------------------------
         h_by_dev = [dev.features for dev in devices]
         for layer in range(num_layers):
             halo = exchange.exchange_embeddings(layer, devices, self.transport, h_by_dev)
@@ -194,19 +244,21 @@ class Cluster:
         record.grad_allreduce_bytes = int(reduced.nbytes)
         return record
 
-    def _loss(self, dev: DeviceRuntime, logits: np.ndarray) -> tuple[float, np.ndarray]:
-        if self.dataset.multilabel:
-            return bce_with_logits_loss(
-                logits,
-                dev.labels,
-                dev.train_mask,
-                normalizer=self.global_train_count,
-            )
-        return softmax_cross_entropy(
+    def _loss(
+        self,
+        dev: DeviceRuntime,
+        logits: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
+        loss_fn = (
+            bce_with_logits_loss if self.dataset.multilabel else softmax_cross_entropy
+        )
+        return loss_fn(
             logits,
             dev.labels,
             dev.train_mask,
             normalizer=self.global_train_count,
+            out=out,
         )
 
     # ------------------------------------------------------------------
@@ -219,18 +271,24 @@ class Cluster:
         transport = Transport(self.num_devices)
         for dev in devices:
             dev.model.eval()
-        h_by_dev = [dev.features for dev in devices]
-        for layer in range(devices[0].model.num_layers):
-            halo = exchange.exchange_embeddings(layer, devices, transport, h_by_dev)
-            h_by_dev = [
-                dev.model.layers[layer].forward(h_by_dev[dev.rank], halo[dev.rank])
-                for dev in devices
-            ]
         logits = np.zeros(
             (self.dataset.num_nodes, self.dims[-1]), dtype=np.float32
         )
-        for dev in devices:
-            logits[dev.part.owned_global] = h_by_dev[dev.rank]
+        if self.fused_compute:
+            engine = self._compute_engine()
+            for layer in range(devices[0].model.num_layers):
+                engine.forward_layer(layer, exchange, transport, training=False)
+            engine.scatter_logits(logits)
+        else:
+            h_by_dev = [dev.features for dev in devices]
+            for layer in range(devices[0].model.num_layers):
+                halo = exchange.exchange_embeddings(layer, devices, transport, h_by_dev)
+                h_by_dev = [
+                    dev.model.layers[layer].forward(h_by_dev[dev.rank], halo[dev.rank])
+                    for dev in devices
+                ]
+            for dev in devices:
+                logits[dev.part.owned_global] = h_by_dev[dev.rank]
         for dev in devices:
             dev.model.train()
         return logits
@@ -252,6 +310,31 @@ class Cluster:
     def _phase_record(
         self, layer: int, phase: str, exchange: HaloExchange, tag: str
     ) -> PhaseRecord:
+        # Everything but the byte matrix is static across epochs (FLOP
+        # counts depend only on partition shape and layer dims), so the
+        # per-device arrays are built once per (layer, phase, quantizes)
+        # and copied into each record.
+        key = (layer, phase, exchange.quantizes)
+        static = self._phase_static.get(key)
+        if static is None:
+            static = self._build_phase_static(layer, phase, exchange.quantizes)
+            self._phase_static[key] = static
+        agg_flops, agg_central, dense_flops, dense_central, quant_send, quant_recv = static
+        return PhaseRecord(
+            layer=layer,
+            phase=phase,
+            bytes_matrix=self.transport.bytes_matrix(tag),
+            quant_send_bytes=quant_send.copy(),
+            quant_recv_bytes=quant_recv.copy(),
+            agg_flops=agg_flops.copy(),
+            agg_flops_central=agg_central.copy(),
+            dense_flops=dense_flops.copy(),
+            dense_flops_central=dense_central.copy(),
+        )
+
+    def _build_phase_static(
+        self, layer: int, phase: str, quantizes: bool
+    ) -> tuple[np.ndarray, ...]:
         n = self.num_devices
         d_in, d_out = self.dims[layer], self.dims[layer + 1]
         dense_factor = 2.0 if self.model_kind == "sage" else 1.0
@@ -273,7 +356,7 @@ class Cluster:
             dense_flops[dev.rank] = dense
             central_frac = dev.part.n_central / max(dev.n_owned, 1)
             dense_central[dev.rank] = dense * central_frac
-            if exchange.quantizes:
+            if quantizes:
                 # Quantize what we send, de-quantize what we receive; the
                 # message width is the layer *input* width in both passes.
                 sent = self._rows_out[dev.rank] if phase == "fwd" else self._rows_in[dev.rank]
@@ -281,14 +364,4 @@ class Cluster:
                 quant_send[dev.rank] = 4.0 * d_in * sent
                 quant_recv[dev.rank] = 4.0 * d_in * recv
 
-        return PhaseRecord(
-            layer=layer,
-            phase=phase,
-            bytes_matrix=self.transport.bytes_matrix(tag),
-            quant_send_bytes=quant_send,
-            quant_recv_bytes=quant_recv,
-            agg_flops=agg_flops,
-            agg_flops_central=agg_central,
-            dense_flops=dense_flops,
-            dense_flops_central=dense_central,
-        )
+        return agg_flops, agg_central, dense_flops, dense_central, quant_send, quant_recv

@@ -1,0 +1,411 @@
+"""The cluster-fused compute engine: one kernel per layer step, all devices.
+
+The legacy executor dispatches K per-device Python loops per layer — K
+small spmv's, K ``np.vstack`` copies, K small GEMMs, K losses — although
+every replica holds bit-identical weights.  In the many-partition regime
+the paper's wall-clock results live in, those tiny dispatches dominate the
+epoch (the same thesis PR 1 applied to quantize/pack/exchange).
+
+:class:`FusedClusterCompute` executes the whole cluster's forward/backward
+with cluster-wide operators instead:
+
+* **one block-diagonal CSR** stacks every device's aggregation operator
+  into a single global column space (owned columns first, halo columns
+  after), so each layer's aggregation is one spmv — and its cached CSR
+  transpose makes the backward routing one spmv too;
+* **stacked activations** live in preallocated ``(ΣN_own + ΣN_halo, d)``
+  buffers; the halo exchange writes decoded rows straight into the halo
+  region (the ``out=`` contract of
+  :meth:`~repro.cluster.exchange.HaloExchange.exchange_embeddings`), so
+  the per-layer ``np.vstack`` copies disappear entirely;
+* **one stacked GEMM** per layer runs every device's dense transform using
+  the shared replica weights (via :func:`repro.nn.blas.row_matmul`, which
+  keeps per-row results identical to the per-device GEMMs it replaces);
+* **weight gradients accumulate directly in reduced form**: per-device
+  partial gradients are summed into float64 accumulators in rank order —
+  exactly :func:`repro.comm.allreduce.allreduce_sum`'s reduction — so the
+  K flat gradient vectors the legacy path materializes are never built.
+
+Numerical contract (asserted by ``tests/cluster/test_fused_compute.py``):
+under the same seed the engine is **bit-identical** to the legacy
+per-device path — same losses, same reduced model gradients, same wire
+bytes — for every exchange policy (exact, quantized, fused-quantized,
+stale, broadcast-skip).  Everything per-row is trivially identical; the
+three non-obvious cases are (a) GEMMs, handled by ``row_matmul``'s
+row-determinism, (b) spmv's, where the block-diagonal remap preserves
+per-row column order so scipy's row-major accumulation is unchanged, and
+(c) reductions (loss sums, gradient sums, ``sum(axis=0)`` of contiguous
+slices), which replicate the legacy operation order exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cluster.runtime import DeviceRuntime
+from repro.nn.blas import row_matmul
+
+__all__ = ["FusedClusterCompute", "build_block_diagonal"]
+
+try:  # pragma: no cover - import guard
+    from scipy.sparse import _sparsetools as _sptools
+
+    _csr_matvecs = getattr(_sptools, "csr_matvecs", None)
+except ImportError:  # pragma: no cover - scipy always present in this repo
+    _csr_matvecs = None
+
+
+def _spmv_into(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out[...] = matrix @ x`` without the per-call result allocation.
+
+    Uses scipy's ``csr_matvecs`` kernel directly when available (it is what
+    ``matrix @ x`` calls after allocating a zeroed result, so results are
+    bit-identical); falls back to the public operator otherwise.
+    """
+    if (
+        _csr_matvecs is not None
+        and x.flags.c_contiguous
+        and out.flags.c_contiguous
+        and x.dtype == matrix.dtype == out.dtype
+    ):
+        out.fill(0.0)
+        n_row, n_col = matrix.shape
+        _csr_matvecs(
+            n_row,
+            n_col,
+            x.shape[1],
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            x.ravel(),
+            out.ravel(),
+        )
+        return out
+    out[...] = matrix @ x
+    return out
+
+
+def build_block_diagonal(devices: list[DeviceRuntime]) -> sp.csr_matrix:
+    """Stack per-device aggregation operators into one cluster operator.
+
+    Row ``own_off[k] + i`` is device ``k``'s owned row ``i``; columns are
+    remapped into the stacked buffer's global space — owned column ``j``
+    of device ``k`` becomes ``own_off[k] + j`` and halo column ``j``
+    becomes ``N_own + halo_off[k] + j``.  Both remaps are strictly
+    monotone and all owned columns precede all halo columns, so every
+    row's column order (hence scipy's accumulation order) is exactly the
+    per-device operator's: ``(P_global @ X)`` rows are bit-identical to
+    the K separate ``P_k @ x_k`` products they fuse.
+    """
+    n_own = np.array([d.part.n_owned for d in devices], dtype=np.int64)
+    n_halo = np.array([d.part.n_halo for d in devices], dtype=np.int64)
+    own_off = np.concatenate([[0], np.cumsum(n_own)])
+    halo_off = np.concatenate([[0], np.cumsum(n_halo)])
+    total_own, total_halo = int(own_off[-1]), int(halo_off[-1])
+
+    data: list[np.ndarray] = []
+    indices: list[np.ndarray] = []
+    indptr: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    nnz = 0
+    for k, dev in enumerate(devices):
+        m = dev.agg.matrix
+        idx = m.indices.astype(np.int64, copy=True)
+        own_cols = idx < n_own[k]
+        idx[own_cols] += own_off[k]
+        idx[~own_cols] += total_own + halo_off[k] - n_own[k]
+        data.append(m.data)
+        indices.append(idx)
+        indptr.append(m.indptr[1:].astype(np.int64) + nnz)
+        nnz += m.nnz
+    fused = sp.csr_matrix(
+        (
+            np.concatenate(data),
+            np.concatenate(indices),
+            np.concatenate(indptr),
+        ),
+        shape=(total_own, total_own + total_halo),
+    )
+    # Per-device operators are canonical (sorted, deduplicated) and the
+    # remap is order-preserving, so the stacked matrix already is too.
+    fused.has_sorted_indices = True
+    fused.has_canonical_format = True
+    return fused
+
+
+class FusedClusterCompute:
+    """Whole-cluster forward/backward on stacked buffers.
+
+    Built once per :class:`~repro.cluster.cluster.Cluster` (the step plan —
+    operators, offsets, views, scratch — is static across epochs, in the
+    spirit of PR 1's ``FusedStepPlan``); the cluster drives it layer by
+    layer so phase records keep their legacy shape.
+
+    Parameters
+    ----------
+    devices:
+        The cluster's device runtimes (replicas must be bit-identical —
+        the engine computes with device 0's weights on every row).
+    dims:
+        Layer widths ``[in, hidden, ..., out]``.
+    model_kind:
+        ``"gcn"`` or ``"sage"``.
+    """
+
+    def __init__(
+        self, devices: list[DeviceRuntime], dims: list[int], model_kind: str
+    ) -> None:
+        self.devices = devices
+        self.dims = list(dims)
+        self.model_kind = model_kind
+        self.num_layers = len(dims) - 1
+
+        n_own = [d.part.n_owned for d in devices]
+        n_halo = [d.part.n_halo for d in devices]
+        self.own_off = np.concatenate([[0], np.cumsum(n_own)]).astype(np.int64)
+        self.halo_off = np.concatenate([[0], np.cumsum(n_halo)]).astype(np.int64)
+        self.total_own = int(self.own_off[-1])
+        self.total_halo = int(self.halo_off[-1])
+        n_rows = self.total_own + self.total_halo
+
+        self.matrix = build_block_diagonal(devices)
+        matrix_t = self.matrix.T.tocsr()
+        matrix_t.sort_indices()
+        self.matrix_t = matrix_t
+
+        self._owned_global = np.concatenate(
+            [d.part.owned_global for d in devices]
+        )
+
+        L = self.num_layers
+        # Layer inputs: [all owned rows][all halo rows] per the operator's
+        # column space.  X[0]'s owned region holds the (static) features.
+        self._x = [np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(L)]
+        for k, dev in enumerate(devices):
+            self._x[0][self.own_off[k] : self.own_off[k + 1]] = dev.features
+        self._z = [np.zeros((self.total_own, dims[l]), dtype=np.float32) for l in range(L)]
+        self._dz = [np.zeros((self.total_own, dims[l]), dtype=np.float32) for l in range(L)]
+        self._dx = [np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(L)]
+        self.logits = np.zeros((self.total_own, dims[-1]), dtype=np.float32)
+        self._d_logits = np.zeros_like(self.logits)
+        if model_kind == "sage":
+            self._neigh_out = [
+                np.zeros((self.total_own, dims[l + 1]), dtype=np.float32)
+                for l in range(L)
+            ]
+            self._d_own = [
+                np.zeros((self.total_own, dims[l]), dtype=np.float32) for l in range(L)
+            ]
+        # Post-processing caches (all but the output layer).
+        self._x_hat = [
+            np.zeros((self.total_own, dims[l + 1]), dtype=np.float32)
+            for l in range(L - 1)
+        ]
+        self._inv_std: list[np.ndarray | None] = [None] * (L - 1)
+        self._relu_mask = [
+            np.zeros((self.total_own, dims[l + 1]), dtype=bool) for l in range(L - 1)
+        ]
+        self._drop_mask = [
+            np.zeros((self.total_own, dims[l + 1]), dtype=np.float32)
+            for l in range(L - 1)
+        ]
+        self._drop_active = [False] * (L - 1)
+
+        # Per-layer, per-device views into the stacked buffers (static).
+        self._own_views = [
+            [x[self.own_off[k] : self.own_off[k + 1]] for k in range(len(devices))]
+            for x in self._x
+        ]
+        self._halo_views = [
+            [
+                x[
+                    self.total_own + self.halo_off[k] : self.total_own
+                    + self.halo_off[k + 1]
+                ]
+                for k in range(len(devices))
+            ]
+            for x in self._x
+        ]
+
+        # Reduced-form gradient accumulators: one float64 buffer per
+        # parameter of the (shared) replica structure, summed over devices
+        # in rank order — allreduce_sum's exact operation order.
+        self._params_by_dev = [dev.model.parameters() for dev in devices]
+        self._acc = [np.zeros(p.shape, dtype=np.float64) for p in self._params_by_dev[0]]
+        self._acc_by_id = {
+            id(p): a for p, a in zip(self._params_by_dev[0], self._acc)
+        }
+        # Gradient of the current backward frontier (set by epoch_loss).
+        self._d: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _own_slice(self, k: int) -> slice:
+        return slice(int(self.own_off[k]), int(self.own_off[k + 1]))
+
+    def _acc_add(self, param, partial: np.ndarray) -> None:
+        self._acc_by_id[id(param)] += partial
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def begin_epoch(self) -> None:
+        for acc in self._acc:
+            acc.fill(0.0)
+        self._d = None
+
+    def forward_layer(self, layer, exchange, transport, *, training: bool) -> None:
+        """Exchange halos, aggregate, and run layer ``layer``'s dense step."""
+        x = self._x[layer]
+        exchange.exchange_embeddings(
+            layer,
+            self.devices,
+            transport,
+            self._own_views[layer],
+            out=self._halo_views[layer],
+        )
+        z = _spmv_into(self.matrix, x, self._z[layer])
+
+        mod = self.devices[0].model.layers[layer]
+        out_own = (
+            self.logits if mod.is_output else self._x[layer + 1][: self.total_own]
+        )
+        conv = mod.conv
+        if self.model_kind == "gcn":
+            row_matmul(z, conv.linear.weight.data, out=out_own)
+            out_own += conv.linear.bias.data
+        else:
+            row_matmul(x[: self.total_own], conv.root.weight.data, out=out_own)
+            out_own += conv.root.bias.data
+            neigh = row_matmul(z, conv.neigh.weight.data, out=self._neigh_out[layer])
+            out_own += neigh
+        if not mod.has_post_stage:
+            return
+
+        # LayerNorm — row-local, so stacked rows match per-device rows;
+        # the formula lives in LayerNorm.forward_into (single source of
+        # truth with the legacy forward).
+        h = out_own
+        self._inv_std[layer] = mod.norm.forward_into(h, self._x_hat[layer])
+
+        # ReLU.
+        relu_mask = self._relu_mask[layer]
+        np.greater(h, 0, out=relu_mask)
+        h *= relu_mask
+
+        # Dropout: masks are drawn per device from that device's stream in
+        # rank order (via Dropout.sample_mask, so stream consumption and
+        # scaling match the legacy layer loop bit for bit); the multiply
+        # then runs once on the stacked buffer.
+        if training and mod.drop.p > 0.0:
+            drop_mask = self._drop_mask[layer]
+            for k, dev in enumerate(self.devices):
+                sl = drop_mask[self._own_slice(k)]
+                sl[...] = dev.model.layers[layer].drop.sample_mask(sl.shape)
+            h *= drop_mask
+            self._drop_active[layer] = True
+        else:
+            self._drop_active[layer] = False
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def epoch_loss(self, loss_fn) -> float:
+        """Per-device losses on logit slices; gradients land in place.
+
+        ``loss_fn(dev, logits_slice, out=grad_slice)`` must return
+        ``(loss, d_logits)`` — the cluster passes its ``_loss`` (which
+        carries the global normalizer).  Device losses are summed in rank
+        order, reproducing the legacy Python-float accumulation exactly.
+        """
+        total = 0.0
+        for k, dev in enumerate(self.devices):
+            sl = self._own_slice(k)
+            loss, _ = loss_fn(dev, self.logits[sl], out=self._d_logits[sl])
+            total += loss
+        self._d = self._d_logits
+        return float(total)
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward_layer(self, layer, exchange, transport) -> None:
+        """Backprop through layer ``layer`` and route halo gradients."""
+        d_out = self._d
+        if d_out is None:
+            raise RuntimeError("backward_layer called before epoch_loss")
+        mod = self.devices[0].model.layers[layer]
+
+        if mod.has_post_stage:
+            if self._drop_active[layer]:
+                d_out *= self._drop_mask[layer]
+            d_out *= self._relu_mask[layer]
+            # LayerNorm: per-device parameter partials, stacked d_input
+            # (the input-gradient formula is LayerNorm.input_grad).
+            x_hat = self._x_hat[layer]
+            prod = d_out * x_hat
+            for k in range(len(self.devices)):
+                sl = self._own_slice(k)
+                self._acc_add(mod.norm.gamma, prod[sl].sum(axis=0))
+                self._acc_add(mod.norm.beta, d_out[sl].sum(axis=0))
+            d_out = mod.norm.input_grad(d_out, x_hat, self._inv_std[layer])
+
+        conv = mod.conv
+        z = self._z[layer]
+        dx = self._dx[layer]
+        if self.model_kind == "gcn":
+            for k in range(len(self.devices)):
+                sl = self._own_slice(k)
+                self._acc_add(conv.linear.weight, z[sl].T @ d_out[sl])
+                self._acc_add(conv.linear.bias, d_out[sl].sum(axis=0))
+            d_z = row_matmul(d_out, conv.linear.weight.data.T, out=self._dz[layer])
+            _spmv_into(self.matrix_t, d_z, dx)
+            d_next = dx[: self.total_own]
+        else:
+            x_own = self._x[layer][: self.total_own]
+            for k in range(len(self.devices)):
+                sl = self._own_slice(k)
+                self._acc_add(conv.root.weight, x_own[sl].T @ d_out[sl])
+                self._acc_add(conv.root.bias, d_out[sl].sum(axis=0))
+                self._acc_add(conv.neigh.weight, z[sl].T @ d_out[sl])
+            d_next = row_matmul(d_out, conv.root.weight.data.T, out=self._d_own[layer])
+            d_z = row_matmul(d_out, conv.neigh.weight.data.T, out=self._dz[layer])
+            _spmv_into(self.matrix_t, d_z, dx)
+            d_next += dx[: self.total_own]
+
+        d_own_views = [d_next[self._own_slice(k)] for k in range(len(self.devices))]
+        d_halo_views = [
+            dx[
+                self.total_own + self.halo_off[k] : self.total_own
+                + self.halo_off[k + 1]
+            ]
+            for k in range(len(self.devices))
+        ]
+        exchange.exchange_gradients(
+            layer, self.devices, transport, d_halo_views, d_own_views
+        )
+        self._d = d_next
+
+    # ------------------------------------------------------------------
+    # Gradient reduction
+    # ------------------------------------------------------------------
+    def reduce_gradients(self) -> int:
+        """Distribute the reduced gradients to every replica.
+
+        The accumulators already hold allreduce_sum's float64 totals (same
+        addend order); each is rounded to float32 once and written into
+        every device's ``Parameter.grad``.  Returns the reduced payload
+        size in bytes (what one allreduce would move per device).
+        """
+        reduced = [acc.astype(np.float32) for acc in self._acc]
+        for params in self._params_by_dev:
+            for p, r in zip(params, reduced):
+                p.grad[...] = r
+        return int(sum(r.nbytes for r in reduced))
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def scatter_logits(self, out: np.ndarray) -> np.ndarray:
+        """Write stacked per-device logits into a global (num_nodes, C) array."""
+        out[self._owned_global] = self.logits
+        return out

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Protocol
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.comm.transport import Transport
 from repro.quant.fused import FusedStepEncoder, decode_cluster_step
@@ -115,8 +116,16 @@ class HaloExchange:
         devices: list,  # list[DeviceRuntime]; untyped to avoid cycle
         transport: Transport,
         h_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
-        """All-to-all halo fetch; returns per device an (n_halo, d) matrix."""
+        """All-to-all halo fetch; returns per device an (n_halo, d) matrix.
+
+        ``out``, when given, supplies per-device ``(n_halo, d)`` destination
+        buffers (the fused compute engine passes halo-region views of its
+        stacked layer buffer, so decoded rows land in place).  Each buffer
+        is zeroed before scattering — reused buffers must be
+        indistinguishable from the fresh allocations of the default path.
+        """
         tag = f"fwd/L{layer}"
         for dev in devices:
             part = dev.part
@@ -129,7 +138,7 @@ class HaloExchange:
         for dev in devices:
             part = dev.part
             d = h_by_dev[dev.rank].shape[1]
-            halo = np.zeros((part.n_halo, d), dtype=np.float32)
+            halo = self._halo_out(out, dev.rank, part.n_halo, d)
             for p, payload in transport.collect(dev.rank, tag).items():
                 halo[part.recv_map[p]] = self._decode(payload)
             halo_by_dev.append(halo)
@@ -163,6 +172,21 @@ class HaloExchange:
             for p, payload in transport.collect(dev.rank, tag).items():
                 d_own_by_dev[dev.rank][part.send_map[p]] += self._decode(payload)
 
+    @staticmethod
+    def _halo_out(
+        out: list[np.ndarray] | None, rank: int, n_halo: int, dim: int
+    ) -> np.ndarray:
+        """Zeroed halo destination: caller-provided view or fresh array."""
+        if out is None:
+            return np.zeros((n_halo, dim), dtype=np.float32)
+        buf = out[rank]
+        if buf.shape != (n_halo, dim):
+            raise ValueError(
+                f"out[{rank}] has shape {buf.shape}, expected {(n_halo, dim)}"
+            )
+        buf.fill(0.0)
+        return buf
+
     # -- policy hooks --------------------------------------------------------
     def _post(
         self,
@@ -181,10 +205,168 @@ class HaloExchange:
 
 
 class ExactHaloExchange(HaloExchange):
-    """Full-precision float32 transfers (Vanilla and evaluation passes)."""
+    """Full-precision float32 transfers (Vanilla and evaluation passes).
+
+    Executed step-fused like the quantized engine: per device, one gather
+    over all outgoing boundary rows and one batched transport post; on the
+    receive side, one permutation scatter per device instead of one
+    assignment per peer.  Wire bytes and every transferred value are
+    identical to the per-pair path (payloads are row slices of the same
+    gather), so Vanilla epochs and evaluation passes stop paying K·peers
+    Python dispatches per layer.
+
+    Step plans (gather indices, scatter permutations) are cached per
+    cluster: the cache key is the identity of device 0's ``owned_global``
+    array, so an instance reused across *different* clusters rebuilds
+    automatically.
+    """
 
     quantizes = False
 
+    def __init__(self) -> None:
+        # phase -> (identity key, per-device plan list); see class docstring.
+        self._plans: dict[str, tuple[object, list]] = {}
+
+    def _plan_for(self, phase: str, devices: list) -> list:
+        key = devices[0].part.owned_global
+        cached = self._plans.get(phase)
+        if cached is not None and cached[0] is key:
+            return cached[1]
+        plans = []
+        for dev in devices:
+            part = dev.part
+            send = part.send_map if phase == "fwd" else part.recv_map
+            peers = sorted(send.keys())
+            counts = [int(send[q].size) for q in peers]
+            bounds = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+            gather = (
+                np.concatenate([send[q] for q in peers])
+                if peers
+                else np.zeros(0, dtype=np.int64)
+            )
+            # Receive side.  "fwd" scatters into halo slots — each fed by
+            # exactly one peer, so one permuted assignment covers the
+            # whole region.  "bwd" accumulates into owned rows, which may
+            # repeat across peers; a 0/1 selection operator reduces all
+            # incoming rows per owner in one spmv (summation over peers in
+            # ascending-peer order, like the per-peer loop it replaces).
+            recv = part.recv_map if phase == "fwd" else part.send_map
+            recv_peers = sorted(recv.keys())
+            scatter = (
+                np.concatenate([recv[p] for p in recv_peers])
+                if recv_peers
+                else np.zeros(0, dtype=np.int64)
+            )
+            if phase == "fwd" and scatter.size != part.n_halo:
+                # The zero-fill-free scatter below relies on full halo
+                # coverage; LocalPartition.validate() guarantees it, so a
+                # violation means a hand-built partition broke the maps.
+                raise ValueError(
+                    f"partition {part.part_id}: recv maps cover "
+                    f"{scatter.size} of {part.n_halo} halo slots"
+                )
+            reduce_op = None
+            if phase == "bwd" and scatter.size:
+                reduce_op = sp.csr_matrix(
+                    (
+                        np.ones(scatter.size, dtype=np.float32),
+                        (scatter, np.arange(scatter.size, dtype=np.int64)),
+                    ),
+                    shape=(part.n_owned, scatter.size),
+                )
+            plans.append((peers, bounds, gather, recv_peers, scatter, reduce_op))
+        self._plans[phase] = (key, plans)
+        return plans
+
+    @staticmethod
+    def _post_step_rows(
+        transport: Transport, tag: str, rank: int, plan: tuple, source: np.ndarray
+    ) -> None:
+        """Gather one device's outgoing rows and post them in one batch.
+
+        Payloads are row slices of a single fresh gather, so wire bytes
+        and transferred values are exactly the per-pair path's.
+        """
+        peers, bounds, gather = plan[:3]
+        if not peers:
+            return
+        # One gather, fresh memory; the float32 coercion mirrors the
+        # per-pair _post hook (and keeps the byte accounting honest for
+        # non-float32 inputs).
+        block = np.ascontiguousarray(source[gather], dtype=np.float32)
+        row_bytes = block.shape[1] * 4
+        posts = [
+            (
+                q,
+                block[bounds[i] : bounds[i + 1]],
+                int(bounds[i + 1] - bounds[i]) * row_bytes,
+            )
+            for i, q in enumerate(peers)
+        ]
+        transport.post_batch(rank, tag, posts)
+
+    def exchange_embeddings(
+        self,
+        layer: int,
+        devices: list,
+        transport: Transport,
+        h_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        tag = f"fwd/L{layer}"
+        plans = self._plan_for("fwd", devices)
+        for dev in devices:
+            self._post_step_rows(
+                transport, tag, dev.rank, plans[dev.rank], h_by_dev[dev.rank]
+            )
+        halo_by_dev: list[np.ndarray] = []
+        for dev in devices:
+            part = dev.part
+            d = h_by_dev[dev.rank].shape[1]
+            received = transport.collect(dev.rank, tag)
+            if received:
+                # The scatter permutation covers every halo slot (each is
+                # fed by exactly one peer and all peers posted), so the
+                # destination needs no zero-fill before assignment.
+                if out is not None:
+                    halo = out[dev.rank]
+                    if halo.shape != (part.n_halo, d):
+                        raise ValueError(
+                            f"out[{dev.rank}] has shape {halo.shape}, "
+                            f"expected {(part.n_halo, d)}"
+                        )
+                else:
+                    halo = np.empty((part.n_halo, d), dtype=np.float32)
+                recv_peers, scatter = plans[dev.rank][3:5]
+                halo[scatter] = np.concatenate([received[p] for p in recv_peers])
+            else:
+                halo = self._halo_out(out, dev.rank, part.n_halo, d)
+            halo_by_dev.append(halo)
+        return halo_by_dev
+
+    def exchange_gradients(
+        self,
+        layer: int,
+        devices: list,
+        transport: Transport,
+        d_halo_by_dev: list[np.ndarray],
+        d_own_by_dev: list[np.ndarray],
+    ) -> None:
+        tag = f"bwd/L{layer}"
+        plans = self._plan_for("bwd", devices)
+        for dev in devices:
+            self._post_step_rows(
+                transport, tag, dev.rank, plans[dev.rank], d_halo_by_dev[dev.rank]
+            )
+        for dev in devices:
+            received = transport.collect(dev.rank, tag)
+            if not received:
+                continue
+            recv_peers, _, reduce_op = plans[dev.rank][3:6]
+            cat = np.concatenate([received[p] for p in recv_peers])
+            d_own_by_dev[dev.rank] += np.asarray(reduce_op @ cat)
+
+    # Per-pair hooks kept for subclasses/tests that drive the generic path.
     def _post(self, transport, layer, phase, src, dst, tag, rows) -> None:
         rows = np.ascontiguousarray(rows, dtype=np.float32)
         transport.post(src, dst, tag, rows, rows.nbytes)
@@ -281,6 +463,7 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         devices: list,
         transport: Transport,
         h_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
         tag = f"fwd/L{layer}"
         self._post_step(transport, layer, "fwd", devices, tag, h_by_dev)
@@ -290,7 +473,10 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         for dev in devices:
             part = dev.part
             d = h_by_dev[dev.rank].shape[1]
-            halo = self._halo_buffer(dev.rank, layer, part.n_halo, d)
+            if out is not None:
+                halo = self._halo_out(out, dev.rank, part.n_halo, d)
+            else:
+                halo = self._halo_buffer(dev.rank, layer, part.n_halo, d)
             for p, mat in decoded[dev.rank].items():
                 halo[part.recv_map[p]] = mat
             halo_by_dev.append(halo)

@@ -42,6 +42,12 @@ class DeviceRuntime:
                 raise ValueError(f"{name} has {arr.shape[0]} rows, partition owns {n}")
         if self.labels.shape[0] != n:
             raise ValueError("labels misaligned with partition")
+        # Aggregation inputs must stay float32: a float64 feature slice
+        # would silently upcast every spmv/GEMM downstream (and double
+        # exchange payloads).  Normalized once here, both execution
+        # engines can assume contiguous float32.
+        if self.features.dtype != np.float32 or not self.features.flags.c_contiguous:
+            self.features = np.ascontiguousarray(self.features, dtype=np.float32)
 
     @property
     def n_owned(self) -> int:

@@ -40,10 +40,16 @@ class RunConfig:
     fixed_bits: int = 2  # for the fixed-bit-width systems
     uniform_period: int = 20  # resampling cadence of the uniform baseline
 
-    # Simulator engine: batched (fused) quantized exchange vs. the legacy
-    # per-peer, per-group path.  Both are numerically identical under the
-    # same seed; the flag exists for equivalence tests and benchmarks.
+    # Simulator engines.  Both flags swap execution shape only — fused and
+    # legacy paths are numerically identical under the same seed; they
+    # exist for equivalence tests and benchmarks.
+    # fused_exchange: batched (fused) quantized exchange vs. the legacy
+    # per-peer, per-group path.
     fused_exchange: bool = True
+    # fused_compute: cluster-fused layer compute (block-diagonal
+    # aggregation + stacked GEMMs across all devices) vs. the legacy
+    # per-device layer loop.
+    fused_compute: bool = True
 
     # Baselines
     sancus_staleness: int = 4

@@ -250,6 +250,7 @@ def train(
         num_layers=config.num_layers,
         dropout=config.dropout,
         seed=config.seed,
+        fused_compute=config.fused_compute,
     )
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]

@@ -19,7 +19,7 @@ property the integration tests assert exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
@@ -41,10 +41,29 @@ class AggregationContext:
     halo_alpha_sq: np.ndarray  # (n_halo,) Σ_v α²_{k,v} per halo column
     n_owned: int
     n_halo: int
+    _matrix_t: sp.csr_matrix | None = field(default=None, repr=False, compare=False)
 
     @property
     def nnz(self) -> int:
         return int(self.matrix.nnz)
+
+    @property
+    def matrix_t(self) -> sp.csr_matrix:
+        """``P^T`` as CSR, built once and cached.
+
+        ``matrix.T`` alone yields a CSC *view*, so every backward spmv used
+        to pay a column-major traversal (and scipy's implicit conversion
+        work) per layer per epoch.  The cached CSR transpose is traversed
+        row-major like the forward operator; per-output-row accumulation
+        order (ascending source row) is identical to the CSC path, so
+        results are bit-identical.  Shared by the legacy per-device path
+        and the fused engine's block-diagonal builder.
+        """
+        if self._matrix_t is None:
+            t = self.matrix.T.tocsr()
+            t.sort_indices()
+            self._matrix_t = t
+        return self._matrix_t
 
     def nnz_for_rows(self, row_mask: np.ndarray) -> int:
         """Aggregation nonzeros attributable to the masked rows (for FLOPs)."""
@@ -66,7 +85,7 @@ class AggregationContext:
         """``P^T @ d_z``: routes embedding gradients back to input rows."""
         if d_z.shape[0] != self.n_owned:
             raise ValueError("d_z must have one row per owned node")
-        return np.asarray(self.matrix.T @ d_z)
+        return np.asarray(self.matrix_t @ d_z)
 
 
 def build_aggregation(

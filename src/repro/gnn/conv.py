@@ -19,7 +19,27 @@ from repro.gnn.coefficients import AggregationContext
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 
-__all__ = ["GCNConv", "SAGEConv"]
+__all__ = ["GCNConv", "SAGEConv", "stack_conv_inputs"]
+
+
+def stack_conv_inputs(x_own: np.ndarray, x_halo: np.ndarray) -> np.ndarray:
+    """``[x_own; x_halo]`` with as few copies as possible.
+
+    With an empty halo, ``x_own`` passes through untouched (contiguity is
+    restored only if a caller handed us a strided view — the old
+    unconditional path silently re-copied inside scipy on every spmv);
+    otherwise one ``np.vstack`` copy, exactly the legacy behaviour.  The
+    fused compute engine never stacks at all — its aggregation reads the
+    stacked layer buffer directly.
+
+    Dtypes pass through untouched: the training path is float32 end to end
+    (:class:`~repro.cluster.runtime.DeviceRuntime` normalizes features,
+    exchanges decode to float32, and the operator data is float32 by
+    construction), while gradcheck tests deliberately run in float64.
+    """
+    if not x_halo.size:
+        return x_own if x_own.flags.c_contiguous else np.ascontiguousarray(x_own)
+    return np.vstack([x_own, x_halo])
 
 
 class GCNConv(Module):
@@ -42,7 +62,7 @@ class GCNConv(Module):
         self._cache_shapes: tuple[int, int] | None = None
 
     def forward(self, x_own: np.ndarray, x_halo: np.ndarray) -> np.ndarray:
-        x_full = np.vstack([x_own, x_halo]) if x_halo.size else x_own
+        x_full = stack_conv_inputs(x_own, x_halo)
         z = self.agg.aggregate(x_full)
         self._cache_shapes = (x_own.shape[0], x_halo.shape[0])
         return self.linear.forward(z)
@@ -78,7 +98,7 @@ class SAGEConv(Module):
         self._cache_shapes: tuple[int, int] | None = None
 
     def forward(self, x_own: np.ndarray, x_halo: np.ndarray) -> np.ndarray:
-        x_full = np.vstack([x_own, x_halo]) if x_halo.size else x_own
+        x_full = stack_conv_inputs(x_own, x_halo)
         z = self.agg.aggregate(x_full)
         self._cache_shapes = (x_own.shape[0], x_halo.shape[0])
         return self.root.forward(x_own) + self.neigh.forward(z)

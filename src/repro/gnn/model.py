@@ -51,6 +51,13 @@ class GNNLayer(Module):
             self.act = ReLU()
             self.drop = Dropout(dropout, dropout_rng)
 
+    @property
+    def has_post_stage(self) -> bool:
+        """Whether LayerNorm/ReLU/Dropout follow the conv (all but the
+        output layer).  The fused compute engine branches on this instead
+        of poking ``is_output`` so the stage contract lives in one place."""
+        return not self.is_output
+
     def forward(self, x_own: np.ndarray, x_halo: np.ndarray) -> np.ndarray:
         h = self.conv.forward(x_own, x_halo)
         if self.is_output:

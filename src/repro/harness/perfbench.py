@@ -1,21 +1,33 @@
-"""Performance benchmark harness for the fused exchange engine.
+"""Performance benchmark harness for the fused engines.
 
 Unlike everything else under :mod:`repro.harness`, these benchmarks measure
-*real host wall-clock* of the simulator's hot path — the quantize → pack →
-transmit → unpack → dequantize pipeline — not simulated device time.  They
-answer one question: how much faster is
-:class:`~repro.cluster.exchange.FusedQuantizedHaloExchange` than the legacy
-per-pair :class:`~repro.cluster.exchange.QuantizedHaloExchange`, and is the
-result still numerically identical?
+*real host wall-clock* of the simulator's hot paths — not simulated device
+time.  Two engines are covered:
 
-Three benchmark families:
+* the **fused exchange engine** (PR 1): quantize → pack → transmit →
+  unpack → dequantize as batched whole-step kernels
+  (:class:`~repro.cluster.exchange.FusedQuantizedHaloExchange` vs. the
+  legacy per-pair :class:`~repro.cluster.exchange.QuantizedHaloExchange`);
+* the **cluster-fused compute engine** (PR 2): block-diagonal aggregation
+  + stacked GEMMs for the whole training step
+  (:class:`~repro.cluster.compute.FusedClusterCompute` vs. the legacy
+  per-device layer loop).
+
+Benchmark families:
 
 * **encode** / **decode** — microbenchmarks of one exchange step on a
   synthetic message block (throughput in MB/s of float32 payload);
+* **compute_spmv** / **compute_gemm** — microbenchmarks of one compute
+  step: the cluster block-diagonal spmv vs. K per-device spmv's, and one
+  stacked GEMM vs. K per-device GEMMs;
 * **epoch** — end-to-end ``Cluster.train_epoch`` wall time on the default
-  benchmark workload (the paper's many-partition scalability regime, where
-  per-pair dispatch dominates the legacy path), fused vs. unfused, with a
-  hard equality check on wire bytes and losses.
+  benchmark workload under the quantized system, across the three engine
+  generations (legacy everything → fused exchange → fused exchange +
+  fused compute), with hard equality checks on wire bytes and losses;
+* **epoch_vanilla** — the compute engine's headline: end-to-end Vanilla
+  (exact-exchange) epochs on the many-partition compute workload, the
+  PR-1-era state (per-pair exact exchange + per-device compute) vs. the
+  fully fused engine.
 
 :func:`run_bench` bundles them into one JSON-serializable report
 (``BENCH_perf.json``); :func:`compare_to_baseline` implements the CI
@@ -32,20 +44,26 @@ from pathlib import Path
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.exchange import ExactHaloExchange, HaloExchange
 from repro.comm.costmodel import LinkCostModel
 from repro.comm.topology import parse_topology
 from repro.core.config import RunConfig
 from repro.core.trainer import build_system
 from repro.graph.datasets import load_dataset
 from repro.graph.partition.api import partition_graph
+from repro.nn.blas import row_matmul
 from repro.quant.fused import FusedStepEncoder, decode_step
 from repro.quant.mixed import MixedPrecisionEncoder
 
 __all__ = [
     "DEFAULT_WORKLOAD",
+    "COMPUTE_WORKLOAD",
     "bench_encode",
     "bench_decode",
+    "bench_compute_spmv",
+    "bench_compute_gemm",
     "bench_epoch",
+    "bench_epoch_vanilla",
     "run_bench",
     "compare_to_baseline",
     "render_report",
@@ -63,12 +81,38 @@ DEFAULT_WORKLOAD = {
     "num_layers": 3,
 }
 
+#: The compute engine's epoch workload: the same graph pushed deeper into
+#: the many-partition regime (64-node partitions), where per-device
+#: dispatch dominates the legacy compute path.
+COMPUTE_WORKLOAD = {
+    "dataset": "reddit",
+    "scale": "tiny",
+    "parts": 32,
+    "setting": "8M-4D",
+    "hidden_dim": 32,
+    "num_layers": 3,
+}
+
 # Ratio metrics the CI regression gate watches (see compare_to_baseline).
 _GATED_METRICS = (
     ("encode", "speedup"),
     ("decode", "speedup"),
+    ("compute_spmv", "speedup"),
+    ("compute_gemm", "speedup"),
     ("epoch", "speedup"),
+    ("epoch_vanilla", "speedup"),
 )
+
+
+class _PerPairExactHaloExchange(ExactHaloExchange):
+    """The PR-1-era exact exchange: one post and one scatter per pair.
+
+    Restores the generic base-class implementation over the fused
+    subclass's step-batched one; used as the epoch_vanilla baseline.
+    """
+
+    exchange_embeddings = HaloExchange.exchange_embeddings
+    exchange_gradients = HaloExchange.exchange_gradients
 
 
 def _median_time(fn, reps: int, warmup: int = 3) -> float:
@@ -175,6 +219,125 @@ def bench_decode(
     }
 
 
+def _load_workload(wl: dict, seed: int):
+    ds = load_dataset(wl["dataset"], scale=wl["scale"], seed=seed)
+    book = partition_graph(ds.graph, wl["parts"], method="metis", seed=seed)
+    return ds, book
+
+
+def _workload_cluster(ds, book, wl: dict, seed: int, fused_compute: bool) -> Cluster:
+    return Cluster(
+        ds,
+        book,
+        model_kind="gcn",
+        hidden_dim=wl["hidden_dim"],
+        num_layers=wl["num_layers"],
+        dropout=0.5,
+        seed=seed,
+        fused_compute=fused_compute,
+    )
+
+
+def bench_compute_spmv(
+    *, workload: dict | None = None, reps: int = 30, seed: int = 0
+) -> dict:
+    """One cluster aggregation: block-diagonal spmv vs. K per-device spmv's.
+
+    Throughput is reported in MB/s of float32 activation rows consumed.
+    """
+    wl = dict(COMPUTE_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    ds, book = _load_workload(wl, seed)
+    cluster = _workload_cluster(ds, book, wl, seed, True)
+    engine = cluster._compute_engine()
+    dim = wl["hidden_dim"]
+    gen = np.random.default_rng(seed)
+    x_global = gen.normal(size=(engine.matrix.shape[1], dim)).astype(np.float32)
+    x_by_dev = [
+        np.vstack(
+            [
+                x_global[engine.own_off[k] : engine.own_off[k + 1]],
+                x_global[
+                    engine.total_own + engine.halo_off[k] : engine.total_own
+                    + engine.halo_off[k + 1]
+                ],
+            ]
+        )
+        for k in range(len(cluster.devices))
+    ]
+
+    def run_fused():
+        return engine.matrix @ x_global
+
+    def run_legacy():
+        for dev, x in zip(cluster.devices, x_by_dev):
+            dev.agg.aggregate(x)
+
+    t_fused = _median_time(run_fused, reps)
+    t_legacy = _median_time(run_legacy, reps)
+    payload_mb = x_global.nbytes / 1e6
+    return {
+        "workload": wl,
+        "unfused_ms": t_legacy * 1e3,
+        "fused_ms": t_fused * 1e3,
+        "unfused_mbps": payload_mb / t_legacy,
+        "fused_mbps": payload_mb / t_fused,
+        "speedup": t_legacy / t_fused,
+    }
+
+
+def bench_compute_gemm(
+    *,
+    n_devices: int = 32,
+    rows_per_device: int = 64,
+    d_in: int = 32,
+    d_out: int = 32,
+    reps: int = 50,
+    seed: int = 0,
+) -> dict:
+    """One layer's dense transform: stacked GEMM vs. K per-device GEMMs.
+
+    The legacy loop uses plain ``@`` — the true pre-engine cost — so the
+    gated ratio is not inflated by :func:`row_matmul`'s row-determinism
+    padding (which the shipped per-device escape hatch does pay; that
+    cost is reported separately as ``unfused_padded_ms``).
+    """
+    gen = np.random.default_rng(seed)
+    stacked = gen.normal(size=(n_devices * rows_per_device, d_in)).astype(np.float32)
+    weight = gen.normal(size=(d_in, d_out)).astype(np.float32)
+    slices = [
+        stacked[k * rows_per_device : (k + 1) * rows_per_device].copy()
+        for k in range(n_devices)
+    ]
+
+    def run_fused():
+        row_matmul(stacked, weight)
+
+    def run_legacy():
+        for x in slices:
+            x @ weight
+
+    def run_legacy_padded():
+        for x in slices:
+            row_matmul(x, weight)
+
+    t_fused = _median_time(run_fused, reps)
+    t_legacy = _median_time(run_legacy, reps)
+    t_padded = _median_time(run_legacy_padded, reps)
+    payload_mb = stacked.nbytes / 1e6
+    return {
+        "n_devices": n_devices,
+        "rows_per_device": rows_per_device,
+        "unfused_ms": t_legacy * 1e3,
+        "unfused_padded_ms": t_padded * 1e3,
+        "fused_ms": t_fused * 1e3,
+        "unfused_mbps": payload_mb / t_legacy,
+        "fused_mbps": payload_mb / t_fused,
+        "speedup": t_legacy / t_fused,
+    }
+
+
 def bench_epoch(
     *,
     system: str = "adaqp-fixed",
@@ -183,37 +346,31 @@ def bench_epoch(
     warmup: int = 2,
     seed: int = 0,
 ) -> dict:
-    """End-to-end epoch wall time, fused vs. unfused, same RNG stream.
+    """End-to-end epoch wall time across the three engine generations.
 
-    Also asserts the engine's core contract on the fly: both paths must
-    produce identical per-epoch losses and identical total wire bytes.
+    ``legacy`` is per-pair exchange + per-device compute, ``pr1`` is fused
+    exchange + per-device compute, ``fused`` is the full engine stack.
+    All three must produce identical per-epoch losses and identical total
+    wire bytes — the contract both fused engines are built on.
     """
     wl = dict(DEFAULT_WORKLOAD)
     if workload:
         wl.update(workload)
     topology = parse_topology(wl["setting"])
-    ds = load_dataset(wl["dataset"], scale=wl["scale"], seed=seed)
-    book = partition_graph(ds.graph, wl["parts"], method="metis", seed=seed)
+    ds, book = _load_workload(wl, seed)
     cost_model = LinkCostModel.for_topology(topology)
 
-    def run(fused: bool) -> tuple[float, list[float], int]:
+    def run(fused_exchange: bool, fused_compute: bool) -> tuple[float, list[float], int]:
         cfg = RunConfig(
             epochs=epochs,
             hidden_dim=wl["hidden_dim"],
             num_layers=wl["num_layers"],
             reassign_period=4,
             seed=seed,
-            fused_exchange=fused,
+            fused_exchange=fused_exchange,
+            fused_compute=fused_compute,
         )
-        cluster = Cluster(
-            ds,
-            book,
-            model_kind="gcn",
-            hidden_dim=wl["hidden_dim"],
-            num_layers=wl["num_layers"],
-            dropout=0.5,
-            seed=seed,
-        )
+        cluster = _workload_cluster(ds, book, wl, seed, fused_compute)
         setup = build_system(system, cluster, cost_model, cfg)
         times: list[float] = []
         losses: list[float] = []
@@ -224,36 +381,114 @@ def bench_epoch(
             times.append(time.perf_counter() - t0)
             losses.append(record.loss)
             wire_bytes += record.total_wire_bytes()
-        return float(np.median(times[warmup:])), losses, wire_bytes
+        # min over warm epochs: epoch work is deterministic, so the
+        # fastest repetition is the least noise-contaminated one.
+        return float(np.min(times[warmup:])), losses, wire_bytes
 
-    t_fused, losses_f, bytes_f = run(True)
-    t_unfused, losses_u, bytes_u = run(False)
+    t_fused, losses_f, bytes_f = run(True, True)
+    t_pr1, losses_p, bytes_p = run(True, False)
+    t_legacy, losses_u, bytes_u = run(False, False)
     return {
         "system": system,
         "workload": wl,
         "epochs": epochs,
         "fused_ms": t_fused * 1e3,
-        "unfused_ms": t_unfused * 1e3,
-        "speedup": t_unfused / t_fused,
-        "wire_bytes_match": bytes_f == bytes_u,
-        "losses_match": losses_f == losses_u,
+        "pr1_ms": t_pr1 * 1e3,
+        "unfused_ms": t_legacy * 1e3,
+        "speedup": t_legacy / t_fused,
+        "exchange_speedup": t_legacy / t_pr1,
+        "compute_speedup": t_pr1 / t_fused,
+        "wire_bytes_match": bytes_f == bytes_p == bytes_u,
+        "losses_match": losses_f == losses_p == losses_u,
+    }
+
+
+def bench_epoch_vanilla(
+    *,
+    workload: dict | None = None,
+    epochs: int = 8,
+    warmup: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Vanilla (exact-exchange) epochs: PR-1-era state vs. the fused stack.
+
+    The baseline runs the per-pair exact exchange with per-device compute
+    — exactly the state this engine inherited; the fused run uses the
+    step-batched exact exchange and the cluster-fused compute engine.
+    Wire bytes must match exactly; losses agree to float32 tolerance (the
+    batched exact exchange reduces incoming gradients per owner in one
+    operator, which regroups — never reorders — the additions).  The
+    bitwise fused-vs-legacy-compute contract is asserted separately with a
+    shared exchange.
+
+    The in-binary baseline arm is a fair PR-1 proxy: it pays
+    ``row_matmul``'s padding (which actual PR-1 code did not) but rides
+    this PR's faster transport and cached phase records (which actual
+    PR-1 code also did not); measured against a real PR-1 checkout the
+    two effects roughly cancel (~52ms/epoch there vs ~53-58ms here on the
+    reference machine, ratio 2.0-2.3x either way).
+    """
+    wl = dict(COMPUTE_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    ds, book = _load_workload(wl, seed)
+
+    def run(fused_compute: bool, exchange: HaloExchange):
+        cluster = _workload_cluster(ds, book, wl, seed, fused_compute)
+        times: list[float] = []
+        losses: list[float] = []
+        wire_bytes = 0
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            record = cluster.train_epoch(exchange, epoch)
+            times.append(time.perf_counter() - t0)
+            losses.append(record.loss)
+            wire_bytes += record.total_wire_bytes()
+        # min over warm epochs: epoch work is deterministic, so the
+        # fastest repetition is the least noise-contaminated one.
+        return float(np.min(times[warmup:])), losses, wire_bytes
+
+    t_fused, losses_f, bytes_f = run(True, ExactHaloExchange())
+    t_pr1, losses_p, bytes_p = run(False, _PerPairExactHaloExchange())
+    t_legacy_compute, losses_l, bytes_l = run(False, ExactHaloExchange())
+    return {
+        "system": "vanilla",
+        "workload": wl,
+        "epochs": epochs,
+        "fused_ms": t_fused * 1e3,
+        "unfused_ms": t_pr1 * 1e3,
+        "legacy_compute_ms": t_legacy_compute * 1e3,
+        "speedup": t_pr1 / t_fused,
+        "compute_speedup": t_legacy_compute / t_fused,
+        "wire_bytes_match": bytes_f == bytes_p == bytes_l,
+        "losses_match": losses_f == losses_l,  # bitwise, shared exchange
+        "losses_close": bool(
+            np.allclose(losses_p, losses_f, rtol=1e-5, atol=1e-8)
+        ),
     }
 
 
 def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
     """Run the full perf suite; returns the ``BENCH_perf.json`` payload."""
     micro_reps = 20 if quick else 40
-    epochs = 5 if quick else 10
+    # Epoch benches keep a real warmup even in quick mode: with only a
+    # few warm epochs the min-of-warm-epochs estimator is noise-bound and
+    # the CI gate flakes.
+    epochs = 8 if quick else 10
+    warmup = 2
     extra_systems = () if quick else ("adaqp", "adaqp-uniform")
 
     report: dict = {
-        "bench": "fused-exchange-engine",
-        "schema": 1,
+        "bench": "fused-engines",
+        "schema": 2,
         "quick": quick,
         "seed": seed,
         "encode": bench_encode(reps=micro_reps, seed=seed),
         "decode": bench_decode(reps=micro_reps, seed=seed),
-        "epoch": bench_epoch(epochs=epochs, warmup=1 if quick else 2, seed=seed),
+        "compute_spmv": bench_compute_spmv(reps=micro_reps, seed=seed),
+        "compute_gemm": bench_compute_gemm(reps=micro_reps, seed=seed),
+        "epoch": bench_epoch(epochs=epochs, warmup=warmup, seed=seed),
+        "epoch_vanilla": bench_epoch_vanilla(epochs=epochs, warmup=warmup, seed=seed),
     }
     for system in extra_systems:
         report[f"epoch_{system}"] = bench_epoch(
@@ -284,9 +519,17 @@ def compare_to_baseline(
                 f"{section}.{metric} regressed: {cur:.2f}x < "
                 f"{floor:.2f}x (baseline {base:.2f}x - {max_regression:.0%})"
             )
-    for key in ("wire_bytes_match", "losses_match"):
-        if not current.get("epoch", {}).get(key, False):
-            problems.append(f"epoch.{key} is False: fused path is not equivalent")
+    for section in ("epoch", "epoch_vanilla"):
+        for key in ("wire_bytes_match", "losses_match"):
+            if not current.get(section, {}).get(key, False):
+                problems.append(
+                    f"{section}.{key} is False: fused path is not equivalent"
+                )
+    if not current.get("epoch_vanilla", {}).get("losses_close", True):
+        problems.append(
+            "epoch_vanilla.losses_close is False: batched exact exchange "
+            "diverged from the per-pair baseline"
+        )
     return problems
 
 
@@ -295,7 +538,9 @@ def render_report(report: dict) -> str:
     from repro.utils.format import render_table
 
     rows = []
-    for section in ("encode", "decode"):
+    for section in ("encode", "decode", "compute_spmv", "compute_gemm"):
+        if section not in report:
+            continue
         r = report[section]
         rows.append(
             [
@@ -308,27 +553,34 @@ def render_report(report: dict) -> str:
     for key, r in report.items():
         if not key.startswith("epoch"):
             continue
-        label = f"epoch [{r['system']}]"
+        parts = r["workload"]["parts"]
+        label = f"{key} [{r['system']}/{parts}p]"
+        extra = (
+            f" (comp {r['compute_speedup']:.2f}x)" if "compute_speedup" in r else ""
+        )
         rows.append(
             [
                 label,
                 f"{r['unfused_ms']:.1f} ms",
                 f"{r['fused_ms']:.1f} ms",
-                f"{r['speedup']:.2f}x",
+                f"{r['speedup']:.2f}x{extra}",
             ]
         )
     table = render_table(["benchmark", "unfused", "fused", "speedup"], rows)
-    epoch = report["epoch"]
-    checks = (
-        f"equivalence: wire_bytes_match={epoch['wire_bytes_match']} "
-        f"losses_match={epoch['losses_match']}"
-    )
-    wl = epoch["workload"]
+    checks = []
+    for section in ("epoch", "epoch_vanilla"):
+        if section in report:
+            r = report[section]
+            checks.append(
+                f"{section}: wire_bytes_match={r['wire_bytes_match']} "
+                f"losses_match={r['losses_match']}"
+            )
+    wl = report["epoch"]["workload"]
     head = (
         f"workload: {wl['dataset']}-{wl['scale']}, {wl['parts']} partitions "
         f"({wl['setting']}), hidden={wl['hidden_dim']}"
     )
-    return f"{head}\n{table}\n{checks}"
+    return "\n".join([head, table] + checks)
 
 
 def save_report(report: dict, path: str | Path) -> Path:

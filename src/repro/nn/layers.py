@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import init
+from repro.nn.blas import row_matmul
 from repro.nn.module import Module, Parameter
 from repro.utils.validation import check_probability
 
@@ -36,8 +37,11 @@ class Linear(Module):
         self._cache_x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        # row_matmul keeps per-row results independent of the batch's row
+        # count, so per-device batches and the fused engine's cluster-wide
+        # stacked batches produce bit-identical rows.
         self._cache_x = x
-        out = x @ self.weight.data
+        out = row_matmul(x, self.weight.data)
         if self.bias is not None:
             out += self.bias.data
         return out
@@ -50,7 +54,7 @@ class Linear(Module):
         self.weight.grad += x.T @ d_out
         if self.bias is not None:
             self.bias.grad += d_out.sum(axis=0)
-        return d_out @ self.weight.data.T
+        return row_matmul(d_out, self.weight.data.T)
 
 
 class LayerNorm(Module):
@@ -64,13 +68,49 @@ class LayerNorm(Module):
         self.beta = Parameter(init.zeros((dim,)))
         self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _stats(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
-        inv_std = 1.0 / np.sqrt(var + self.eps)
+        return mean, 1.0 / np.sqrt(var + self.eps)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean, inv_std = self._stats(x)
         x_hat = (x - mean) * inv_std
         self._cache = (x_hat, inv_std, x)
         return x_hat * self.gamma.data + self.beta.data
+
+    def forward_into(self, x: np.ndarray, x_hat_out: np.ndarray) -> np.ndarray:
+        """In-place variant for the fused engine's stacked buffers.
+
+        Writes ``x_hat`` into ``x_hat_out``, overwrites ``x`` with the
+        normalized output, and returns ``inv_std`` (the caller caches both
+        for :meth:`input_grad`).  Same operations as :meth:`forward`, so
+        the values are bit-identical — keeping the normalization formula
+        in one place is what protects the engine's fused==legacy contract.
+        """
+        mean, inv_std = self._stats(x)
+        np.subtract(x, mean, out=x_hat_out)
+        x_hat_out *= inv_std
+        np.multiply(x_hat_out, self.gamma.data, out=x)
+        x += self.beta.data
+        return inv_std
+
+    def input_grad(
+        self, d_out: np.ndarray, x_hat: np.ndarray, inv_std: np.ndarray
+    ) -> np.ndarray:
+        """dL/d_input given the cached normalization state.
+
+        Standard layer-norm backward: project out the mean and the
+        component along ``x_hat`` before rescaling by 1/std.  Shared by
+        :meth:`backward` and the fused engine (whose parameter partials
+        are accumulated per device separately).
+        """
+        d_xhat = d_out * self.gamma.data
+        return (
+            d_xhat
+            - d_xhat.mean(axis=-1, keepdims=True)
+            - x_hat * (d_xhat * x_hat).mean(axis=-1, keepdims=True)
+        ) * inv_std
 
     def backward(self, d_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -79,16 +119,7 @@ class LayerNorm(Module):
         self._cache = None
         self.gamma.grad += (d_out * x_hat).sum(axis=0)
         self.beta.grad += d_out.sum(axis=0)
-        d_xhat = d_out * self.gamma.data
-        # Standard layer-norm backward: project out the mean and the
-        # component along x_hat before rescaling by 1/std.
-        d = self.dim
-        dx = (
-            d_xhat
-            - d_xhat.mean(axis=-1, keepdims=True)
-            - x_hat * (d_xhat * x_hat).mean(axis=-1, keepdims=True)
-        ) * inv_std
-        return dx
+        return self.input_grad(d_out, x_hat, inv_std)
 
 
 class ReLU(Module):
@@ -122,12 +153,21 @@ class Dropout(Module):
         self.rng = rng
         self._mask: np.ndarray | None = None
 
+    def sample_mask(self, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """Draw one inverted-dropout mask from this layer's stream.
+
+        The single source of truth for the mask arithmetic: the fused
+        compute engine draws per-device masks through this method so its
+        stream consumption and scaling match :meth:`forward` bit for bit.
+        """
+        keep = 1.0 - self.p
+        return (self.rng.random(shape) < keep).astype(dtype) / keep
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
-        keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        self._mask = self.sample_mask(x.shape, x.dtype)
         return x * self._mask
 
     def backward(self, d_out: np.ndarray) -> np.ndarray:

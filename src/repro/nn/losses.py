@@ -16,12 +16,28 @@ from scipy.special import expit
 __all__ = ["softmax_cross_entropy", "bce_with_logits_loss"]
 
 
+def _grad_buffer(logits: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    """Zeroed gradient destination: ``out`` in place, or a fresh array.
+
+    The fused compute engine passes per-device slices of its stacked logit
+    gradient buffer so the loss writes gradients directly in place — no
+    per-device allocation or copy.
+    """
+    if out is None:
+        return np.zeros_like(logits)
+    if out.shape != logits.shape:
+        raise ValueError(f"out shape {out.shape} != logits shape {logits.shape}")
+    out.fill(0.0)
+    return out
+
+
 def softmax_cross_entropy(
     logits: np.ndarray,
     labels: np.ndarray,
     mask: np.ndarray,
     *,
     normalizer: float | None = None,
+    out: np.ndarray | None = None,
 ) -> tuple[float, np.ndarray]:
     """Masked softmax cross-entropy for single-label classification.
 
@@ -36,6 +52,9 @@ def softmax_cross_entropy(
     normalizer:
         Divisor for the mean; defaults to the local mask count (the
         single-machine case).  Distributed callers pass the global count.
+    out:
+        Optional ``(n, C)`` destination for ``d_logits`` (written in
+        place, also returned).
 
     Returns
     -------
@@ -49,7 +68,7 @@ def softmax_cross_entropy(
     if mask.shape != (n,):
         raise ValueError("mask shape mismatch")
     count = float(mask.sum()) if normalizer is None else float(normalizer)
-    d_logits = np.zeros_like(logits)
+    d_logits = _grad_buffer(logits, out)
     if count == 0 or not mask.any():
         return 0.0, d_logits
 
@@ -64,7 +83,7 @@ def softmax_cross_entropy(
     probs = np.exp(log_probs)
     probs[np.arange(sel.shape[0]), sel_labels] -= 1.0
     d_logits[mask] = probs / count
-    return loss, d_logits.astype(logits.dtype)
+    return loss, d_logits
 
 
 def bce_with_logits_loss(
@@ -73,6 +92,7 @@ def bce_with_logits_loss(
     mask: np.ndarray,
     *,
     normalizer: float | None = None,
+    out: np.ndarray | None = None,
 ) -> tuple[float, np.ndarray]:
     """Masked multi-label binary cross-entropy with logits.
 
@@ -87,7 +107,7 @@ def bce_with_logits_loss(
     if mask.shape != (n,):
         raise ValueError("mask shape mismatch")
     count = float(mask.sum()) if normalizer is None else float(normalizer)
-    d_logits = np.zeros_like(logits)
+    d_logits = _grad_buffer(logits, out)
     if count == 0 or not mask.any():
         return 0.0, d_logits
 
@@ -99,4 +119,4 @@ def bce_with_logits_loss(
 
     sigma = expit(z)  # numerically stable sigmoid
     d_logits[mask] = (sigma - y) / denom
-    return loss, d_logits.astype(logits.dtype)
+    return loss, d_logits

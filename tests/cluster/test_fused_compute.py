@@ -1,0 +1,345 @@
+"""End-to-end equivalence: the fused compute engine is the legacy path, faster.
+
+The engine's contract (ISSUE 2): under the same seed,
+:class:`FusedClusterCompute` must produce *identical* losses, model
+gradients, accuracy curves and wire bytes to the legacy per-device layer
+loop — across model kinds, partition counts and exchange policies.  The
+fused path changes execution shape (block-diagonal aggregation, stacked
+GEMMs, in-place halo writes), never values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.compute import FusedClusterCompute, build_block_diagonal
+from repro.cluster.exchange import (
+    ExactHaloExchange,
+    FixedBitProvider,
+    FusedQuantizedHaloExchange,
+)
+from repro.core.config import RunConfig
+from repro.core.trainer import train
+from repro.gnn.coefficients import build_aggregation
+from repro.gnn.conv import stack_conv_inputs
+from repro.graph.graph import Graph
+from repro.graph.partition.api import partition_graph
+from repro.graph.partition.book import PartitionBook, build_local_partitions
+from repro.nn.losses import softmax_cross_entropy
+
+
+def _book(dataset, parts):
+    if parts == 1:
+        return PartitionBook(
+            part_of=np.zeros(dataset.num_nodes, dtype=np.int32), num_parts=1
+        )
+    return partition_graph(dataset.graph, parts, method="metis", seed=0)
+
+
+def _make_exchange(name):
+    if name == "exact":
+        return ExactHaloExchange()
+    if name == "stale":
+        from repro.baselines.pipegcn import StaleHaloExchange
+
+        return StaleHaloExchange()
+    if name == "broadcast":
+        from repro.baselines.sancus import BroadcastSkipExchange
+
+        return BroadcastSkipExchange(2)
+    return FusedQuantizedHaloExchange(FixedBitProvider(4), np.random.default_rng(123))
+
+
+def _run_epochs(dataset, book, *, model_kind, fused, exchange_name, epochs=3):
+    cluster = Cluster(
+        dataset,
+        book,
+        model_kind=model_kind,
+        hidden_dim=8,
+        num_layers=3,
+        dropout=0.5,
+        seed=7,
+        fused_compute=fused,
+    )
+    exchange = _make_exchange(exchange_name)
+    losses, grads, wire = [], [], 0
+    for epoch in range(epochs):
+        record = cluster.train_epoch(exchange, epoch)
+        losses.append(record.loss)
+        grads.append(cluster.devices[0].model.grad_vector().copy())
+        wire += record.total_wire_bytes()
+    metrics = cluster.evaluate()
+    return losses, grads, wire, metrics, record.grad_allreduce_bytes
+
+
+@pytest.mark.parametrize("model_kind", ["gcn", "sage"])
+@pytest.mark.parametrize("parts", [1, 2, 4])
+@pytest.mark.parametrize("exchange_name", ["exact", "quantized"])
+def test_losses_gradients_metrics_identical(
+    tiny_dataset, model_kind, parts, exchange_name
+):
+    book = _book(tiny_dataset, parts)
+    fused = _run_epochs(
+        tiny_dataset, book, model_kind=model_kind, fused=True, exchange_name=exchange_name
+    )
+    legacy = _run_epochs(
+        tiny_dataset, book, model_kind=model_kind, fused=False, exchange_name=exchange_name
+    )
+    assert fused[0] == legacy[0], "losses diverged"
+    for gf, gl in zip(fused[1], legacy[1]):
+        assert np.array_equal(gf, gl), "reduced gradients diverged"
+    assert fused[2] == legacy[2], "wire bytes diverged"
+    assert fused[3] == legacy[3], "eval metrics diverged"
+    assert fused[4] == legacy[4], "allreduce byte accounting diverged"
+
+
+@pytest.mark.parametrize("exchange_name", ["stale", "broadcast"])
+def test_baseline_exchanges_identical(tiny_dataset, exchange_name):
+    """The stale/broadcast baselines cache posted payloads across epochs,
+    so they are the exchanges most exposed to the engine's buffer reuse —
+    their trajectories must match the legacy path exactly too."""
+    book = _book(tiny_dataset, 4)
+    fused = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", fused=True,
+        exchange_name=exchange_name, epochs=4,
+    )
+    legacy = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", fused=False,
+        exchange_name=exchange_name, epochs=4,
+    )
+    assert fused[0] == legacy[0]
+    for gf, gl in zip(fused[1], legacy[1]):
+        assert np.array_equal(gf, gl)
+    assert fused[2] == legacy[2]
+    assert fused[3] == legacy[3]
+
+
+def test_accuracy_curves_identical_via_trainer(tiny_dataset, tiny_book):
+    cfg = RunConfig(epochs=8, hidden_dim=8, eval_every=2, reassign_period=4)
+    fused = train("adaqp-fixed", tiny_dataset, tiny_book, "2M-2D", cfg)
+    legacy = train(
+        "adaqp-fixed",
+        tiny_dataset,
+        tiny_book,
+        "2M-2D",
+        cfg.with_overrides(fused_compute=False),
+    )
+    assert fused.curve_loss == legacy.curve_loss
+    assert fused.curve_val == legacy.curve_val
+    assert fused.curve_test == legacy.curve_test
+    assert fused.wire_bytes_total == legacy.wire_bytes_total
+    assert fused.epoch_times == legacy.epoch_times  # identical records/schedule
+
+
+def test_replicas_stay_identical_under_fused_engine(tiny_dataset):
+    from repro.nn.optim import Adam
+
+    book = _book(tiny_dataset, 3)
+    cluster = Cluster(
+        tiny_dataset, book, hidden_dim=8, num_layers=2, dropout=0.5, seed=0,
+        fused_compute=True,
+    )
+    opts = [Adam(dev.model.parameters(), lr=0.01) for dev in cluster.devices]
+    exchange = ExactHaloExchange()
+    for epoch in range(3):
+        cluster.train_epoch(exchange, epoch)
+        for opt in opts:
+            opt.step()
+    s0 = cluster.devices[0].model.state_dict()
+    for dev in cluster.devices[1:]:
+        s = dev.model.state_dict()
+        for key in s0:
+            assert np.array_equal(s0[key], s[key])
+
+
+def test_fused_compute_is_default(tiny_dataset, tiny_book):
+    cluster = Cluster(tiny_dataset, tiny_book, hidden_dim=8, seed=0)
+    assert cluster.fused_compute
+    assert RunConfig().fused_compute
+    legacy = Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, fused_compute=False
+    )
+    assert not legacy.fused_compute
+    # The engine is built lazily and only on the fused path.
+    cluster.train_epoch(ExactHaloExchange(), 0)
+    legacy.train_epoch(ExactHaloExchange(), 0)
+    assert cluster._engine is not None
+    assert legacy._engine is None
+
+
+def test_engine_buffers_do_not_leak_between_epochs(tiny_dataset):
+    """Eval passes share the engine's stacked buffers with training; the
+    reuse must be invisible — training trajectories with and without
+    interleaved evals are identical."""
+    book = _book(tiny_dataset, 4)
+
+    def losses(with_eval):
+        cluster = Cluster(
+            tiny_dataset, book, hidden_dim=8, num_layers=2, dropout=0.0, seed=0,
+            fused_compute=True,
+        )
+        exchange = ExactHaloExchange()
+        out = []
+        for epoch in range(3):
+            out.append(cluster.train_epoch(exchange, epoch).loss)
+            if with_eval:
+                cluster.evaluate()
+        return out
+
+    assert losses(True) == losses(False)
+
+
+# ----------------------------------------------------------------------
+# Block-diagonal operator property (hypothesis)
+# ----------------------------------------------------------------------
+class _DeviceStub:
+    def __init__(self, part, agg):
+        self.part = part
+        self.agg = agg
+
+
+@st.composite
+def _ragged_partition(draw):
+    n = draw(st.integers(min_value=4, max_value=28))
+    parts = draw(st.integers(min_value=1, max_value=min(4, n)))
+    n_edges = draw(st.integers(min_value=1, max_value=80))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=n_edges, max_size=n_edges)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=n_edges, max_size=n_edges)
+    )
+    # Every partition owns at least one node; remainder assigned at random.
+    assignment = list(range(parts)) + draw(
+        st.lists(st.integers(0, parts - 1), min_size=n - parts, max_size=n - parts)
+    )
+    kind = draw(st.sampled_from(["gcn", "sage", "sum"]))
+    return n, parts, np.asarray(src), np.asarray(dst), np.asarray(assignment), kind
+
+
+@given(_ragged_partition())
+@settings(max_examples=40, deadline=None)
+def test_block_diagonal_equals_per_device_aggregation(case):
+    n, parts, src, dst, assignment, kind = case
+    graph = Graph.from_edges(src, dst, n)
+    book = PartitionBook(part_of=assignment.astype(np.int32), num_parts=parts)
+    local = build_local_partitions(graph, book)
+    degrees = graph.degrees.astype(np.float64)
+    devices = [
+        _DeviceStub(part, build_aggregation(part, degrees, kind)) for part in local
+    ]
+    fused = build_block_diagonal(devices)
+
+    gen = np.random.default_rng(0)
+    dim = 5
+    n_own = [d.part.n_owned for d in devices]
+    n_halo = [d.part.n_halo for d in devices]
+    x_own = [gen.normal(size=(m, dim)).astype(np.float32) for m in n_own]
+    x_halo = [gen.normal(size=(h, dim)).astype(np.float32) for h in n_halo]
+    x_global = np.vstack(x_own + x_halo)
+    z_global = np.asarray(fused @ x_global)
+
+    offset = 0
+    for k, dev in enumerate(devices):
+        x_full = np.vstack([x_own[k], x_halo[k]]) if n_halo[k] else x_own[k]
+        z_dev = dev.agg.aggregate(x_full)
+        assert np.array_equal(z_global[offset : offset + n_own[k]], z_dev)
+        offset += n_own[k]
+
+    # And the cached transpose routes gradients identically per device.
+    fused_t = fused.T.tocsr()
+    fused_t.sort_indices()
+    d_z = [gen.normal(size=(m, dim)).astype(np.float32) for m in n_own]
+    d_global = np.asarray(fused_t @ np.vstack(d_z))
+    own_total = sum(n_own)
+    own_off = np.concatenate([[0], np.cumsum(n_own)])
+    halo_off = np.concatenate([[0], np.cumsum(n_halo)])
+    for k, dev in enumerate(devices):
+        d_dev = dev.agg.aggregate_transpose(d_z[k])
+        assert np.array_equal(
+            d_global[own_off[k] : own_off[k + 1]], d_dev[: n_own[k]]
+        )
+        assert np.array_equal(
+            d_global[own_total + halo_off[k] : own_total + halo_off[k + 1]],
+            d_dev[n_own[k] :],
+        )
+
+
+# ----------------------------------------------------------------------
+# Satellite regressions
+# ----------------------------------------------------------------------
+def test_cached_transpose_matches_csc_path(tiny_parts, tiny_dataset):
+    degrees = tiny_dataset.graph.degrees.astype(np.float64)
+    for part in tiny_parts:
+        agg = build_aggregation(part, degrees, "gcn")
+        d_z = np.random.default_rng(0).normal(
+            size=(agg.n_owned, 6)
+        ).astype(np.float32)
+        via_cache = agg.aggregate_transpose(d_z)
+        via_csc = np.asarray(agg.matrix.T @ d_z)
+        assert np.array_equal(via_cache, via_csc)
+        assert agg.matrix_t is agg.matrix_t  # built once, cached
+
+
+def test_stack_conv_inputs_paths():
+    base = np.arange(24, dtype=np.float32).reshape(8, 3)
+    own = base[:5]
+
+    # Empty halo: contiguous input passes through untouched.
+    empty = np.zeros((0, 3), dtype=np.float32)
+    assert stack_conv_inputs(own, empty) is own
+    # Non-contiguous input is made contiguous exactly once.
+    strided = base[::2]
+    fixed = stack_conv_inputs(strided, np.zeros((0, 3), dtype=np.float32))
+    assert fixed.flags.c_contiguous
+    assert np.array_equal(fixed, strided)
+
+    # Non-empty halo vstacks (one copy, correct values).
+    stacked = stack_conv_inputs(base[5:], base[:5])
+    assert not np.shares_memory(stacked, base)
+    assert np.array_equal(stacked, np.vstack([base[5:], base[:5]]))
+
+
+def test_aggregation_stays_float32(tiny_parts, tiny_dataset):
+    degrees = tiny_dataset.graph.degrees.astype(np.float64)
+    for kind in ("gcn", "sage", "sum"):
+        agg = build_aggregation(tiny_parts[0], degrees, kind)
+        assert agg.matrix.dtype == np.float32
+        assert agg.matrix_t.dtype == np.float32
+        x = np.ones((agg.n_owned + agg.n_halo, 4), dtype=np.float32)
+        assert agg.aggregate(x).dtype == np.float32
+        d = np.ones((agg.n_owned, 4), dtype=np.float32)
+        assert agg.aggregate_transpose(d).dtype == np.float32
+
+
+def test_loss_out_buffer_matches_fresh_allocation():
+    gen = np.random.default_rng(0)
+    logits = gen.normal(size=(10, 4)).astype(np.float32)
+    labels = gen.integers(0, 4, 10)
+    mask = gen.random(10) < 0.6
+    loss_a, grad_a = softmax_cross_entropy(logits, labels, mask, normalizer=12.0)
+    buf = np.full_like(logits, 999.0)
+    loss_b, grad_b = softmax_cross_entropy(
+        logits, labels, mask, normalizer=12.0, out=buf
+    )
+    assert loss_a == loss_b
+    assert grad_b is buf
+    assert np.array_equal(grad_a, grad_b)
+
+
+def test_engine_exposes_global_scatter(tiny_dataset):
+    book = _book(tiny_dataset, 2)
+    cluster = Cluster(
+        tiny_dataset, book, hidden_dim=8, num_layers=2, dropout=0.0, seed=0,
+        fused_compute=True,
+    )
+    engine = cluster._compute_engine()
+    assert isinstance(engine, FusedClusterCompute)
+    logits_fused = cluster.full_logits()
+    legacy = Cluster(
+        tiny_dataset, book, hidden_dim=8, num_layers=2, dropout=0.0, seed=0,
+        fused_compute=False,
+    )
+    assert np.array_equal(logits_fused, legacy.full_logits())
