@@ -19,19 +19,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.exchange import HaloExchange
+from repro.cluster.exchange import HaloExchange, InFlightStep
 from repro.comm.transport import Transport
 
 __all__ = ["StaleHaloExchange"]
 
 
 class StaleHaloExchange(HaloExchange):
-    """Exact-precision transfers consumed one epoch late."""
+    """Exact-precision transfers consumed one epoch late.
+
+    Split-phase like every exchange: ``post_step`` ships this epoch's
+    payloads (snapshot copies), ``finalize_step`` collects them into the
+    cache and serves the *previous* epoch's payloads — the warm-up epoch
+    consumes its own messages synchronously.
+    """
 
     quantizes = False
 
     def __init__(self) -> None:
-        # Caches: key = (kind, layer) -> {dst_rank: {src_rank: payload}}
+        # Caches: layer -> {dst_rank: {src_rank: payload}}
         self._fwd_cache: dict[int, dict[int, dict[int, np.ndarray]]] = {}
         self._bwd_cache: dict[int, dict[int, dict[int, np.ndarray]]] = {}
         self._epoch = 0
@@ -40,67 +46,56 @@ class StaleHaloExchange(HaloExchange):
         self._epoch = epoch
 
     # ------------------------------------------------------------------
-    def exchange_embeddings(
+    def post_step(
         self,
         layer: int,
+        phase: str,
         devices: list,
         transport: Transport,
-        h_by_dev: list[np.ndarray],
-        out: list[np.ndarray] | None = None,
-    ) -> list[np.ndarray]:
-        tag = f"fwd/L{layer}"
+        values_by_dev: list[np.ndarray],
+    ) -> InFlightStep:
+        tag = f"{phase}/L{layer}"
         for dev in devices:
             part = dev.part
-            for q in part.peers_out():
+            maps = part.send_map if phase == "fwd" else part.recv_map
+            for q in sorted(maps.keys()):
                 # The gather always copies (fancy indexing), so cached
-                # payloads stay frozen even when ``h_by_dev`` entries are
-                # views of the fused engine's reused buffers.
+                # payloads stay frozen even when ``values_by_dev`` entries
+                # are views of the fused engine's reused buffers.
                 rows = np.ascontiguousarray(
-                    h_by_dev[dev.rank][part.send_map[q]], dtype=np.float32
+                    values_by_dev[dev.rank][maps[q]], dtype=np.float32
                 )
                 transport.post(dev.rank, q, tag, rows, rows.nbytes)
+        dim = int(values_by_dev[devices[0].rank].shape[1])
+        return InFlightStep(layer, phase, tag, devices, transport, dim)
 
+    def finalize_step(
+        self, step: InFlightStep, out: list[np.ndarray] | None = None
+    ) -> list[np.ndarray] | None:
+        step.mark_done()
         fresh: dict[int, dict[int, np.ndarray]] = {
-            dev.rank: transport.collect(dev.rank, tag) for dev in devices
+            dev.rank: step.transport.collect(dev.rank, step.tag)
+            for dev in step.devices
         }
-        cached = self._fwd_cache.get(layer)
+        cache = self._fwd_cache if step.phase == "fwd" else self._bwd_cache
+        cached = cache.get(step.layer)
         source = cached if cached is not None else fresh  # warm-up epoch: sync
-        self._fwd_cache[layer] = fresh
+        cache[step.layer] = fresh
 
-        halo_by_dev: list[np.ndarray] = []
-        for dev in devices:
-            part = dev.part
-            d = h_by_dev[dev.rank].shape[1]
-            halo = self._halo_out(out, dev.rank, part.n_halo, d)
-            for p, payload in source[dev.rank].items():
-                halo[part.recv_map[p]] = payload
-            halo_by_dev.append(halo)
-        return halo_by_dev
-
-    def exchange_gradients(
-        self,
-        layer: int,
-        devices: list,
-        transport: Transport,
-        d_halo_by_dev: list[np.ndarray],
-        d_own_by_dev: list[np.ndarray],
-    ) -> None:
-        tag = f"bwd/L{layer}"
-        for dev in devices:
-            part = dev.part
-            for q in part.peers_in():
-                rows = np.ascontiguousarray(
-                    d_halo_by_dev[dev.rank][part.recv_map[q]], dtype=np.float32
-                )
-                transport.post(dev.rank, q, tag, rows, rows.nbytes)
-
-        fresh = {dev.rank: transport.collect(dev.rank, tag) for dev in devices}
-        cached = self._bwd_cache.get(layer)
-        source = cached if cached is not None else fresh
-        self._bwd_cache[layer] = fresh
-
-        for dev in devices:
+        if step.phase == "fwd":
+            halo_by_dev: list[np.ndarray] = []
+            for dev in step.devices:
+                part = dev.part
+                halo = self._halo_out(out, dev.rank, part.n_halo, step.dim)
+                for p, payload in source[dev.rank].items():
+                    halo[part.recv_map[p]] = payload
+                halo_by_dev.append(halo)
+            return halo_by_dev
+        if out is None:
+            raise ValueError("backward finalize_step requires out= buffers")
+        for dev in step.devices:
             part = dev.part
             for p, payload in source[dev.rank].items():
-                if payload.shape == d_own_by_dev[dev.rank][part.send_map[p]].shape:
-                    d_own_by_dev[dev.rank][part.send_map[p]] += payload
+                if payload.shape == out[dev.rank][part.send_map[p]].shape:
+                    out[dev.rank][part.send_map[p]] += payload
+        return None

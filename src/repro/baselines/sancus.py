@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.exchange import HaloExchange
+from repro.cluster.exchange import HaloExchange, InFlightStep
 from repro.comm.transport import Transport
 
 __all__ = ["BroadcastSkipExchange"]
@@ -67,41 +67,55 @@ class BroadcastSkipExchange(HaloExchange):
     def _broadcast_now(self) -> bool:
         return self._epoch % self.staleness_bound == 0
 
-    def exchange_embeddings(
+    def post_step(
         self,
         layer: int,
+        phase: str,
         devices: list,
         transport: Transport,
-        h_by_dev: list[np.ndarray],
-        out: list[np.ndarray] | None = None,
-    ) -> list[np.ndarray]:
-        tag = f"fwd/L{layer}"
-        broadcast = self._broadcast_now()
-        for dev in devices:
-            part = dev.part
-            peers = part.peers_out()
-            if not peers:
-                continue
-            if broadcast:
-                # Always copy: the historical cache must hold a frozen
-                # snapshot, and ``h_by_dev`` entries may be views of the
-                # fused compute engine's buffers, which are overwritten
-                # in later epochs (``ascontiguousarray`` would alias them).
-                block = np.array(h_by_dev[dev.rank], dtype=np.float32, order="C")
-                self.broadcasts_sent += 1
-                for q in peers:
-                    transport.post(dev.rank, q, tag, block, block.nbytes)
-            else:
-                self.broadcasts_skipped += 1
+        values_by_dev: list[np.ndarray],
+    ) -> InFlightStep:
+        if phase == "fwd":
+            broadcast = self._broadcast_now()
+            for dev in devices:
+                peers = dev.part.peers_out()
+                if not peers:
+                    continue
+                if broadcast:
+                    # Always copy: the historical cache must hold a frozen
+                    # snapshot, and ``values_by_dev`` entries may be views
+                    # of the fused compute engine's buffers, which are
+                    # overwritten in later epochs (``ascontiguousarray``
+                    # would alias them).
+                    block = np.array(
+                        values_by_dev[dev.rank], dtype=np.float32, order="C"
+                    )
+                    self.broadcasts_sent += 1
+                    for q in peers:
+                        transport.post(
+                            dev.rank, q, f"fwd/L{layer}", block, block.nbytes
+                        )
+                else:
+                    self.broadcasts_skipped += 1
+        # "bwd": communication-avoiding — halo gradients are dropped.
+        tag = f"{phase}/L{layer}"
+        dim = int(values_by_dev[devices[0].rank].shape[1])
+        return InFlightStep(layer, phase, tag, devices, transport, dim)
 
+    def finalize_step(
+        self, step: InFlightStep, out: list[np.ndarray] | None = None
+    ) -> list[np.ndarray] | None:
+        step.mark_done()
+        if step.phase == "bwd":
+            return None  # nothing was posted; owners keep truncated gradients
         halo_by_dev: list[np.ndarray] = []
+        devices = step.devices
         for dev in devices:
             part = dev.part
-            received = transport.collect(dev.rank, tag)
-            hist = self._historical.setdefault((layer, dev.rank), {})
+            received = step.transport.collect(dev.rank, step.tag)
+            hist = self._historical.setdefault((step.layer, dev.rank), {})
             hist.update(received)
-            d = h_by_dev[dev.rank].shape[1]
-            halo = self._halo_out(out, dev.rank, part.n_halo, d)
+            halo = self._halo_out(out, dev.rank, part.n_halo, step.dim)
             for p, block in hist.items():
                 if p not in part.recv_map:
                     continue
@@ -112,14 +126,3 @@ class BroadcastSkipExchange(HaloExchange):
                     halo[part.recv_map[p]] = block[rows]
             halo_by_dev.append(halo)
         return halo_by_dev
-
-    def exchange_gradients(
-        self,
-        layer: int,
-        devices: list,
-        transport: Transport,
-        d_halo_by_dev: list[np.ndarray],
-        d_own_by_dev: list[np.ndarray],
-    ) -> None:
-        # Communication-avoiding: halo gradients are dropped (no exchange).
-        return

@@ -85,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--group-size", type=int, default=100)
     p_train.add_argument("--period", type=int, default=16)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--no-fused-compute", action="store_true",
+        help="escape hatch: run the legacy per-device layer loop instead of "
+             "the cluster-fused compute engine (bit-identical, slower)")
+    p_train.add_argument(
+        "--no-overlap", action="store_true",
+        help="escape hatch: disable the split-phase central/marginal "
+             "pipelined executor (adaqp variants overlap by default; "
+             "bit-identical, but epoch records then carry no measured "
+             "stage timelines)")
 
     p_part = sub.add_parser("partition", help="partition a dataset, report quality")
     p_part.add_argument("--dataset", default="ogbn-products",
@@ -143,6 +153,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         reassign_period=args.period,
         seed=args.seed,
         eval_every=max(1, args.epochs // 8),
+        fused_compute=not args.no_fused_compute,
+        overlap=not args.no_overlap,
     )
     print(f"training {args.system} / {args.model} on {args.dataset}-{args.scale} "
           f"({topology.name}, {args.epochs} epochs)...")

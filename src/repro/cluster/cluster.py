@@ -67,6 +67,16 @@ class Cluster:
         Execute layer compute on the cluster-fused engine (default) or the
         legacy per-device loop.  Both are bit-identical under the same
         seed; the flag exists for the equivalence suite and benchmarks.
+    overlap:
+        Execute training steps as the split-phase central/marginal
+        pipeline (paper Fig. 7): post marginal messages, run the central
+        sub-step while they are in flight, finalize, run the marginal
+        sub-step — and emit measured per-stage
+        :class:`~repro.cluster.records.StepTimeline` entries into each
+        epoch record.  Requires the fused engine (silently off with
+        ``fused_compute=False``); bit-identical to the non-overlapped
+        engines under the same seed.  The trainer turns it on for the
+        adaqp-variant systems.
     """
 
     def __init__(
@@ -80,6 +90,7 @@ class Cluster:
         dropout: float = 0.5,
         seed: int = 0,
         fused_compute: bool = True,
+        overlap: bool = False,
     ) -> None:
         check_in_set(model_kind, MODEL_KINDS, name="model_kind")
         if num_layers < 1:
@@ -148,6 +159,11 @@ class Cluster:
         # is static across epochs, so it is built once and lazily; the
         # per-phase FLOP-accounting arrays are likewise cached.
         self.fused_compute = bool(fused_compute)
+        # The split-phase pipeline is an execution shape of the fused
+        # engine; without it there is nothing to split, so the knob
+        # degrades to off rather than erroring (the legacy loop remains a
+        # pure escape hatch).
+        self.overlap = bool(overlap) and self.fused_compute
         self._engine: FusedClusterCompute | None = None
         self._phase_static: dict[tuple[int, str, bool], tuple[np.ndarray, ...]] = {}
 
@@ -186,13 +202,27 @@ class Cluster:
             engine = self._compute_engine()
             engine.begin_epoch()
             for layer in range(num_layers):
-                engine.forward_layer(layer, exchange, self.transport, training=True)
+                if self.overlap:
+                    record.timelines.append(
+                        engine.forward_layer_overlap(
+                            layer, exchange, self.transport, training=True
+                        )
+                    )
+                else:
+                    engine.forward_layer(
+                        layer, exchange, self.transport, training=True
+                    )
                 record.phases.append(
                     self._phase_record(layer, "fwd", exchange, f"fwd/L{layer}")
                 )
             record.loss = engine.epoch_loss(self._loss)
             for layer in reversed(range(num_layers)):
-                engine.backward_layer(layer, exchange, self.transport)
+                if self.overlap:
+                    record.timelines.append(
+                        engine.backward_layer_overlap(layer, exchange, self.transport)
+                    )
+                else:
+                    engine.backward_layer(layer, exchange, self.transport)
                 record.phases.append(
                     self._phase_record(layer, "bwd", exchange, f"bwd/L{layer}")
                 )

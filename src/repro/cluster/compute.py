@@ -36,17 +36,48 @@ row-determinism, (b) spmv's, where the block-diagonal remap preserves
 per-row column order so scipy's row-major accumulation is unchanged, and
 (c) reductions (loss sums, gradient sums, ``sum(axis=0)`` of contiguous
 slices), which replicate the legacy operation order exactly.
+
+**Split-phase pipelined execution** (paper Sec. 3.1 / Fig. 7): with
+``overlap`` enabled the engine runs each layer step as the paper's
+three-stage pipeline instead of "exchange everything, then compute
+everything".  Forward: post the boundary messages
+(:meth:`~repro.cluster.exchange.HaloExchange.post_step`), run the
+**central** sub-step while they are in flight (central rows of the
+block-diagonal operator touch no halo column, so their aggregation and
+dense update need no messages), then finalize the halos and run the
+**marginal** sub-step.  Backward mirrors it dependency-first: the
+marginal sub-step (halo-gradient routing needs only marginal rows of the
+input-gradient GEMM) runs *before* the post, and parameter-gradient
+accumulation plus owned-row routing overlap the in-flight messages.  The
+central/marginal split is a row permutation of the same math: the
+operator is split row-wise into two complementary CSRs whose
+``csr_matvecs`` calls accumulate into the same output, and the dense
+sub-steps run on contiguous *gathered* row blocks (``row_matmul``'s
+row-determinism makes gathered sub-GEMMs equal the stacked GEMM bit for
+bit).  The persistent stacked buffers keep their original row order —
+permuting them would reorder reductions (loss sums, ``xᵀ·d`` weight
+gradients) and break the bitwise contract.  Each overlapped step emits a
+measured :class:`~repro.cluster.records.StepTimeline`.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
+from repro.cluster.records import StepTimeline
 from repro.cluster.runtime import DeviceRuntime
 from repro.nn.blas import row_matmul
 
-__all__ = ["FusedClusterCompute", "build_block_diagonal"]
+__all__ = [
+    "FusedClusterCompute",
+    "build_block_diagonal",
+    "restrict_rows",
+    "OverlapPlan",
+]
 
 try:  # pragma: no cover - import guard
     from scipy.sparse import _sparsetools as _sptools
@@ -84,6 +115,76 @@ def _spmv_into(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> np.ndar
         return out
     out[...] = matrix @ x
     return out
+
+
+def _spmv_accumulate(matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> None:
+    """``out += matrix @ x`` — the accumulate half of a row-split spmv.
+
+    ``csr_matvecs`` natively accumulates into its output, which is exactly
+    how the *full* operator's kernel builds each row (starting from the
+    zero fill), so running the two complementary row-restricted operators
+    through this produces bit-identical rows to one full-matrix call.
+    """
+    if (
+        _csr_matvecs is not None
+        and x.flags.c_contiguous
+        and out.flags.c_contiguous
+        and x.dtype == matrix.dtype == out.dtype
+    ):
+        n_row, n_col = matrix.shape
+        _csr_matvecs(
+            n_row,
+            n_col,
+            x.shape[1],
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            x.ravel(),
+            out.ravel(),
+        )
+        return
+    out += matrix @ x
+
+
+def restrict_rows(matrix: sp.csr_matrix, row_mask: np.ndarray) -> sp.csr_matrix:
+    """Same-shape copy of ``matrix`` keeping only the masked rows' entries.
+
+    Unmasked rows become empty; kept rows carry their exact data/index
+    spans, so per-row spmv accumulation order is untouched.  The two
+    complements of a mask split one operator into the central and marginal
+    halves the pipelined executor runs separately.
+    """
+    if row_mask.shape != (matrix.shape[0],):
+        raise ValueError("row_mask must have one entry per matrix row")
+    counts = np.diff(matrix.indptr)
+    kept = np.where(row_mask, counts, 0)
+    indptr = np.concatenate([[0], np.cumsum(kept)]).astype(matrix.indptr.dtype)
+    sel = np.repeat(row_mask, counts)
+    out = sp.csr_matrix(
+        (matrix.data[sel], matrix.indices[sel], indptr), shape=matrix.shape
+    )
+    out.has_sorted_indices = matrix.has_sorted_indices
+    out.has_canonical_format = matrix.has_canonical_format
+    return out
+
+
+@dataclass
+class OverlapPlan:
+    """Static structures of the split-phase pipeline (built once).
+
+    ``rows_central``/``rows_marginal`` index the stacked owned region (its
+    original row order); the four operators are row-splits of the engine's
+    block-diagonal matrix and its transpose.  Central rows reference no
+    halo column by construction — that independence is what makes the
+    central sub-step legal before the halos arrive.
+    """
+
+    rows_central: np.ndarray
+    rows_marginal: np.ndarray
+    matrix_central: sp.csr_matrix
+    matrix_marginal: sp.csr_matrix
+    matrix_t_own: sp.csr_matrix  # routes gradients to owned rows
+    matrix_t_halo: sp.csr_matrix  # routes gradients to halo rows (messages)
 
 
 def build_block_diagonal(devices: list[DeviceRuntime]) -> sp.csr_matrix:
@@ -227,6 +328,13 @@ class FusedClusterCompute:
             for x in self._x
         ]
 
+        # Split-phase pipeline state, built lazily on first overlapped step
+        # (plus gather scratch and a persistent inv-std buffer per layer —
+        # the split sub-steps scatter their halves into it).
+        self._overlap_plan: OverlapPlan | None = None
+        self._scratch_bufs: dict[tuple, np.ndarray] = {}
+        self._inv_std_buf: list[np.ndarray | None] = [None] * (L - 1)
+
         # Reduced-form gradient accumulators: one float64 buffer per
         # parameter of the (shared) replica structure, summed over devices
         # in rank order — allreduce_sum's exact operation order.
@@ -293,18 +401,299 @@ class FusedClusterCompute:
         h *= relu_mask
 
         # Dropout: masks are drawn per device from that device's stream in
-        # rank order (via Dropout.sample_mask, so stream consumption and
-        # scaling match the legacy layer loop bit for bit); the multiply
-        # then runs once on the stacked buffer.
+        # rank order (via _sample_dropout — the single sampling site shared
+        # with the pipelined path, so stream consumption and scaling match
+        # the legacy layer loop bit for bit); the multiply then runs once
+        # on the stacked buffer.
+        self._sample_dropout(layer, mod, training)
+        if self._drop_active[layer]:
+            h *= self._drop_mask[layer]
+
+    # ------------------------------------------------------------------
+    # Split-phase pipelined execution
+    # ------------------------------------------------------------------
+    def overlap_plan(self) -> OverlapPlan:
+        """The split-phase operators and row sets (built once, cached)."""
+        if self._overlap_plan is None:
+            # Deferred import: repro.core's package __init__ pulls in the
+            # trainer, which imports this module right back.
+            from repro.core.decompose import split_rows
+
+            splits = [split_rows(dev.part) for dev in self.devices]
+            rows_central = np.concatenate(
+                [self.own_off[k] + s.central_rows for k, s in enumerate(splits)]
+            ).astype(np.int64)
+            rows_marginal = np.concatenate(
+                [self.own_off[k] + s.marginal_rows for k, s in enumerate(splits)]
+            ).astype(np.int64)
+            central_mask = np.zeros(self.total_own, dtype=bool)
+            central_mask[rows_central] = True
+            matrix_central = restrict_rows(self.matrix, central_mask)
+            has_halo_cols = matrix_central.nnz and (
+                int(matrix_central.indices.max()) >= self.total_own
+            )
+            if has_halo_cols:
+                raise AssertionError(
+                    "central rows reference halo columns — marginal masks broken"
+                )
+            self._overlap_plan = OverlapPlan(
+                rows_central=rows_central,
+                rows_marginal=rows_marginal,
+                matrix_central=matrix_central,
+                matrix_marginal=restrict_rows(self.matrix, ~central_mask),
+                matrix_t_own=self.matrix_t[: self.total_own],
+                matrix_t_halo=self.matrix_t[self.total_own :],
+            )
+        return self._overlap_plan
+
+    def _scratch(self, name: str, rows: int, cols: int, dtype=np.float32) -> np.ndarray:
+        """Reusable gather block; keyed by use-site so lifetimes never clash."""
+        key = (name, rows, cols, np.dtype(dtype).str)
+        buf = self._scratch_bufs.get(key)
+        if buf is None:
+            buf = np.empty((rows, cols), dtype=dtype)
+            self._scratch_bufs[key] = buf
+        return buf
+
+    def _sample_dropout(self, layer: int, mod, training: bool) -> None:
+        """Draw the step's dropout masks (all devices, rank order).
+
+        The single sampling site for both engine shapes: one
+        ``sample_mask`` call per device of the full owned-slice shape, in
+        rank order.  Masks never depend on activations, so the pipelined
+        path drawing them at the start of the central window (before the
+        marginal rows exist) consumes the streams identically to the
+        non-overlapped path drawing them after ReLU.
+        """
         if training and mod.drop.p > 0.0:
             drop_mask = self._drop_mask[layer]
             for k, dev in enumerate(self.devices):
                 sl = drop_mask[self._own_slice(k)]
                 sl[...] = dev.model.layers[layer].drop.sample_mask(sl.shape)
-            h *= drop_mask
             self._drop_active[layer] = True
         else:
             self._drop_active[layer] = False
+
+    def _forward_substep(self, layer: int, rows: np.ndarray) -> None:
+        """Dense half of layer ``layer`` for one row set (central or marginal).
+
+        Gathers the rows into a contiguous block, runs the same GEMM /
+        LayerNorm / ReLU / dropout pipeline as :meth:`forward_layer`, and
+        scatters results (plus the backward caches) into the persistent
+        buffers.  Every operation is row-local or row-deterministic, so
+        the scattered rows are bit-identical to the full-step values.
+        """
+        if rows.size == 0:
+            return
+        mod = self.devices[0].model.layers[layer]
+        conv = mod.conv
+        d_in, d_out = self.dims[layer], self.dims[layer + 1]
+        out_own = self.logits if mod.is_output else self._x[layer + 1][: self.total_own]
+        n = int(rows.size)
+        h = self._scratch("fwd_h", n, d_out)
+        zc = self._scratch("fwd_zin", n, d_in)
+        np.take(self._z[layer], rows, axis=0, out=zc)
+        if self.model_kind == "gcn":
+            row_matmul(zc, conv.linear.weight.data, out=h)
+            h += conv.linear.bias.data
+        else:
+            xc = self._scratch("fwd_xin", n, d_in)
+            np.take(self._x[layer][: self.total_own], rows, axis=0, out=xc)
+            row_matmul(xc, conv.root.weight.data, out=h)
+            h += conv.root.bias.data
+            neigh = self._scratch("fwd_nh", n, d_out)
+            row_matmul(zc, conv.neigh.weight.data, out=neigh)
+            h += neigh
+        if not mod.has_post_stage:
+            out_own[rows] = h
+            return
+
+        x_hat = self._scratch("fwd_xhat", n, d_out)
+        inv_std = mod.norm.forward_into(h, x_hat)
+        self._x_hat[layer][rows] = x_hat
+        buf = self._inv_std_buf[layer]
+        if buf is None or buf.dtype != inv_std.dtype:
+            buf = np.empty((self.total_own, 1), dtype=inv_std.dtype)
+            self._inv_std_buf[layer] = buf
+        buf[rows] = inv_std
+        self._inv_std[layer] = buf
+
+        relu_mask = self._scratch("fwd_relu", n, d_out, dtype=bool)
+        np.greater(h, 0, out=relu_mask)
+        h *= relu_mask
+        self._relu_mask[layer][rows] = relu_mask
+
+        if self._drop_active[layer]:
+            dm = self._scratch("fwd_dm", n, d_out)
+            np.take(self._drop_mask[layer], rows, axis=0, out=dm)
+            h *= dm
+        out_own[rows] = h
+
+    def forward_layer_overlap(
+        self, layer, exchange, transport, *, training: bool
+    ) -> StepTimeline:
+        """One forward layer as the paper's pipeline; returns its timeline.
+
+        Stage 1 posts the boundary rows (gather + quantize + post); the
+        central sub-step runs while those messages are in flight; stage 3
+        finalizes the halos (collect + de-quantize + scatter in place)
+        and runs the marginal sub-step.
+        """
+        plan = self.overlap_plan()
+        mod = self.devices[0].model.layers[layer]
+        t0 = time.perf_counter()
+        step = exchange.post_step(
+            layer, "fwd", self.devices, transport, self._own_views[layer]
+        )
+        t1 = time.perf_counter()
+        overlapped = transport.note_overlap(step.tag)
+
+        # Central window: aggregation + dense update of central rows only.
+        z = self._z[layer]
+        z.fill(0.0)
+        _spmv_accumulate(plan.matrix_central, self._x[layer], z)
+        if mod.has_post_stage:
+            self._sample_dropout(layer, mod, training)
+        self._forward_substep(layer, plan.rows_central)
+        t2 = time.perf_counter()
+
+        exchange.finalize_step(step, out=self._halo_views[layer])
+        t3 = time.perf_counter()
+
+        _spmv_accumulate(plan.matrix_marginal, self._x[layer], z)
+        self._forward_substep(layer, plan.rows_marginal)
+        t4 = time.perf_counter()
+        return StepTimeline(
+            layer=layer,
+            phase="fwd",
+            quantize_s=t1 - t0,
+            comm_s=0.0,
+            central_s=t2 - t1,
+            dequantize_s=t3 - t2,
+            marginal_s=t4 - t3,
+            comp_full_s=(t2 - t1) + (t4 - t3),
+            overlapped_bytes=overlapped,
+            total_bytes=int(transport.bytes_matrix(step.tag).sum()),
+            measured=True,
+        )
+
+    def _input_grad_rows(
+        self,
+        d_out: np.ndarray,
+        rows: np.ndarray,
+        weight_t: np.ndarray,
+        target: np.ndarray,
+    ) -> None:
+        """``target[rows] = d_out[rows] @ weight_t`` via a contiguous gather."""
+        if rows.size == 0:
+            return
+        n = int(rows.size)
+        a = self._scratch("bwd_din", n, d_out.shape[1])
+        np.take(d_out, rows, axis=0, out=a)
+        o = self._scratch("bwd_dz", n, weight_t.shape[1])
+        row_matmul(a, weight_t, out=o)
+        target[rows] = o
+
+    def backward_layer_overlap(self, layer, exchange, transport) -> StepTimeline:
+        """One backward layer as the pipeline, dependency-first.
+
+        The marginal sub-step runs *before* the post: outgoing halo
+        gradients are ``Pᵀ``'s halo rows, which read only marginal rows of
+        the input-gradient GEMM.  While the messages fly, the central
+        window finishes the GEMM's central rows, accumulates every
+        parameter partial (same per-accumulator order as the
+        non-overlapped engine) and routes owned-row gradients; finalize
+        then adds the received gradients in place.
+        """
+        d_out = self._d
+        if d_out is None:
+            raise RuntimeError("backward_layer_overlap called before epoch_loss")
+        plan = self.overlap_plan()
+        mod = self.devices[0].model.layers[layer]
+        conv = mod.conv
+        t0 = time.perf_counter()
+
+        # Marginal-first: post-ops backward, then the marginal input-grad
+        # rows and the halo routing they feed.
+        d_out_pre: np.ndarray | None = None
+        if mod.has_post_stage:
+            if self._drop_active[layer]:
+                d_out *= self._drop_mask[layer]
+            d_out *= self._relu_mask[layer]
+            d_out_pre = d_out  # post-multiplied, pre-norm (partials read it)
+            d_out = mod.norm.input_grad(
+                d_out, self._x_hat[layer], self._inv_std[layer]
+            )
+        weight_t = (
+            conv.linear.weight.data.T
+            if self.model_kind == "gcn"
+            else conv.neigh.weight.data.T
+        )
+        dz = self._dz[layer]
+        dx = self._dx[layer]
+        self._input_grad_rows(d_out, plan.rows_marginal, weight_t, dz)
+        _spmv_into(plan.matrix_t_halo, dz, dx[self.total_own :])
+        d_halo_views = [
+            dx[
+                self.total_own + self.halo_off[k] : self.total_own
+                + self.halo_off[k + 1]
+            ]
+            for k in range(len(self.devices))
+        ]
+        t1 = time.perf_counter()
+        step = exchange.post_step(
+            layer, "bwd", self.devices, transport, d_halo_views
+        )
+        t2 = time.perf_counter()
+        overlapped = transport.note_overlap(step.tag)
+
+        # Central window: remaining input-grad rows, parameter partials,
+        # owned-row gradient routing.
+        self._input_grad_rows(d_out, plan.rows_central, weight_t, dz)
+        if mod.has_post_stage:
+            assert d_out_pre is not None
+            prod = d_out_pre * self._x_hat[layer]
+            for k in range(len(self.devices)):
+                sl = self._own_slice(k)
+                self._acc_add(mod.norm.gamma, prod[sl].sum(axis=0))
+                self._acc_add(mod.norm.beta, d_out_pre[sl].sum(axis=0))
+        z = self._z[layer]
+        if self.model_kind == "gcn":
+            for k in range(len(self.devices)):
+                sl = self._own_slice(k)
+                self._acc_add(conv.linear.weight, z[sl].T @ d_out[sl])
+                self._acc_add(conv.linear.bias, d_out[sl].sum(axis=0))
+            _spmv_into(plan.matrix_t_own, dz, dx[: self.total_own])
+            d_next = dx[: self.total_own]
+        else:
+            x_own = self._x[layer][: self.total_own]
+            for k in range(len(self.devices)):
+                sl = self._own_slice(k)
+                self._acc_add(conv.root.weight, x_own[sl].T @ d_out[sl])
+                self._acc_add(conv.root.bias, d_out[sl].sum(axis=0))
+                self._acc_add(conv.neigh.weight, z[sl].T @ d_out[sl])
+            d_next = row_matmul(d_out, conv.root.weight.data.T, out=self._d_own[layer])
+            _spmv_into(plan.matrix_t_own, dz, dx[: self.total_own])
+            d_next += dx[: self.total_own]
+        t3 = time.perf_counter()
+
+        d_own_views = [d_next[self._own_slice(k)] for k in range(len(self.devices))]
+        exchange.finalize_step(step, out=d_own_views)
+        t4 = time.perf_counter()
+        self._d = d_next
+        return StepTimeline(
+            layer=layer,
+            phase="bwd",
+            quantize_s=t2 - t1,
+            comm_s=0.0,
+            central_s=t3 - t2,
+            dequantize_s=t4 - t3,
+            marginal_s=t1 - t0,
+            comp_full_s=(t1 - t0) + (t3 - t2),
+            overlapped_bytes=overlapped,
+            total_bytes=int(transport.bytes_matrix(step.tag).sum()),
+            measured=True,
+        )
 
     # ------------------------------------------------------------------
     # Loss

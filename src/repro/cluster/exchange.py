@@ -12,6 +12,18 @@ training:
 The quantized exchange additionally consults a :class:`BitProvider` for the
 per-message bit-widths and (optionally) feeds an input tracer — the hook
 the Adaptive Bit-width Assigner hangs off.
+
+**Split-phase API.**  Every exchange executes one step as two halves:
+:meth:`HaloExchange.post_step` snapshots, encodes and posts all outgoing
+messages and returns an :class:`InFlightStep` handle; the messages then
+stay pending in the transport until :meth:`HaloExchange.finalize_step`
+collects, decodes and scatters (forward) or accumulates (backward) them.
+The pipelined executor runs the central-graph sub-step between the two
+halves — the paper's Fig. 7 overlap — while the classic
+``exchange_embeddings``/``exchange_gradients`` entry points are just the
+back-to-back composition.  Payload values are frozen at post time (every
+policy's gather or encode copies), so callers may mutate the source
+buffers while a step is in flight.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ __all__ = [
     "BitProvider",
     "FixedBitProvider",
     "UniformRandomBitProvider",
+    "InFlightStep",
     "HaloExchange",
     "ExactHaloExchange",
     "QuantizedHaloExchange",
@@ -101,8 +114,50 @@ class UniformRandomBitProvider:
         return cached
 
 
+class InFlightStep:
+    """Handle for one posted-but-not-finalized exchange step.
+
+    Returned by :meth:`HaloExchange.post_step`; every field the receive
+    half needs is captured here so ``finalize_step`` takes only the handle
+    (plus destination buffers).  ``tag`` doubles as the transport key the
+    pipelined executor passes to :meth:`Transport.note_overlap`.
+    """
+
+    __slots__ = ("layer", "phase", "tag", "devices", "transport", "dim", "done")
+
+    def __init__(
+        self,
+        layer: int,
+        phase: str,
+        tag: str,
+        devices: list,
+        transport: Transport,
+        dim: int,
+    ) -> None:
+        self.layer = layer
+        self.phase = phase
+        self.tag = tag
+        self.devices = devices
+        self.transport = transport
+        self.dim = dim
+        self.done = False
+
+    def mark_done(self) -> None:
+        if self.done:
+            raise RuntimeError(
+                f"step {self.tag!r} finalized twice (stale in-flight handle)"
+            )
+        self.done = True
+
+
 class HaloExchange:
-    """Base class; subclasses override the payload encode/decode policy."""
+    """Base class; subclasses override the payload encode/decode policy.
+
+    The generic implementation posts one envelope per (src, dst) pair
+    through the :meth:`_post` hook and decodes per payload via
+    :meth:`_decode`; subclasses either keep those hooks (per-pair
+    policies) or override the step halves wholesale (the fused engines).
+    """
 
     #: whether payloads pass through quantize/de-quantize kernels
     quantizes: bool = False
@@ -110,10 +165,68 @@ class HaloExchange:
     def on_epoch_start(self, epoch: int) -> None:
         """Hook for per-epoch state (bit re-sampling, staleness caches)."""
 
+    # -- split-phase halves --------------------------------------------------
+    def post_step(
+        self,
+        layer: int,
+        phase: str,
+        devices: list,  # list[DeviceRuntime]; untyped to avoid cycle
+        transport: Transport,
+        values_by_dev: list[np.ndarray],
+    ) -> InFlightStep:
+        """Stage 1: snapshot, encode and post this step's outgoing rows.
+
+        ``phase`` is ``"fwd"`` (boundary embeddings to halo holders) or
+        ``"bwd"`` (halo gradients back to owners).  Returns the in-flight
+        handle for :meth:`finalize_step`; payload values are copied out of
+        ``values_by_dev`` before returning.
+        """
+        check_in_set(phase, ("fwd", "bwd"), name="phase")
+        tag = f"{phase}/L{layer}"
+        for dev in devices:
+            part = dev.part
+            maps = part.send_map if phase == "fwd" else part.recv_map
+            values = values_by_dev[dev.rank]
+            for q in sorted(maps.keys()):
+                self._post(
+                    transport, layer, phase, dev.rank, q, tag, values[maps[q]]
+                )
+        dim = int(values_by_dev[devices[0].rank].shape[1])
+        return InFlightStep(layer, phase, tag, devices, transport, dim)
+
+    def finalize_step(
+        self, step: InFlightStep, out: list[np.ndarray] | None = None
+    ) -> list[np.ndarray] | None:
+        """Stage 2: collect, decode and land this step's messages.
+
+        Forward steps scatter into per-device ``(n_halo, d)`` buffers
+        (``out`` views or fresh arrays) and return them; backward steps
+        *accumulate* into the per-device ``out`` gradient buffers and
+        return ``None``.  See the class docstring for buffer ownership.
+        """
+        step.mark_done()
+        if step.phase == "fwd":
+            halo_by_dev: list[np.ndarray] = []
+            for dev in step.devices:
+                part = dev.part
+                halo = self._halo_out(out, dev.rank, part.n_halo, step.dim)
+                for p, payload in step.transport.collect(dev.rank, step.tag).items():
+                    halo[part.recv_map[p]] = self._decode(payload)
+                halo_by_dev.append(halo)
+            return halo_by_dev
+        if out is None:
+            raise ValueError("backward finalize_step requires out= buffers")
+        for dev in step.devices:
+            part = dev.part
+            for p, payload in step.transport.collect(dev.rank, step.tag).items():
+                out[dev.rank][part.send_map[p]] += self._decode(payload)
+        return None
+
+    # -- monolithic entry points (post + finalize back to back) -------------
     def exchange_embeddings(
         self,
         layer: int,
-        devices: list,  # list[DeviceRuntime]; untyped to avoid cycle
+        devices: list,
         transport: Transport,
         h_by_dev: list[np.ndarray],
         out: list[np.ndarray] | None = None,
@@ -126,22 +239,9 @@ class HaloExchange:
         is zeroed before scattering — reused buffers must be
         indistinguishable from the fresh allocations of the default path.
         """
-        tag = f"fwd/L{layer}"
-        for dev in devices:
-            part = dev.part
-            for q in part.peers_out():
-                rows = part.send_map[q]
-                self._post(
-                    transport, layer, "fwd", dev.rank, q, tag, h_by_dev[dev.rank][rows]
-                )
-        halo_by_dev: list[np.ndarray] = []
-        for dev in devices:
-            part = dev.part
-            d = h_by_dev[dev.rank].shape[1]
-            halo = self._halo_out(out, dev.rank, part.n_halo, d)
-            for p, payload in transport.collect(dev.rank, tag).items():
-                halo[part.recv_map[p]] = self._decode(payload)
-            halo_by_dev.append(halo)
+        step = self.post_step(layer, "fwd", devices, transport, h_by_dev)
+        halo_by_dev = self.finalize_step(step, out=out)
+        assert halo_by_dev is not None
         return halo_by_dev
 
     def exchange_gradients(
@@ -153,24 +253,8 @@ class HaloExchange:
         d_own_by_dev: list[np.ndarray],
     ) -> None:
         """Route halo gradients back to owners, accumulating in-place."""
-        tag = f"bwd/L{layer}"
-        for dev in devices:
-            part = dev.part
-            for q in part.peers_in():
-                slots = part.recv_map[q]
-                self._post(
-                    transport,
-                    layer,
-                    "bwd",
-                    dev.rank,
-                    q,
-                    tag,
-                    d_halo_by_dev[dev.rank][slots],
-                )
-        for dev in devices:
-            part = dev.part
-            for p, payload in transport.collect(dev.rank, tag).items():
-                d_own_by_dev[dev.rank][part.send_map[p]] += self._decode(payload)
+        step = self.post_step(layer, "bwd", devices, transport, d_halo_by_dev)
+        self.finalize_step(step, out=d_own_by_dev)
 
     @staticmethod
     def _halo_out(
@@ -305,66 +389,63 @@ class ExactHaloExchange(HaloExchange):
         ]
         transport.post_batch(rank, tag, posts)
 
-    def exchange_embeddings(
+    def post_step(
         self,
         layer: int,
+        phase: str,
         devices: list,
         transport: Transport,
-        h_by_dev: list[np.ndarray],
-        out: list[np.ndarray] | None = None,
-    ) -> list[np.ndarray]:
-        tag = f"fwd/L{layer}"
-        plans = self._plan_for("fwd", devices)
+        values_by_dev: list[np.ndarray],
+    ) -> InFlightStep:
+        check_in_set(phase, ("fwd", "bwd"), name="phase")
+        tag = f"{phase}/L{layer}"
+        plans = self._plan_for(phase, devices)
         for dev in devices:
             self._post_step_rows(
-                transport, tag, dev.rank, plans[dev.rank], h_by_dev[dev.rank]
+                transport, tag, dev.rank, plans[dev.rank], values_by_dev[dev.rank]
             )
-        halo_by_dev: list[np.ndarray] = []
-        for dev in devices:
-            part = dev.part
-            d = h_by_dev[dev.rank].shape[1]
-            received = transport.collect(dev.rank, tag)
-            if received:
-                # The scatter permutation covers every halo slot (each is
-                # fed by exactly one peer and all peers posted), so the
-                # destination needs no zero-fill before assignment.
-                if out is not None:
-                    halo = out[dev.rank]
-                    if halo.shape != (part.n_halo, d):
-                        raise ValueError(
-                            f"out[{dev.rank}] has shape {halo.shape}, "
-                            f"expected {(part.n_halo, d)}"
-                        )
-                else:
-                    halo = np.empty((part.n_halo, d), dtype=np.float32)
-                recv_peers, scatter = plans[dev.rank][3:5]
-                halo[scatter] = np.concatenate([received[p] for p in recv_peers])
-            else:
-                halo = self._halo_out(out, dev.rank, part.n_halo, d)
-            halo_by_dev.append(halo)
-        return halo_by_dev
+        dim = int(values_by_dev[devices[0].rank].shape[1])
+        return InFlightStep(layer, phase, tag, devices, transport, dim)
 
-    def exchange_gradients(
-        self,
-        layer: int,
-        devices: list,
-        transport: Transport,
-        d_halo_by_dev: list[np.ndarray],
-        d_own_by_dev: list[np.ndarray],
-    ) -> None:
-        tag = f"bwd/L{layer}"
-        plans = self._plan_for("bwd", devices)
-        for dev in devices:
-            self._post_step_rows(
-                transport, tag, dev.rank, plans[dev.rank], d_halo_by_dev[dev.rank]
-            )
-        for dev in devices:
-            received = transport.collect(dev.rank, tag)
+    def finalize_step(
+        self, step: InFlightStep, out: list[np.ndarray] | None = None
+    ) -> list[np.ndarray] | None:
+        step.mark_done()
+        plans = self._plan_for(step.phase, step.devices)
+        if step.phase == "fwd":
+            halo_by_dev: list[np.ndarray] = []
+            for dev in step.devices:
+                part = dev.part
+                received = step.transport.collect(dev.rank, step.tag)
+                if received:
+                    # The scatter permutation covers every halo slot (each
+                    # is fed by exactly one peer and all peers posted), so
+                    # the destination needs no zero-fill before assignment.
+                    if out is not None:
+                        halo = out[dev.rank]
+                        if halo.shape != (part.n_halo, step.dim):
+                            raise ValueError(
+                                f"out[{dev.rank}] has shape {halo.shape}, "
+                                f"expected {(part.n_halo, step.dim)}"
+                            )
+                    else:
+                        halo = np.empty((part.n_halo, step.dim), dtype=np.float32)
+                    recv_peers, scatter = plans[dev.rank][3:5]
+                    halo[scatter] = np.concatenate([received[p] for p in recv_peers])
+                else:
+                    halo = self._halo_out(out, dev.rank, part.n_halo, step.dim)
+                halo_by_dev.append(halo)
+            return halo_by_dev
+        if out is None:
+            raise ValueError("backward finalize_step requires out= buffers")
+        for dev in step.devices:
+            received = step.transport.collect(dev.rank, step.tag)
             if not received:
                 continue
             recv_peers, _, reduce_op = plans[dev.rank][3:6]
             cat = np.concatenate([received[p] for p in recv_peers])
-            d_own_by_dev[dev.rank] += np.asarray(reduce_op @ cat)
+            out[dev.rank] += np.asarray(reduce_op @ cat)
+        return None
 
     # Per-pair hooks kept for subclasses/tests that drive the generic path.
     def _post(self, transport, layer, phase, src, dst, tag, rows) -> None:
@@ -457,53 +538,56 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         self._halo_bufs: dict[tuple[int, int], np.ndarray] = {}
 
     # -- fused fast paths ---------------------------------------------------
-    def exchange_embeddings(
+    def post_step(
         self,
         layer: int,
+        phase: str,
         devices: list,
         transport: Transport,
-        h_by_dev: list[np.ndarray],
-        out: list[np.ndarray] | None = None,
-    ) -> list[np.ndarray]:
-        tag = f"fwd/L{layer}"
-        self._post_step(transport, layer, "fwd", devices, tag, h_by_dev)
-        collects = {dev.rank: transport.collect(dev.rank, tag) for dev in devices}
-        decoded = decode_cluster_step(collects)
-        halo_by_dev: list[np.ndarray] = []
-        for dev in devices:
-            part = dev.part
-            d = h_by_dev[dev.rank].shape[1]
-            if out is not None:
-                halo = self._halo_out(out, dev.rank, part.n_halo, d)
-            else:
-                halo = self._halo_buffer(dev.rank, layer, part.n_halo, d)
-            for p, mat in decoded[dev.rank].items():
-                halo[part.recv_map[p]] = mat
-            halo_by_dev.append(halo)
-        return halo_by_dev
+        values_by_dev: list[np.ndarray],
+    ) -> InFlightStep:
+        check_in_set(phase, ("fwd", "bwd"), name="phase")
+        tag = f"{phase}/L{layer}"
+        self._encode_and_post(transport, layer, phase, devices, tag, values_by_dev)
+        dim = int(values_by_dev[devices[0].rank].shape[1])
+        return InFlightStep(layer, phase, tag, devices, transport, dim)
 
-    def exchange_gradients(
-        self,
-        layer: int,
-        devices: list,
-        transport: Transport,
-        d_halo_by_dev: list[np.ndarray],
-        d_own_by_dev: list[np.ndarray],
-    ) -> None:
-        tag = f"bwd/L{layer}"
-        self._post_step(transport, layer, "bwd", devices, tag, d_halo_by_dev)
-        collects = {dev.rank: transport.collect(dev.rank, tag) for dev in devices}
+    def finalize_step(
+        self, step: InFlightStep, out: list[np.ndarray] | None = None
+    ) -> list[np.ndarray] | None:
+        step.mark_done()
+        collects = {
+            dev.rank: step.transport.collect(dev.rank, step.tag)
+            for dev in step.devices
+        }
         decoded = decode_cluster_step(collects)
-        for dev in devices:
+        if step.phase == "fwd":
+            halo_by_dev: list[np.ndarray] = []
+            for dev in step.devices:
+                part = dev.part
+                if out is not None:
+                    halo = self._halo_out(out, dev.rank, part.n_halo, step.dim)
+                else:
+                    halo = self._halo_buffer(
+                        dev.rank, step.layer, part.n_halo, step.dim
+                    )
+                for p, mat in decoded[dev.rank].items():
+                    halo[part.recv_map[p]] = mat
+                halo_by_dev.append(halo)
+            return halo_by_dev
+        if out is None:
+            raise ValueError("backward finalize_step requires out= buffers")
+        for dev in step.devices:
             part = dev.part
             # Mailbox iteration order is the transport's collection order
             # (src ascending), so float accumulation order matches the
             # legacy per-peer loop exactly.
             for p, mat in decoded[dev.rank].items():
-                d_own_by_dev[dev.rank][part.send_map[p]] += mat
+                out[dev.rank][part.send_map[p]] += mat
+        return None
 
     # -- internals ----------------------------------------------------------
-    def _post_step(
+    def _encode_and_post(
         self,
         transport: Transport,
         layer: int,

@@ -5,6 +5,14 @@ simulators (``repro.core.scheduler``) consume them to produce epoch times
 under each system's overlap policy.  Keeping measurement (records) separate
 from policy (schedules) lets one training run be re-timed under several
 schedules — used by the ablation benchmarks.
+
+:class:`StepTimeline` is the shared step-DAG currency between the two
+worlds: the split-phase pipelined executor *emits* measured instances
+(host wall-clock per stage, plus the transport's in-flight byte record)
+while the schedule simulators *build* modelled instances from a
+:class:`PhaseRecord` and the cost/perf models.  Same stage decomposition,
+two sources — which is what lets the Table 2 / Fig. 3 benchmarks
+cross-check model against measurement in one place.
 """
 
 from __future__ import annotations
@@ -13,7 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["PhaseRecord", "EpochRecord"]
+from repro.cluster.perfmodel import PerfModel
+from repro.comm.costmodel import LinkCostModel
+from repro.comm.ring import ring_all2all_time
+
+__all__ = ["PhaseRecord", "EpochRecord", "StepTimeline"]
 
 
 @dataclass
@@ -67,11 +79,147 @@ class PhaseRecord:
 
 
 @dataclass
+class StepTimeline:
+    """Stage decomposition of one (layer, phase) step of the split-phase
+    pipeline: quantize → (comm ∥ central compute) → de-quantize → marginal
+    compute.
+
+    Two sources, one shape:
+
+    * the pipelined executor emits **measured** instances
+      (``measured=True``): stage durations are host wall-clock seconds of
+      the stages it really ran, ``overlapped_bytes`` is the transport's
+      record of traffic that was in flight during the central window, and
+      ``comm_s`` is 0 (the in-memory transport moves bytes instantly — the
+      interleave, not the wire time, is what execution can measure);
+    * :meth:`from_record` builds **modelled** instances from a
+      :class:`PhaseRecord` plus the link cost and device performance
+      models — exactly the per-device accounting the schedule simulators
+      used to inline.
+
+    For backward steps the marginal stage runs *first* (marginal gradients
+    must exist before they can be posted) — the fields name the pipeline
+    roles, not their temporal order.
+    """
+
+    layer: int
+    phase: str
+    quantize_s: float  # stage 1: gather + quantize + post
+    comm_s: float  # in-flight message time (modelled ring all2all)
+    central_s: float  # central-graph compute, overlapped with comm
+    dequantize_s: float  # collect + de-quantize + scatter
+    marginal_s: float  # marginal-graph compute
+    comp_full_s: float  # the un-split compute duration (serial schedules)
+    overlapped_bytes: int = 0
+    total_bytes: int = 0
+    measured: bool = False
+
+    # -- modelled construction (the schedule simulators' accounting) -------
+    @staticmethod
+    def device_comm_occupancy(
+        phase: PhaseRecord, cost: LinkCostModel
+    ) -> np.ndarray:
+        """Per-device send occupancy of one step (Table 2's 'comm.' column)."""
+        bm = phase.bytes_matrix
+        n = phase.num_devices
+        busy = np.zeros(n)
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    busy[s] += cost.time(s, d, bm[s, d])
+        return busy
+
+    @staticmethod
+    def device_compute(
+        phase: PhaseRecord, perf: PerfModel, *, central_only: bool = False
+    ) -> np.ndarray:
+        """Per-device compute duration of one step (optionally central only)."""
+        if central_only:
+            agg, dense = phase.agg_flops_central, phase.dense_flops_central
+        else:
+            agg, dense = phase.agg_flops, phase.dense_flops
+        return np.array(
+            [perf.compute_time(agg[d], dense[d]) for d in range(phase.num_devices)]
+        )
+
+    @classmethod
+    def from_record(
+        cls, phase: PhaseRecord, cost: LinkCostModel, perf: PerfModel
+    ) -> "StepTimeline":
+        """Modelled stage durations of one step (max over devices per stage)."""
+        n = phase.num_devices
+        ring_s, _ = ring_all2all_time(phase.bytes_matrix, cost)
+        central = cls.device_compute(phase, perf, central_only=True)
+        full = cls.device_compute(phase, perf)
+        marginal = np.array(
+            [
+                perf.compute_time(
+                    phase.agg_flops_marginal[d], phase.dense_flops_marginal[d]
+                )
+                for d in range(n)
+            ]
+        )
+        return cls(
+            layer=phase.layer,
+            phase=phase.phase,
+            quantize_s=max(
+                perf.quant_time(phase.quant_send_bytes[d]) for d in range(n)
+            ),
+            comm_s=ring_s,
+            central_s=float(central.max()),
+            dequantize_s=max(
+                perf.quant_time(phase.quant_recv_bytes[d]) for d in range(n)
+            ),
+            marginal_s=float(marginal.max()),
+            comp_full_s=float(full.max()),
+            total_bytes=int(phase.bytes_matrix.sum()),
+        )
+
+    # -- derived stage views ------------------------------------------------
+    @property
+    def overlap_stage_s(self) -> float:
+        """Stage 2 of the paper's pipeline: comm in parallel with central."""
+        return max(self.comm_s, self.central_s)
+
+    @property
+    def pipelined_s(self) -> float:
+        """Step duration under the three-stage overlapped schedule."""
+        return (
+            self.quantize_s + self.overlap_stage_s + self.dequantize_s + self.marginal_s
+        )
+
+    @property
+    def serial_s(self) -> float:
+        """Step duration with no overlap (quant + comm + full compute)."""
+        return self.quantize_s + self.comm_s + self.comp_full_s + self.dequantize_s
+
+    @property
+    def hidden_comm_s(self) -> float:
+        """Communication time hidden under the central window."""
+        return min(self.comm_s, self.central_s)
+
+    @property
+    def split_compute_s(self) -> float:
+        """Total compute of the split stages (central + marginal)."""
+        return self.central_s + self.marginal_s
+
+    @property
+    def hidden_byte_fraction(self) -> float:
+        """Fraction of this step's wire bytes in flight during overlap."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.overlapped_bytes / self.total_bytes
+
+
+@dataclass
 class EpochRecord:
     """Everything one training epoch produced (numerics + accounting)."""
 
     loss: float
     phases: list[PhaseRecord] = field(default_factory=list)
+    # Measured per-step stage timelines, emitted only by the split-phase
+    # pipelined executor (empty under the non-overlapped engines).
+    timelines: list[StepTimeline] = field(default_factory=list)
     grad_allreduce_bytes: int = 0
     # Wall-clock seconds of *host-side* work measured for real (bit-width
     # assignment solving); simulated device time never lands here.
@@ -88,3 +236,12 @@ class EpochRecord:
         for p in self.phases:
             total = total + p.bytes_matrix
         return total
+
+    def hidden_byte_fraction(self) -> float:
+        """Measured epoch-level overlap efficiency: the fraction of halo
+        wire bytes that were in flight during a central-compute window.
+        0.0 when the epoch ran without the pipelined executor."""
+        total = sum(t.total_bytes for t in self.timelines)
+        if total <= 0:
+            return 0.0
+        return sum(t.overlapped_bytes for t in self.timelines) / total

@@ -28,6 +28,15 @@ class Transport:
     engines post ~K² envelopes per step, so per-envelope overhead (object
     construction, duplicate scans) is the transport's hot path — one dict
     op gives enqueue + O(1) duplicate detection + collection order in one.
+
+    **Progress model** (the split-phase pipeline's interleave record):
+    every posted envelope is *pending* until its destination collects it.
+    :meth:`note_overlap` marks all bytes currently pending under a tag as
+    having been in flight during an overlapped compute window — the
+    pipelined executor calls it right before running the central sub-step,
+    so :meth:`overlapped_bytes` measures how much of a step's traffic the
+    executed schedule actually hid (not how much a cost model predicts it
+    could hide).
     """
 
     def __init__(self, num_devices: int) -> None:
@@ -36,6 +45,9 @@ class Transport:
         self.num_devices = num_devices
         self._boxes: dict[tuple[str, int], dict[int, object]] = defaultdict(dict)
         self._bytes: dict[str, np.ndarray] = {}
+        self._pending: dict[str, int] = defaultdict(int)
+        self._pending_by_box: dict[tuple[str, int], int] = defaultdict(int)
+        self._overlapped: dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     def post(self, src: int, dst: int, tag: str, payload: object, nbytes: int) -> None:
@@ -54,6 +66,8 @@ class Transport:
             tag, np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
         )
         matrix[src, dst] += int(nbytes)
+        self._pending[tag] += int(nbytes)
+        self._pending_by_box[(tag, dst)] += int(nbytes)
 
     def post_batch(
         self, src: int, tag: str, posts: list[tuple[int, object, int]]
@@ -88,14 +102,44 @@ class Transport:
             tag, np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
         )
         row = matrix[src]
+        pending = 0
         for dst, payload, nb in posts:
             boxes[(tag, dst)][src] = payload
             row[dst] += int(nb)
+            pending += int(nb)
+            self._pending_by_box[(tag, dst)] += int(nb)
+        self._pending[tag] += pending
 
     def collect(self, dst: int, tag: str) -> dict[int, object]:
         """Drain ``dst``'s mailbox for ``tag``; returns ``{src: payload}``."""
         self._check_device(dst)
+        drained = self._pending_by_box.pop((tag, dst), 0)
+        if drained:
+            self._pending[tag] -= drained
         return self._boxes.pop((tag, dst), {})
+
+    # ------------------------------------------------------------------
+    # Progress model
+    # ------------------------------------------------------------------
+    def pending_bytes(self, tag: str) -> int:
+        """Bytes posted under ``tag`` that no destination has collected yet."""
+        return int(self._pending.get(tag, 0))
+
+    def note_overlap(self, tag: str) -> int:
+        """Mark ``tag``'s currently-pending bytes as overlapped; returns them.
+
+        Called by the pipelined executor at the start of a central-compute
+        window: whatever is still in flight at that moment is the traffic
+        the executed schedule hides under computation.
+        """
+        pending = self.pending_bytes(tag)
+        if pending:
+            self._overlapped[tag] += pending
+        return pending
+
+    def overlapped_bytes(self, tag: str) -> int:
+        """Cumulative bytes of ``tag`` marked in flight during overlap windows."""
+        return int(self._overlapped.get(tag, 0))
 
     # ------------------------------------------------------------------
     def bytes_matrix(self, tag: str) -> np.ndarray:
@@ -113,6 +157,9 @@ class Transport:
             pending = [key for key, box in self._boxes.items() if box]
             raise RuntimeError(f"undelivered messages remain: {pending}")
         self._bytes.clear()
+        self._pending.clear()
+        self._pending_by_box.clear()
+        self._overlapped.clear()
 
     def pending_tags(self) -> list[str]:
         return sorted({tag for (tag, _), box in self._boxes.items() if box})

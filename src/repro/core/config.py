@@ -40,9 +40,9 @@ class RunConfig:
     fixed_bits: int = 2  # for the fixed-bit-width systems
     uniform_period: int = 20  # resampling cadence of the uniform baseline
 
-    # Simulator engines.  Both flags swap execution shape only — fused and
-    # legacy paths are numerically identical under the same seed; they
-    # exist for equivalence tests and benchmarks.
+    # Simulator engines.  All three flags swap execution shape only —
+    # every path is numerically identical under the same seed; they exist
+    # for equivalence tests, benchmarks and as escape hatches.
     # fused_exchange: batched (fused) quantized exchange vs. the legacy
     # per-peer, per-group path.
     fused_exchange: bool = True
@@ -50,6 +50,12 @@ class RunConfig:
     # aggregation + stacked GEMMs across all devices) vs. the legacy
     # per-device layer loop.
     fused_compute: bool = True
+    # overlap: split-phase central/marginal pipelined execution (post
+    # marginal messages -> central sub-step while they fly -> finalize ->
+    # marginal sub-step), with measured per-stage timelines.  Applied to
+    # the systems whose schedule overlaps (the adaqp variants and
+    # vanilla-overlap); requires fused_compute.
+    overlap: bool = True
 
     # Baselines
     sancus_staleness: int = 4

@@ -7,6 +7,12 @@ a comm/comp/quant breakdown.  Keeping the schedule separate from execution
 lets one training run be re-timed under several policies (used by the
 overlap-ablation benchmark).
 
+Stage accounting is shared with the executor: every schedule builds
+modelled :class:`~repro.cluster.records.StepTimeline` instances via
+``StepTimeline.from_record`` — the same step-DAG type the split-phase
+pipelined executor emits in *measured* form — instead of keeping its own
+per-device comm/comp helpers.
+
 Policies (paper Fig. 4):
 
 * **Vanilla** — per layer and direction: barrier-synchronized ring all2all,
@@ -31,7 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.perfmodel import PerfModel
-from repro.cluster.records import EpochRecord, PhaseRecord
+from repro.cluster.records import EpochRecord, StepTimeline
 from repro.comm.allreduce import ring_allreduce_time
 from repro.comm.costmodel import LinkCostModel
 from repro.comm.ring import ring_all2all_time
@@ -70,26 +76,33 @@ class ScheduleResult:
         return 1.0 / self.epoch_time if self.epoch_time > 0 else float("inf")
 
 
-def _phase_comm_ring(phase: PhaseRecord, cost: LinkCostModel) -> float:
-    total, _ = ring_all2all_time(phase.bytes_matrix, cost)
-    return total
+def _modeled_timelines(
+    record: EpochRecord, cost: LinkCostModel, perf: PerfModel
+) -> list[StepTimeline]:
+    return [StepTimeline.from_record(p, cost, perf) for p in record.phases]
 
 
-def _phase_comp_full(phase: PhaseRecord, perf: PerfModel) -> float:
-    """Max over devices of the full (all-node) layer computation."""
-    times = [
-        perf.compute_time(phase.agg_flops[d], phase.dense_flops[d])
-        for d in range(phase.num_devices)
-    ]
-    return max(times)
+def _serial_comm_comp(
+    record: EpochRecord, cost: LinkCostModel, perf: PerfModel
+) -> tuple[float, float]:
+    """Ring-comm and full-compute totals for the non-splitting schedules.
+
+    Uses the timeline type's per-device accounting directly — building a
+    full :class:`StepTimeline` per phase would model the central/marginal
+    and quant stages these schedules never read.
+    """
+    comm = sum(ring_all2all_time(p.bytes_matrix, cost)[0] for p in record.phases)
+    comp = sum(
+        float(StepTimeline.device_compute(p, perf).max()) for p in record.phases
+    )
+    return comm, comp
 
 
 def schedule_vanilla(
     record: EpochRecord, cost: LinkCostModel, perf: PerfModel
 ) -> ScheduleResult:
     """Synchronous interleaved comm→comp per layer (paper Fig. 4a)."""
-    comm = sum(_phase_comm_ring(p, cost) for p in record.phases)
-    comp = sum(_phase_comp_full(p, perf) for p in record.phases)
+    comm, comp = _serial_comm_comp(record, cost, perf)
     comm += ring_allreduce_time(record.grad_allreduce_bytes, cost)
     epoch = comm + comp
     return ScheduleResult(
@@ -101,33 +114,12 @@ def schedule_adaqp(
     record: EpochRecord, cost: LinkCostModel, perf: PerfModel
 ) -> ScheduleResult:
     """AdaQP's three-stage overlap (paper Figs. 4b and 7)."""
-    comm_bucket = 0.0
-    comp_bucket = 0.0
-    quant_bucket = 0.0
-    epoch = 0.0
-    for phase in record.phases:
-        n = phase.num_devices
-        stage1 = max(perf.quant_time(phase.quant_send_bytes[d]) for d in range(n))
-        ring = _phase_comm_ring(phase, cost)
-        central = max(
-            perf.compute_time(
-                phase.agg_flops_central[d], phase.dense_flops_central[d]
-            )
-            for d in range(n)
-        )
-        stage2 = max(ring, central)
-        dequant = max(perf.quant_time(phase.quant_recv_bytes[d]) for d in range(n))
-        marginal = max(
-            perf.compute_time(
-                phase.agg_flops_marginal[d], phase.dense_flops_marginal[d]
-            )
-            for d in range(n)
-        )
-        stage3 = dequant + marginal
-        epoch += stage1 + stage2 + stage3
-        quant_bucket += stage1 + dequant
-        comm_bucket += stage2  # central compute hides inside this stage
-        comp_bucket += marginal
+    timelines = _modeled_timelines(record, cost, perf)
+    quant_bucket = sum(t.quantize_s + t.dequantize_s for t in timelines)
+    # Central compute hides inside the overlap stage's comm bucket.
+    comm_bucket = sum(t.overlap_stage_s for t in timelines)
+    comp_bucket = sum(t.marginal_s for t in timelines)
+    epoch = sum(t.pipelined_s for t in timelines)
     allreduce = ring_allreduce_time(record.grad_allreduce_bytes, cost)
     comm_bucket += allreduce
     epoch += allreduce
@@ -143,8 +135,7 @@ def schedule_pipegcn(
     record: EpochRecord, cost: LinkCostModel, perf: PerfModel
 ) -> ScheduleResult:
     """Cross-iteration pipelining: comm hides under compute (or vice versa)."""
-    comm = sum(_phase_comm_ring(p, cost) for p in record.phases)
-    comp = sum(_phase_comp_full(p, perf) for p in record.phases)
+    comm, comp = _serial_comm_comp(record, cost, perf)
     allreduce = ring_allreduce_time(record.grad_allreduce_bytes, cost)
     epoch = max(comm, comp) + allreduce
     return ScheduleResult(
@@ -160,14 +151,13 @@ def schedule_sancus(
     record: EpochRecord, cost: LinkCostModel, perf: PerfModel
 ) -> ScheduleResult:
     """Sequential unicast broadcasts (no overlap), as the paper describes."""
-    comm = 0.0
-    for phase in record.phases:
-        bm = phase.bytes_matrix
-        n = phase.num_devices
-        comm += sum(
-            cost.time(s, d, bm[s, d]) for s in range(n) for d in range(n) if s != d
-        )
-    comp = sum(_phase_comp_full(p, perf) for p in record.phases)
+    # Serialized pairwise unicasts: every device's send occupancy stacks.
+    comm = sum(
+        StepTimeline.device_comm_occupancy(p, cost).sum() for p in record.phases
+    )
+    comp = sum(
+        float(StepTimeline.device_compute(p, perf).max()) for p in record.phases
+    )
     allreduce = ring_allreduce_time(record.grad_allreduce_bytes, cost)
     comm += allreduce
     epoch = comm + comp
@@ -183,16 +173,10 @@ def schedule_quantized_no_overlap(
     comm → comp layout, plus the quant/de-quant kernels on the critical
     path.  Isolates how much of AdaQP's win comes from traffic reduction
     alone."""
-    comm_bucket = 0.0
-    comp_bucket = 0.0
-    quant_bucket = 0.0
-    for phase in record.phases:
-        n = phase.num_devices
-        quant = max(perf.quant_time(phase.quant_send_bytes[d]) for d in range(n))
-        dequant = max(perf.quant_time(phase.quant_recv_bytes[d]) for d in range(n))
-        comm_bucket += _phase_comm_ring(phase, cost)
-        comp_bucket += _phase_comp_full(phase, perf)
-        quant_bucket += quant + dequant
+    timelines = _modeled_timelines(record, cost, perf)
+    comm_bucket = sum(t.comm_s for t in timelines)
+    comp_bucket = sum(t.comp_full_s for t in timelines)
+    quant_bucket = sum(t.quantize_s + t.dequantize_s for t in timelines)
     comm_bucket += ring_allreduce_time(record.grad_allreduce_bytes, cost)
     epoch = comm_bucket + comp_bucket + quant_bucket
     return ScheduleResult(
@@ -224,14 +208,9 @@ def device_comm_times(
     per-device 'comm.' column in Table 2)."""
     if not record.phases:
         raise ValueError("record has no phases")
-    n = record.phases[0].num_devices
-    busy = np.zeros(n)
+    busy = np.zeros(record.phases[0].num_devices)
     for phase in record.phases:
-        bm = phase.bytes_matrix
-        for s in range(n):
-            for d in range(n):
-                if s != d:
-                    busy[s] += cost.time(s, d, bm[s, d])
+        busy += StepTimeline.device_comm_occupancy(phase, cost)
     return busy
 
 
@@ -241,14 +220,7 @@ def device_compute_times(
     """Per-device total compute time across the epoch's phases."""
     if not record.phases:
         raise ValueError("record has no phases")
-    n = record.phases[0].num_devices
-    total = np.zeros(n)
+    total = np.zeros(record.phases[0].num_devices)
     for phase in record.phases:
-        for d in range(n):
-            if central_only:
-                total[d] += perf.compute_time(
-                    phase.agg_flops_central[d], phase.dense_flops_central[d]
-                )
-            else:
-                total[d] += perf.compute_time(phase.agg_flops[d], phase.dense_flops[d])
+        total += StepTimeline.device_compute(phase, perf, central_only=central_only)
     return total

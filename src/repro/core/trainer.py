@@ -51,7 +51,7 @@ from repro.nn.optim import Adam
 from repro.utils.logging import get_logger
 from repro.utils.seed import RngPool
 
-__all__ = ["SYSTEMS", "TrainResult", "train", "build_system"]
+__all__ = ["SYSTEMS", "OVERLAP_SYSTEMS", "TrainResult", "train", "build_system"]
 
 logger = get_logger("core.trainer")
 
@@ -65,6 +65,14 @@ SYSTEMS = (
     # Ablations isolating AdaQP's two contributions:
     "adaqp-no-overlap",  # adaptive quantization, serial schedule
     "vanilla-overlap",  # central/marginal overlap, full precision
+)
+
+#: Systems whose schedule overlaps central compute with marginal comm —
+#: for these the cluster *executes* the split-phase pipeline (when
+#: ``RunConfig.overlap`` allows), so the simulated overlap is backed by a
+#: really-executed, measured interleave.
+OVERLAP_SYSTEMS = frozenset(
+    {"adaqp", "adaqp-uniform", "adaqp-fixed", "vanilla-overlap"}
 )
 
 
@@ -251,6 +259,7 @@ def train(
         dropout=config.dropout,
         seed=config.seed,
         fused_compute=config.fused_compute,
+        overlap=config.overlap and system in OVERLAP_SYSTEMS,
     )
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]

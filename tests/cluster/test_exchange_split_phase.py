@@ -1,0 +1,188 @@
+"""The split-phase exchange API: post_step → in-flight → finalize_step.
+
+Every policy must satisfy the same contract: the two halves compose to
+exactly the monolithic call (values *and* wire bytes), payloads are
+snapshotted at post time so sources may be mutated while in flight, and a
+handle finalizes exactly once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pipegcn import StaleHaloExchange
+from repro.baselines.sancus import BroadcastSkipExchange
+from repro.cluster.exchange import (
+    ExactHaloExchange,
+    FixedBitProvider,
+    FusedQuantizedHaloExchange,
+    HaloExchange,
+    QuantizedHaloExchange,
+)
+from repro.cluster.runtime import DeviceRuntime
+from repro.comm.transport import Transport
+from repro.gnn.coefficients import build_aggregation
+from repro.gnn.model import DistGNN
+from repro.utils.seed import RngPool
+
+
+@pytest.fixture(scope="module")
+def devices(tiny_dataset, tiny_parts):
+    degrees = tiny_dataset.graph.degrees.astype(np.float64)
+    pool = RngPool(0).fork("split-phase")
+    out = []
+    for part in tiny_parts:
+        agg = build_aggregation(part, degrees, "gcn")
+        model = DistGNN(
+            "gcn",
+            [tiny_dataset.num_features, 8, tiny_dataset.num_classes],
+            agg,
+            dropout=0.0,
+            weight_rng=pool.fork("shared").get("init"),
+            dropout_rng=pool.device(part.part_id, "dropout"),
+        )
+        owned = part.owned_global
+        out.append(
+            DeviceRuntime(
+                rank=part.part_id,
+                part=part,
+                agg=agg,
+                model=model,
+                features=tiny_dataset.features[owned],
+                labels=tiny_dataset.labels[owned],
+                train_mask=tiny_dataset.train_mask[owned],
+                val_mask=tiny_dataset.val_mask[owned],
+                test_mask=tiny_dataset.test_mask[owned],
+            )
+        )
+    return out
+
+
+def _values(devices, dim, seed=0, halo=False):
+    gen = np.random.default_rng(seed)
+    return [
+        gen.normal(
+            size=(d.part.n_halo if halo else d.part.n_owned, dim)
+        ).astype(np.float32)
+        for d in devices
+    ]
+
+
+EXCHANGES = {
+    "generic": lambda: _GenericExchange(),
+    "exact": ExactHaloExchange,
+    "quantized": lambda: QuantizedHaloExchange(
+        FixedBitProvider(4), np.random.default_rng(3)
+    ),
+    "fused-quantized": lambda: FusedQuantizedHaloExchange(
+        FixedBitProvider(4), np.random.default_rng(3)
+    ),
+    "stale": StaleHaloExchange,
+    "broadcast": lambda: BroadcastSkipExchange(2),
+}
+
+
+class _GenericExchange(HaloExchange):
+    """The base-class per-pair path with float32 passthrough payloads."""
+
+    def _post(self, transport, layer, phase, src, dst, tag, rows):
+        rows = np.ascontiguousarray(rows, dtype=np.float32)
+        transport.post(src, dst, tag, rows, rows.nbytes)
+
+    def _decode(self, payload):
+        return payload
+
+
+@pytest.mark.parametrize("name", sorted(EXCHANGES))
+def test_split_equals_monolithic_forward(devices, name):
+    dim = 6
+    h = _values(devices, dim)
+    mono = EXCHANGES[name]()
+    split = EXCHANGES[name]()
+    t_mono, t_split = Transport(len(devices)), Transport(len(devices))
+
+    expected = mono.exchange_embeddings(0, devices, t_mono, h)
+    step = split.post_step(0, "fwd", devices, t_split, h)
+    # Mutating the source after post must not change what was shipped.
+    for arr in h:
+        arr += 100.0
+    got = split.finalize_step(step)
+    for e, g in zip(expected, got):
+        assert np.array_equal(e, g)
+    for arr in h:
+        arr -= 100.0
+    assert t_mono.total_bytes() == t_split.total_bytes()
+
+
+@pytest.mark.parametrize("name", sorted(EXCHANGES))
+def test_split_equals_monolithic_backward(devices, name):
+    dim = 6
+    d_halo = _values(devices, dim, seed=1, halo=True)
+    base = _values(devices, dim, seed=2)
+    mono = EXCHANGES[name]()
+    split = EXCHANGES[name]()
+    t_mono, t_split = Transport(len(devices)), Transport(len(devices))
+
+    d_own_mono = [v.copy() for v in base]
+    mono.exchange_gradients(0, devices, t_mono, d_halo, d_own_mono)
+    d_own_split = [v.copy() for v in base]
+    step = split.post_step(0, "bwd", devices, t_split, d_halo)
+    for arr in d_halo:
+        arr += 100.0
+    split.finalize_step(step, out=d_own_split)
+    for arr in d_halo:
+        arr -= 100.0
+    for e, g in zip(d_own_mono, d_own_split):
+        assert np.array_equal(e, g)
+    assert t_mono.total_bytes() == t_split.total_bytes()
+
+
+def test_forward_finalize_fills_out_buffers(devices):
+    dim = 4
+    h = _values(devices, dim)
+    exchange = ExactHaloExchange()
+    transport = Transport(len(devices))
+    out = [
+        np.full((d.part.n_halo, dim), 7.0, dtype=np.float32) for d in devices
+    ]
+    step = exchange.post_step(0, "fwd", devices, transport, h)
+    got = exchange.finalize_step(step, out=out)
+    for buf, res in zip(out, got):
+        assert res is buf
+
+
+def test_handle_finalizes_exactly_once(devices):
+    h = _values(devices, 4)
+    exchange = ExactHaloExchange()
+    transport = Transport(len(devices))
+    step = exchange.post_step(0, "fwd", devices, transport, h)
+    exchange.finalize_step(step)
+    with pytest.raises(RuntimeError, match="finalized twice"):
+        exchange.finalize_step(step)
+
+
+def test_backward_finalize_requires_out(devices):
+    d_halo = _values(devices, 4, halo=True)
+    exchange = ExactHaloExchange()
+    transport = Transport(len(devices))
+    step = exchange.post_step(0, "bwd", devices, transport, d_halo)
+    with pytest.raises(ValueError, match="out="):
+        exchange.finalize_step(step)
+
+
+def test_post_step_rejects_unknown_phase(devices):
+    exchange = ExactHaloExchange()
+    transport = Transport(len(devices))
+    with pytest.raises(ValueError):
+        exchange.post_step(0, "sideways", devices, transport, _values(devices, 4))
+
+
+def test_in_flight_bytes_visible_between_halves(devices):
+    h = _values(devices, 4)
+    exchange = ExactHaloExchange()
+    transport = Transport(len(devices))
+    assert transport.pending_bytes("fwd/L0") == 0
+    step = exchange.post_step(0, "fwd", devices, transport, h)
+    pending = transport.pending_bytes(step.tag)
+    assert pending == transport.bytes_matrix(step.tag).sum() > 0
+    exchange.finalize_step(step)
+    assert transport.pending_bytes(step.tag) == 0

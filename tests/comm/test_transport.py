@@ -94,3 +94,49 @@ def test_pending_tags():
 def test_invalid_device_count():
     with pytest.raises(ValueError):
         Transport(0)
+
+
+# ---------------------------------------------------------------------------
+# Progress model (the split-phase pipeline's interleave record)
+# ---------------------------------------------------------------------------
+def test_pending_bytes_track_posts_and_drains():
+    t = Transport(3)
+    assert t.pending_bytes("s") == 0
+    t.post(0, 1, "s", "a", 10)
+    t.post_batch(2, "s", [(0, "b", 5), (1, "c", 7)])
+    assert t.pending_bytes("s") == 22
+    t.collect(1, "s")  # drains 0->1 and 2->1
+    assert t.pending_bytes("s") == 5
+    t.collect(0, "s")
+    assert t.pending_bytes("s") == 0
+
+
+def test_note_overlap_marks_in_flight_bytes():
+    t = Transport(2)
+    t.post(0, 1, "s", "a", 10)
+    assert t.overlapped_bytes("s") == 0
+    assert t.note_overlap("s") == 10
+    assert t.overlapped_bytes("s") == 10
+    t.collect(1, "s")
+    # A window opened after the drain hides nothing.
+    assert t.note_overlap("s") == 0
+    assert t.overlapped_bytes("s") == 10
+
+
+def test_note_overlap_accumulates_across_steps():
+    t = Transport(2)
+    for _ in range(2):
+        t.post(0, 1, "s", "a", 4)
+        t.note_overlap("s")
+        t.collect(1, "s")
+    assert t.overlapped_bytes("s") == 8
+
+
+def test_reset_accounting_clears_progress_model():
+    t = Transport(2)
+    t.post(0, 1, "s", "a", 10)
+    t.note_overlap("s")
+    t.collect(1, "s")
+    t.reset_accounting()
+    assert t.pending_bytes("s") == 0
+    assert t.overlapped_bytes("s") == 0

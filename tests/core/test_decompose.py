@@ -57,3 +57,89 @@ def test_dense_factor_scales_gemm(stats_and_parts):
     single = stats.central_compute_time(16, 8, perf, dense_factor=1.0)
     double = stats.central_compute_time(16, 8, perf, dense_factor=2.0)
     assert double > single
+
+
+# ---------------------------------------------------------------------------
+# Row splits (the pipelined executor's permutation) and degenerate cases
+# ---------------------------------------------------------------------------
+def test_split_rows_partitions_owned_rows(stats_and_parts):
+    from repro.core.decompose import split_rows
+
+    for stats, part, _ in stats_and_parts:
+        split = split_rows(part)
+        assert split.n_central == stats.n_central
+        assert split.n_marginal == stats.n_marginal
+        merged = np.sort(split.permutation)
+        assert np.array_equal(merged, np.arange(part.n_owned))
+        # Central rows truly have no remote neighbor, marginal rows do.
+        assert not part.marginal_mask[split.central_rows].any()
+        assert part.marginal_mask[split.marginal_rows].all()
+
+
+def test_single_partition_has_zero_marginal_nodes(tiny_dataset, single_part_book):
+    """A 1-partition cluster has no remote edges: everything is central and
+    the marginal comm stage must be a no-op."""
+    from repro.core.decompose import split_rows
+    from repro.graph.partition.book import build_local_partitions
+
+    (part,) = build_local_partitions(tiny_dataset.graph, single_part_book)
+    agg = build_aggregation(part, tiny_dataset.graph.degrees.astype(np.float64), "gcn")
+    stats = decompose_partition(part, agg)
+    assert stats.n_marginal == 0
+    assert stats.n_central == stats.n_owned == tiny_dataset.num_nodes
+    assert stats.agg_nnz_marginal == 0
+    assert stats.agg_nnz_central == stats.agg_nnz_total == agg.nnz
+    assert stats.central_row_fraction == 1.0
+    split = split_rows(part)
+    assert split.n_marginal == 0
+    assert split.marginal_rows.size == 0
+    # No marginal rows -> no boundary rows to exchange.
+    assert part.send_map == {} and part.recv_map == {}
+
+
+def test_all_marginal_partition():
+    """Alternating ownership on a path graph makes every node marginal:
+    the central sub-step is empty and all compute waits on messages."""
+    from repro.core.decompose import split_rows
+    from repro.graph.graph import Graph
+    from repro.graph.partition.book import PartitionBook, build_local_partitions
+
+    src = np.array([0, 1, 2, 3])
+    dst = np.array([1, 2, 3, 4])
+    graph = Graph.from_edges(src, dst, 5)
+    book = PartitionBook(
+        part_of=np.array([0, 1, 0, 1, 0], dtype=np.int32), num_parts=2
+    )
+    for part in build_local_partitions(graph, book):
+        agg = build_aggregation(part, graph.degrees.astype(np.float64), "gcn")
+        stats = decompose_partition(part, agg)
+        assert stats.n_central == 0
+        assert stats.n_marginal == stats.n_owned
+        assert stats.marginal_row_fraction == 1.0
+        split = split_rows(part)
+        assert split.n_central == 0
+        assert np.array_equal(split.permutation, split.marginal_rows)
+
+
+def test_degenerate_splits_still_train_bitwise(tiny_dataset):
+    """The executor must survive an all-marginal device: an alternating
+    2-partition book over a path-like subrange gives devices with empty
+    central blocks, and the overlap engine must still match the fused
+    engine exactly."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.exchange import ExactHaloExchange
+    from repro.graph.partition.book import PartitionBook
+
+    # Alternating ownership maximizes marginal nodes on the real dataset.
+    part_of = (np.arange(tiny_dataset.num_nodes) % 2).astype(np.int32)
+    book = PartitionBook(part_of=part_of, num_parts=2)
+
+    def run(overlap):
+        cluster = Cluster(
+            tiny_dataset, book, hidden_dim=8, num_layers=2, dropout=0.5,
+            seed=3, overlap=overlap,
+        )
+        exchange = ExactHaloExchange()
+        return [cluster.train_epoch(exchange, e).loss for e in range(2)]
+
+    assert run(True) == run(False)
