@@ -9,7 +9,13 @@ comparison in CI (``exchange_split_phase.speedup`` and
 
 import pytest
 
-from repro.harness.perfbench import bench_epoch_overlap, bench_exchange_split_phase
+from repro.harness.perfbench import (
+    bench_epoch_overlap,
+    bench_epoch_overlap_async,
+    bench_exchange_split_phase,
+    bench_pack_kernel,
+    bench_unpack_kernel,
+)
 
 pytestmark = pytest.mark.perf
 
@@ -39,3 +45,31 @@ def test_overlap_epoch_hides_the_halo_traffic():
     # The split's gathers must not blow up the epoch (it trades a few
     # percent of host time for the executed interleave).
     assert result["speedup"] > 0.6, result
+
+
+def test_async_overlap_epoch_beats_the_pr3_state():
+    """PR 4's headline: the shipped overlapped engine (auto worker
+    transport + rewritten quant kernels) must beat the resurrected PR-3
+    synchronous overlapped epoch — measured ~1.17-1.26x on the single-core
+    reference box, more with a spare core; the tight 1.15x-floor gate is
+    the ``repro bench --baseline`` comparison in CI."""
+    result = bench_epoch_overlap_async(epochs=5, warmup=1)
+    assert result["wire_bytes_match"], "async transport changed wire accounting"
+    assert result["losses_match"], "async transport changed numerics"
+    # Every halo byte still hidden: worker posts land inside open windows.
+    assert result["hidden_byte_fraction"] > 0.9, result
+    # Conservative floor for noisy shared runners; the curated-baseline
+    # ratio gate holds the real 1.15x line.
+    assert result["speedup"] > 0.95, result
+    # Forcing the worker on a single-core host must not melt down either.
+    assert result["concurrency_speedup"] > 0.6, result
+
+
+def test_quant_kernel_rewrites_hold_their_floors():
+    """The PR-4 pack/unpack kernels vs the PR-3 formulations: the
+    lookup-table decode must clear the >=1.5x acceptance line with margin
+    (measured ~4x), the word-merge pack ~2x."""
+    pack = bench_pack_kernel(reps=15)
+    unpack = bench_unpack_kernel(reps=15)
+    assert unpack["speedup"] > 1.5, unpack
+    assert pack["speedup"] > 1.2, pack

@@ -55,6 +55,7 @@ class StaleHaloExchange(HaloExchange):
         values_by_dev: list[np.ndarray],
     ) -> InFlightStep:
         tag = f"{phase}/L{layer}"
+        staged: list[tuple[int, int, np.ndarray]] = []
         for dev in devices:
             part = dev.part
             maps = part.send_map if phase == "fwd" else part.recv_map
@@ -65,7 +66,15 @@ class StaleHaloExchange(HaloExchange):
                 rows = np.ascontiguousarray(
                     values_by_dev[dev.rank][maps[q]], dtype=np.float32
                 )
-                transport.post(dev.rank, q, tag, rows, rows.nbytes)
+                staged.append((dev.rank, q, rows))
+        if staged:
+            # Posting is the deferred half (async transports run it on the
+            # worker); the snapshot above already happened on this thread.
+            def job() -> None:
+                for src, q, rows in staged:
+                    transport.post(src, q, tag, rows, rows.nbytes)
+
+            transport.defer(tag, job)
         dim = int(values_by_dev[devices[0].rank].shape[1])
         return InFlightStep(layer, phase, tag, devices, transport, dim)
 

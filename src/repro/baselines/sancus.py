@@ -77,6 +77,7 @@ class BroadcastSkipExchange(HaloExchange):
     ) -> InFlightStep:
         if phase == "fwd":
             broadcast = self._broadcast_now()
+            staged: list[tuple[int, list[int], np.ndarray]] = []
             for dev in devices:
                 peers = dev.part.peers_out()
                 if not peers:
@@ -91,12 +92,20 @@ class BroadcastSkipExchange(HaloExchange):
                         values_by_dev[dev.rank], dtype=np.float32, order="C"
                     )
                     self.broadcasts_sent += 1
-                    for q in peers:
-                        transport.post(
-                            dev.rank, q, f"fwd/L{layer}", block, block.nbytes
-                        )
+                    staged.append((dev.rank, peers, block))
                 else:
                     self.broadcasts_skipped += 1
+            if staged:
+                # Deferred half: async transports run the posting loop on
+                # the worker; the blocks above are frozen snapshots.
+                def job() -> None:
+                    for src, peers, block in staged:
+                        for q in peers:
+                            transport.post(
+                                src, q, f"fwd/L{layer}", block, block.nbytes
+                            )
+
+                transport.defer(f"fwd/L{layer}", job)
         # "bwd": communication-avoiding — halo gradients are dropped.
         tag = f"{phase}/L{layer}"
         dim = int(values_by_dev[devices[0].rank].shape[1])

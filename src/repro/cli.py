@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
              "pipelined executor (adaqp variants overlap by default; "
              "bit-identical, but epoch records then carry no measured "
              "stage timelines)")
+    p_train.add_argument(
+        "--no-async-transport", action="store_true",
+        help="escape hatch: keep each step's quantize/pack/post on the "
+             "main thread instead of the worker-backed transport "
+             "(overlapped runs default to async; bit-identical, slower)")
 
     p_part = sub.add_parser("partition", help="partition a dataset, report quality")
     p_part.add_argument("--dataset", default="ogbn-products",
@@ -155,6 +160,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         eval_every=max(1, args.epochs // 8),
         fused_compute=not args.no_fused_compute,
         overlap=not args.no_overlap,
+        async_transport=False if args.no_async_transport else None,
     )
     print(f"training {args.system} / {args.model} on {args.dataset}-{args.scale} "
           f"({topology.name}, {args.epochs} epochs)...")
@@ -176,7 +182,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
                  f"{format_seconds(result.assign_seconds)}"],
                 ["wire bytes / epoch",
                  f"{result.wire_bytes_total / max(result.epochs, 1) / 1e6:.2f} MB"],
-            ],
+            ]
+            + (
+                [[
+                    "measured overlap",
+                    f"{100 * result.timeline_summary.hidden_byte_fraction:.0f}% "
+                    "of halo bytes in flight during central windows "
+                    f"(worker wait {format_seconds(result.timeline_summary.worker_wait_s)})",
+                ]]
+                if result.timeline_summary.steps
+                else []
+            ),
         )
     )
     if result.bit_histogram:

@@ -13,7 +13,7 @@ simulators turn into epoch times.
 from repro.cluster.compute import FusedClusterCompute, build_block_diagonal
 from repro.cluster.memory import MemoryFootprint, estimate_memory
 from repro.cluster.perfmodel import PerfModel
-from repro.cluster.records import EpochRecord, PhaseRecord
+from repro.cluster.records import EpochRecord, PhaseRecord, StepTimeline, TimelineSummary
 from repro.cluster.exchange import (
     BitProvider,
     ExactHaloExchange,
@@ -34,6 +34,8 @@ __all__ = [
     "PerfModel",
     "EpochRecord",
     "PhaseRecord",
+    "StepTimeline",
+    "TimelineSummary",
     "HaloExchange",
     "ExactHaloExchange",
     "QuantizedHaloExchange",

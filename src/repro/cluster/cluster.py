@@ -33,7 +33,7 @@ from repro.cluster.exchange import ExactHaloExchange, HaloExchange
 from repro.cluster.records import EpochRecord, PhaseRecord
 from repro.cluster.runtime import DeviceRuntime
 from repro.comm.allreduce import allreduce_sum
-from repro.comm.transport import Transport
+from repro.comm.transport import Transport, WorkerTransport, host_has_spare_core
 from repro.gnn.coefficients import build_aggregation
 from repro.gnn.model import MODEL_KINDS, DistGNN
 from repro.graph.datasets import GraphDataset
@@ -77,6 +77,25 @@ class Cluster:
         ``fused_compute=False``); bit-identical to the non-overlapped
         engines under the same seed.  The trainer turns it on for the
         adaqp-variant systems.
+    async_transport:
+        Route each step's encode/pack/post job through a
+        :class:`~repro.comm.transport.WorkerTransport` worker thread, so
+        it runs concurrently with the central sub-step's GIL-releasing
+        BLAS/spmv — the recorded overlap becomes wall-clock speedup.
+        ``None`` (default) means "on when the pipeline executes and the
+        host has a spare core for the worker"; ``True`` forces it for
+        overlapped runs (it still degrades to off without ``overlap``,
+        where there is no central window to hide work under).
+        Bit-identical to the synchronous transport under the same seed:
+        the single worker serializes step jobs (preserving the RNG
+        stream) and only the main thread collects, decodes and
+        accumulates, in device order.
+    timeline_keep:
+        Cap on the per-step :class:`~repro.cluster.records.StepTimeline`
+        entries retained in each epoch record (``None`` keeps all — one
+        per layer per direction); dropped steps stay counted in
+        ``record.timeline_summary``, so long-running jobs keep bounded
+        records without losing the measured overlap accounting.
     """
 
     def __init__(
@@ -91,6 +110,8 @@ class Cluster:
         seed: int = 0,
         fused_compute: bool = True,
         overlap: bool = False,
+        async_transport: bool | None = None,
+        timeline_keep: int | None = None,
     ) -> None:
         check_in_set(model_kind, MODEL_KINDS, name="model_kind")
         if num_layers < 1:
@@ -100,7 +121,6 @@ class Cluster:
         self.model_kind = model_kind
         self.num_devices = book.num_parts
         self.pool = RngPool(seed).fork("cluster")
-        self.transport = Transport(self.num_devices)
         self.global_train_count = int(dataset.train_mask.sum())
 
         dims = [dataset.num_features] + [hidden_dim] * (num_layers - 1) + [
@@ -164,6 +184,20 @@ class Cluster:
         # degrades to off rather than erroring (the legacy loop remains a
         # pure escape hatch).
         self.overlap = bool(overlap) and self.fused_compute
+        # The worker transport only pays off when a central window exists
+        # to hide the encode under *and* a spare core exists to run the
+        # worker on, so the auto default (None) requires both; an explicit
+        # True forces it (the equivalence/stress suites do), still gated
+        # on overlap — without the pipeline there is no window at all.
+        if async_transport is None:
+            async_transport = self.overlap and host_has_spare_core()
+        self.async_transport = bool(async_transport) and self.overlap
+        self.transport: Transport = (
+            WorkerTransport(self.num_devices)
+            if self.async_transport
+            else Transport(self.num_devices)
+        )
+        self.timeline_keep = timeline_keep
         self._engine: FusedClusterCompute | None = None
         self._phase_static: dict[tuple[int, str, bool], tuple[np.ndarray, ...]] = {}
 
@@ -203,10 +237,11 @@ class Cluster:
             engine.begin_epoch()
             for layer in range(num_layers):
                 if self.overlap:
-                    record.timelines.append(
+                    record.add_timeline(
                         engine.forward_layer_overlap(
                             layer, exchange, self.transport, training=True
-                        )
+                        ),
+                        keep_last=self.timeline_keep,
                     )
                 else:
                     engine.forward_layer(
@@ -218,8 +253,9 @@ class Cluster:
             record.loss = engine.epoch_loss(self._loss)
             for layer in reversed(range(num_layers)):
                 if self.overlap:
-                    record.timelines.append(
-                        engine.backward_layer_overlap(layer, exchange, self.transport)
+                    record.add_timeline(
+                        engine.backward_layer_overlap(layer, exchange, self.transport),
+                        keep_last=self.timeline_keep,
                     )
                 else:
                     engine.backward_layer(layer, exchange, self.transport)
@@ -322,6 +358,10 @@ class Cluster:
         for dev in devices:
             dev.model.train()
         return logits
+
+    def close(self) -> None:
+        """Release background transport resources (worker threads)."""
+        self.transport.close()
 
     def evaluate(self) -> dict[str, float]:
         """Global metrics on train/val/test splits (paper's 'accuracy')."""

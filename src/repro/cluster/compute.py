@@ -546,7 +546,7 @@ class FusedClusterCompute:
             layer, "fwd", self.devices, transport, self._own_views[layer]
         )
         t1 = time.perf_counter()
-        overlapped = transport.note_overlap(step.tag)
+        transport.note_overlap(step.tag)
 
         # Central window: aggregation + dense update of central rows only.
         z = self._z[layer]
@@ -563,6 +563,9 @@ class FusedClusterCompute:
         _spmv_accumulate(plan.matrix_marginal, self._x[layer], z)
         self._forward_substep(layer, plan.rows_marginal)
         t4 = time.perf_counter()
+        # Overlapped bytes are read after finalize: under the async
+        # transport the worker's posts land mid-window, and they count as
+        # hidden only because the window was still open when they arrived.
         return StepTimeline(
             layer=layer,
             phase="fwd",
@@ -572,9 +575,10 @@ class FusedClusterCompute:
             dequantize_s=t3 - t2,
             marginal_s=t4 - t3,
             comp_full_s=(t2 - t1) + (t4 - t3),
-            overlapped_bytes=overlapped,
+            overlapped_bytes=transport.overlapped_bytes(step.tag),
             total_bytes=int(transport.bytes_matrix(step.tag).sum()),
             measured=True,
+            worker_wait_s=step.worker_wait_s,
         )
 
     def _input_grad_rows(
@@ -645,7 +649,7 @@ class FusedClusterCompute:
             layer, "bwd", self.devices, transport, d_halo_views
         )
         t2 = time.perf_counter()
-        overlapped = transport.note_overlap(step.tag)
+        transport.note_overlap(step.tag)
 
         # Central window: remaining input-grad rows, parameter partials,
         # owned-row gradient routing.
@@ -690,9 +694,10 @@ class FusedClusterCompute:
             dequantize_s=t4 - t3,
             marginal_s=t1 - t0,
             comp_full_s=(t1 - t0) + (t3 - t2),
-            overlapped_bytes=overlapped,
+            overlapped_bytes=transport.overlapped_bytes(step.tag),
             total_bytes=int(transport.bytes_matrix(step.tag).sum()),
             measured=True,
+            worker_wait_s=step.worker_wait_s,
         )
 
     # ------------------------------------------------------------------

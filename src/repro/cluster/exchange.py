@@ -24,6 +24,25 @@ halves — the paper's Fig. 7 overlap — while the classic
 back-to-back composition.  Payload values are frozen at post time (every
 policy's gather or encode copies), so callers may mutate the source
 buffers while a step is in flight.
+
+**Async post paths.**  Each ``post_step`` splits into a *snapshot* half
+(gathers the outgoing rows on the calling thread) and an
+*encode-and-post* job handed to :meth:`Transport.defer`.  On the
+synchronous transport the job runs inline, byte-for-byte the old
+behaviour; on a :class:`~repro.comm.transport.WorkerTransport` it runs
+on the worker thread, overlapping the caller's subsequent compute.
+Because the snapshot happens before ``post_step`` returns, the
+frozen-at-post contract holds under both transports; ``finalize_step``
+joins the job (via :meth:`InFlightStep.mark_done`) before collecting, so
+receivers never observe a half-posted step.  Thread placement of the
+quantize work differs by engine: the fused engine feeds the tracer and
+gathers on the calling thread (only ``quantize_pack_step`` runs in the
+job), while the per-pair engines' ``_post`` hook — bit lookup, tracer
+``observe`` and the RNG draw — runs *inside* the deferred job, i.e. on
+the worker under an async transport.  That is safe only because exactly
+one job runs at a time and finalize joins before any consumer reads the
+tracer or RNG; code adding mid-window readers of either must not rely on
+the main thread owning them.
 """
 
 from __future__ import annotations
@@ -34,7 +53,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.comm.transport import Transport
-from repro.quant.fused import FusedStepEncoder, decode_cluster_step
+from repro.quant.fused import DecodeWorkspace, FusedStepEncoder, decode_cluster_step
 from repro.quant.mixed import MixedPrecisionEncoder
 from repro.quant.theory import SUPPORTED_BITS
 from repro.utils.validation import check_in_set
@@ -121,9 +140,24 @@ class InFlightStep:
     half needs is captured here so ``finalize_step`` takes only the handle
     (plus destination buffers).  ``tag`` doubles as the transport key the
     pipelined executor passes to :meth:`Transport.note_overlap`.
+
+    ``worker_wait_s`` is filled by :meth:`mark_done`: the seconds the
+    finalize half spent blocked joining the step's deferred encode job —
+    0.0 on the synchronous transport, and ~0.0 under the async transport
+    whenever the central window fully covered the encode (the exposed
+    tail the timelines report).
     """
 
-    __slots__ = ("layer", "phase", "tag", "devices", "transport", "dim", "done")
+    __slots__ = (
+        "layer",
+        "phase",
+        "tag",
+        "devices",
+        "transport",
+        "dim",
+        "done",
+        "worker_wait_s",
+    )
 
     def __init__(
         self,
@@ -141,6 +175,7 @@ class InFlightStep:
         self.transport = transport
         self.dim = dim
         self.done = False
+        self.worker_wait_s = 0.0
 
     def mark_done(self) -> None:
         if self.done:
@@ -148,6 +183,10 @@ class InFlightStep:
                 f"step {self.tag!r} finalized twice (stale in-flight handle)"
             )
         self.done = True
+        # Join the step's deferred encode/post job (no-op when the
+        # transport is synchronous); every finalize half calls mark_done
+        # first, so no policy can collect a half-posted step.
+        self.worker_wait_s = self.transport.complete(self.tag)
 
 
 class HaloExchange:
@@ -179,18 +218,27 @@ class HaloExchange:
         ``phase`` is ``"fwd"`` (boundary embeddings to halo holders) or
         ``"bwd"`` (halo gradients back to owners).  Returns the in-flight
         handle for :meth:`finalize_step`; payload values are copied out of
-        ``values_by_dev`` before returning.
+        ``values_by_dev`` before returning (the gathers below), while the
+        per-pair encode/post loop runs as one deferred transport job.
         """
         check_in_set(phase, ("fwd", "bwd"), name="phase")
         tag = f"{phase}/L{layer}"
+        staged: list[tuple[int, int, np.ndarray]] = []
         for dev in devices:
             part = dev.part
             maps = part.send_map if phase == "fwd" else part.recv_map
             values = values_by_dev[dev.rank]
             for q in sorted(maps.keys()):
-                self._post(
-                    transport, layer, phase, dev.rank, q, tag, values[maps[q]]
-                )
+                # Fancy indexing copies: the snapshot happens here, on the
+                # calling thread, regardless of where the job runs.
+                staged.append((dev.rank, q, values[maps[q]]))
+        if staged:
+
+            def job() -> None:
+                for src, q, rows in staged:
+                    self._post(transport, layer, phase, src, q, tag, rows)
+
+            transport.defer(tag, job)
         dim = int(values_by_dev[devices[0].rank].shape[1])
         return InFlightStep(layer, phase, tag, devices, transport, dim)
 
@@ -363,23 +411,15 @@ class ExactHaloExchange(HaloExchange):
         return plans
 
     @staticmethod
-    def _post_step_rows(
-        transport: Transport, tag: str, rank: int, plan: tuple, source: np.ndarray
-    ) -> None:
-        """Gather one device's outgoing rows and post them in one batch.
+    def _batch_posts(plan: tuple, block: np.ndarray) -> list[tuple[int, object, int]]:
+        """One device's ``post_batch`` entries from its gathered block.
 
         Payloads are row slices of a single fresh gather, so wire bytes
         and transferred values are exactly the per-pair path's.
         """
-        peers, bounds, gather = plan[:3]
-        if not peers:
-            return
-        # One gather, fresh memory; the float32 coercion mirrors the
-        # per-pair _post hook (and keeps the byte accounting honest for
-        # non-float32 inputs).
-        block = np.ascontiguousarray(source[gather], dtype=np.float32)
+        peers, bounds = plan[:2]
         row_bytes = block.shape[1] * 4
-        posts = [
+        return [
             (
                 q,
                 block[bounds[i] : bounds[i + 1]],
@@ -387,7 +427,6 @@ class ExactHaloExchange(HaloExchange):
             )
             for i, q in enumerate(peers)
         ]
-        transport.post_batch(rank, tag, posts)
 
     def post_step(
         self,
@@ -400,10 +439,25 @@ class ExactHaloExchange(HaloExchange):
         check_in_set(phase, ("fwd", "bwd"), name="phase")
         tag = f"{phase}/L{layer}"
         plans = self._plan_for(phase, devices)
+        # Snapshot half: one gather per device, fresh memory; the float32
+        # coercion mirrors the per-pair _post hook (and keeps the byte
+        # accounting honest for non-float32 inputs).
+        staged: list[tuple[int, tuple, np.ndarray]] = []
         for dev in devices:
-            self._post_step_rows(
-                transport, tag, dev.rank, plans[dev.rank], values_by_dev[dev.rank]
+            plan = plans[dev.rank]
+            if not plan[0]:  # no peers
+                continue
+            block = np.ascontiguousarray(
+                values_by_dev[dev.rank][plan[2]], dtype=np.float32
             )
+            staged.append((dev.rank, plan, block))
+        if staged:
+
+            def job() -> None:
+                for rank, plan, block in staged:
+                    transport.post_batch(rank, tag, self._batch_posts(plan, block))
+
+            transport.defer(tag, job)
         dim = int(values_by_dev[devices[0].rank].shape[1])
         return InFlightStep(layer, phase, tag, devices, transport, dim)
 
@@ -534,6 +588,7 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         # Shares ``rng`` with the (now unused) per-pair encoder, so the
         # stream position matches the legacy path draw for draw.
         self.fused_encoder = FusedStepEncoder(rng)
+        self._decode_ws = DecodeWorkspace()
         self._topologies: dict[str, tuple] = {}
         self._halo_bufs: dict[tuple[int, int], np.ndarray] = {}
 
@@ -560,7 +615,7 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
             dev.rank: step.transport.collect(dev.rank, step.tag)
             for dev in step.devices
         }
-        decoded = decode_cluster_step(collects)
+        decoded = decode_cluster_step(collects, workspace=self._decode_ws)
         if step.phase == "fwd":
             halo_by_dev: list[np.ndarray] = []
             for dev in step.devices:
@@ -619,14 +674,24 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
             def observe(src: int, dst: int, rows: np.ndarray) -> None:
                 tracer.observe(phase, layer, src, dst, rows)
 
-        payloads = self.fused_encoder.encode_step(plan, values_by_rank, observe)
-        posts_by_rank: dict[int, list[tuple[int, object, int]]] = {}
-        for (src, dst), payload in payloads.items():
-            posts_by_rank.setdefault(src, []).append(
-                (dst, payload, payload.wire_bytes)
-            )
-        for rank, posts in posts_by_rank.items():
-            transport.post_batch(rank, tag, posts)
+        # Snapshot half (calling thread): gather the step's source rows
+        # into plan scratch and feed the tracer.  The quantize/pack/post
+        # half runs as one deferred job — on the worker under the async
+        # transport, where its kernels overlap the central sub-step.
+        encoder = self.fused_encoder
+        encoder.gather_step(plan, values_by_rank, observe)
+
+        def job() -> None:
+            payloads = encoder.quantize_pack_step(plan)
+            posts_by_rank: dict[int, list[tuple[int, object, int]]] = {}
+            for (src, dst), payload in payloads.items():
+                posts_by_rank.setdefault(src, []).append(
+                    (dst, payload, payload.wire_bytes)
+                )
+            for rank, posts in posts_by_rank.items():
+                transport.post_batch(rank, tag, posts)
+
+        transport.defer(tag, job)
 
     def _topology_for(self, phase: str, devices: list) -> tuple:
         """Static step topology: pair order, row counts, gather indices."""

@@ -25,7 +25,7 @@ from repro.cluster.perfmodel import PerfModel
 from repro.comm.costmodel import LinkCostModel
 from repro.comm.ring import ring_all2all_time
 
-__all__ = ["PhaseRecord", "EpochRecord", "StepTimeline"]
+__all__ = ["PhaseRecord", "EpochRecord", "StepTimeline", "TimelineSummary"]
 
 
 @dataclass
@@ -100,6 +100,14 @@ class StepTimeline:
     For backward steps the marginal stage runs *first* (marginal gradients
     must exist before they can be posted) — the fields name the pipeline
     roles, not their temporal order.
+
+    Under the async worker transport the encode job runs concurrently with
+    the central window: ``quantize_s`` then measures only the snapshot +
+    dispatch cost on the main thread, and ``worker_wait_s`` the seconds
+    finalize spent blocked joining the worker — the *exposed* encode tail
+    the central window failed to cover (0.0 when fully hidden, and always
+    0.0 on the synchronous transport, where the encode runs inside
+    ``quantize_s``).
     """
 
     layer: int
@@ -113,6 +121,7 @@ class StepTimeline:
     overlapped_bytes: int = 0
     total_bytes: int = 0
     measured: bool = False
+    worker_wait_s: float = 0.0  # exposed join wait on the async transport
 
     # -- modelled construction (the schedule simulators' accounting) -------
     @staticmethod
@@ -212,18 +221,86 @@ class StepTimeline:
 
 
 @dataclass
+class TimelineSummary:
+    """Bounded-size aggregate of measured :class:`StepTimeline` entries.
+
+    Long runs cannot afford to retain one stage list per step forever —
+    this is the summarize half of the keep-last-N-or-summarize policy:
+    stage seconds and byte counters accumulate here while the per-step
+    objects themselves can be dropped.
+    """
+
+    steps: int = 0
+    quantize_s: float = 0.0
+    central_s: float = 0.0
+    dequantize_s: float = 0.0
+    marginal_s: float = 0.0
+    worker_wait_s: float = 0.0
+    overlapped_bytes: int = 0
+    total_bytes: int = 0
+
+    def add(self, t: StepTimeline) -> None:
+        self.steps += 1
+        self.quantize_s += t.quantize_s
+        self.central_s += t.central_s
+        self.dequantize_s += t.dequantize_s
+        self.marginal_s += t.marginal_s
+        self.worker_wait_s += t.worker_wait_s
+        self.overlapped_bytes += t.overlapped_bytes
+        self.total_bytes += t.total_bytes
+
+    def merge(self, other: "TimelineSummary") -> None:
+        self.steps += other.steps
+        self.quantize_s += other.quantize_s
+        self.central_s += other.central_s
+        self.dequantize_s += other.dequantize_s
+        self.marginal_s += other.marginal_s
+        self.worker_wait_s += other.worker_wait_s
+        self.overlapped_bytes += other.overlapped_bytes
+        self.total_bytes += other.total_bytes
+
+    @property
+    def hidden_byte_fraction(self) -> float:
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.overlapped_bytes / self.total_bytes
+
+    @property
+    def central_share(self) -> float:
+        """Central fraction of the split compute (what overlap can hide)."""
+        split = self.central_s + self.marginal_s
+        if split <= 0.0:
+            return 0.0
+        return self.central_s / split
+
+
+@dataclass
 class EpochRecord:
     """Everything one training epoch produced (numerics + accounting)."""
 
     loss: float
     phases: list[PhaseRecord] = field(default_factory=list)
     # Measured per-step stage timelines, emitted only by the split-phase
-    # pipelined executor (empty under the non-overlapped engines).
+    # pipelined executor (empty under the non-overlapped engines).  Feed
+    # entries through :meth:`add_timeline` so ``timeline_summary`` stays
+    # authoritative even when old entries are dropped under a cap.
     timelines: list[StepTimeline] = field(default_factory=list)
+    timeline_summary: TimelineSummary = field(default_factory=TimelineSummary)
     grad_allreduce_bytes: int = 0
     # Wall-clock seconds of *host-side* work measured for real (bit-width
     # assignment solving); simulated device time never lands here.
     host_overhead_s: float = 0.0
+
+    def add_timeline(self, t: StepTimeline, keep_last: int | None = None) -> None:
+        """Record one measured step; caps the retained list at ``keep_last``.
+
+        The summary always absorbs the step, so byte/stage accounting
+        (:meth:`hidden_byte_fraction`) never loses dropped entries.
+        """
+        self.timeline_summary.add(t)
+        self.timelines.append(t)
+        if keep_last is not None and len(self.timelines) > keep_last:
+            del self.timelines[: len(self.timelines) - keep_last]
 
     def total_wire_bytes(self) -> int:
         return int(sum(p.bytes_matrix.sum() for p in self.phases))
@@ -241,6 +318,8 @@ class EpochRecord:
         """Measured epoch-level overlap efficiency: the fraction of halo
         wire bytes that were in flight during a central-compute window.
         0.0 when the epoch ran without the pipelined executor."""
+        if self.timeline_summary.steps:
+            return self.timeline_summary.hidden_byte_fraction
         total = sum(t.total_bytes for t in self.timelines)
         if total <= 0:
             return 0.0

@@ -14,7 +14,10 @@ Ethernet between machines — is modelled by:
 * :mod:`repro.comm.allreduce` — exact gradient averaging plus the ring
   allreduce time model;
 * :class:`Transport` — the in-memory mailbox that routes *real* message
-  payloads between simulated devices and counts every byte.
+  payloads between simulated devices and counts every byte;
+* :class:`WorkerTransport` — the same mailbox with a background worker
+  that runs deferred encode/post jobs concurrently with the main
+  thread's compute (the async half of the split-phase pipeline).
 """
 
 from repro.comm.topology import ClusterTopology, parse_topology
@@ -22,7 +25,7 @@ from repro.comm.costmodel import LinkCostModel, fit_linear_cost
 from repro.comm.ring import ring_all2all_time, ring_rounds
 from repro.comm.broadcast import sequential_broadcast_time
 from repro.comm.allreduce import allreduce_mean, ring_allreduce_time
-from repro.comm.transport import Transport
+from repro.comm.transport import Transport, WorkerTransport, host_has_spare_core
 
 __all__ = [
     "ClusterTopology",
@@ -35,4 +38,6 @@ __all__ = [
     "allreduce_mean",
     "ring_allreduce_time",
     "Transport",
+    "WorkerTransport",
+    "host_has_spare_core",
 ]

@@ -5,15 +5,43 @@ through per-destination mailboxes; every ``post`` records its wire size in
 a per-tag byte matrix.  Those matrices are exactly what the schedule
 simulators consume — the simulated clock is driven by *measured* byte
 counts, not estimates (DESIGN.md §4.1).
+
+Two transports share the mailbox/accounting core:
+
+* :class:`Transport` executes everything on the calling thread — posts are
+  visible the moment ``post``/``post_batch`` returns;
+* :class:`WorkerTransport` additionally runs *deferred jobs* (the
+  exchanges' quantize/pack/post closures) on a background worker thread,
+  so the poster's heavy kernels overlap the main thread's GIL-releasing
+  compute.  ``defer`` hands a job to the pool, ``complete`` joins it —
+  the split-phase executor's finalize half always joins before collecting.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from collections import defaultdict
+from concurrent.futures import Future, ThreadPoolExecutor
 
 import numpy as np
 
-__all__ = ["Transport"]
+__all__ = ["Transport", "WorkerTransport", "host_has_spare_core"]
+
+
+def host_has_spare_core() -> bool:
+    """Whether a transport worker thread can run on its own core.
+
+    On a single-CPU host the worker and the main thread timeshare one
+    core, so deferring encode work buys nothing and pays context-switch
+    tax — callers that auto-select the transport (``async_transport=None``)
+    use this to fall back to the synchronous one there.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) > 1
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return (os.cpu_count() or 1) > 1
 
 
 class Transport:
@@ -28,16 +56,29 @@ class Transport:
     engines post ~K² envelopes per step, so per-envelope overhead (object
     construction, duplicate scans) is the transport's hot path — one dict
     op gives enqueue + O(1) duplicate detection + collection order in one.
+    Per-tag byte matrices are resolved once per post/batch through a plain
+    dict lookup (:meth:`_matrix`), never rebuilt per envelope.
 
     **Progress model** (the split-phase pipeline's interleave record):
     every posted envelope is *pending* until its destination collects it.
     :meth:`note_overlap` marks all bytes currently pending under a tag as
     having been in flight during an overlapped compute window — the
-    pipelined executor calls it right before running the central sub-step,
-    so :meth:`overlapped_bytes` measures how much of a step's traffic the
-    executed schedule actually hid (not how much a cost model predicts it
-    could hide).
+    pipelined executor calls it right before running the central sub-step
+    — and *opens* that window: bytes posted while it is open (the async
+    transport's worker posts land mid-window) count as overlapped too.
+    The window closes at the first :meth:`collect` under the tag, so
+    :meth:`overlapped_bytes` measures how much of a step's traffic was in
+    flight before any receiver drained it (not how much a cost model
+    predicts could be hidden).
+
+    All accounting mutations take a lock so a :class:`WorkerTransport`
+    worker can post while the main thread reads progress counters; on the
+    synchronous transport the uncontended acquisition is noise next to a
+    single envelope's dict traffic.
     """
+
+    #: whether deferred jobs really run on a background worker
+    is_async = False
 
     def __init__(self, num_devices: int) -> None:
         if num_devices < 1:
@@ -48,8 +89,19 @@ class Transport:
         self._pending: dict[str, int] = defaultdict(int)
         self._pending_by_box: dict[tuple[str, int], int] = defaultdict(int)
         self._overlapped: dict[str, int] = defaultdict(int)
+        self._window_open: set[str] = set()
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def _matrix(self, tag: str) -> np.ndarray:
+        """The cumulative byte matrix for ``tag`` (created on first use)."""
+        matrix = self._bytes.get(tag)
+        if matrix is None:
+            matrix = self._bytes[tag] = np.zeros(
+                (self.num_devices, self.num_devices), dtype=np.int64
+            )
+        return matrix
+
     def post(self, src: int, dst: int, tag: str, payload: object, nbytes: int) -> None:
         """Queue ``payload`` from ``src`` to ``dst`` under ``tag``."""
         self._check_device(src)
@@ -58,16 +110,19 @@ class Transport:
             raise ValueError("devices do not message themselves")
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        box = self._boxes[(tag, dst)]
-        if src in box:
-            raise RuntimeError(f"duplicate post on tag {tag!r} for pair {src}->{dst}")
-        box[src] = payload
-        matrix = self._bytes.setdefault(
-            tag, np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
-        )
-        matrix[src, dst] += int(nbytes)
-        self._pending[tag] += int(nbytes)
-        self._pending_by_box[(tag, dst)] += int(nbytes)
+        nb = int(nbytes)
+        with self._lock:
+            box = self._boxes[(tag, dst)]
+            if src in box:
+                raise RuntimeError(
+                    f"duplicate post on tag {tag!r} for pair {src}->{dst}"
+                )
+            box[src] = payload
+            self._matrix(tag)[src, dst] += nb
+            self._pending[tag] += nb
+            self._pending_by_box[(tag, dst)] += nb
+            if tag in self._window_open:
+                self._overlapped[tag] += nb
 
     def post_batch(
         self, src: int, tag: str, posts: list[tuple[int, object, int]]
@@ -76,47 +131,80 @@ class Transport:
 
         The fused engines emit all of one device's outgoing messages for a
         step at once; a single pass validates, enqueues and accounts each
-        one.  Semantics are identical to repeated :meth:`post`.
+        one.  Semantics are identical to repeated :meth:`post`, with the
+        per-envelope device checks collapsed into one source check plus a
+        range test folded into the validation scan.
         """
         self._check_device(src)
         if not posts:
             return
         # Validate the whole batch before enqueuing anything, so a bad
         # entry cannot leave phantom envelopes or byte accounting behind.
+        # ``boxes.get`` (not ``boxes[...]``) keeps the duplicate scan from
+        # materializing empty defaultdict mailboxes.
         boxes = self._boxes
         n = self.num_devices
         seen: set[int] = set()
-        for dst, _, nb in posts:
-            if not 0 <= dst < n:
-                raise ValueError(f"destination out of range [0, {n})")
-            if dst == src:
-                raise ValueError("devices do not message themselves")
-            if nb < 0:
-                raise ValueError("nbytes must be non-negative")
-            if dst in seen or src in boxes[(tag, dst)]:
-                raise RuntimeError(
-                    f"duplicate post on tag {tag!r} for pair {src}->{dst}"
-                )
-            seen.add(dst)
-        matrix = self._bytes.setdefault(
-            tag, np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
-        )
-        row = matrix[src]
-        pending = 0
-        for dst, payload, nb in posts:
-            boxes[(tag, dst)][src] = payload
-            row[dst] += int(nb)
-            pending += int(nb)
-            self._pending_by_box[(tag, dst)] += int(nb)
-        self._pending[tag] += pending
+        with self._lock:
+            for dst, _, nb in posts:
+                if not 0 <= dst < n:
+                    raise ValueError(f"destination out of range [0, {n})")
+                if dst == src:
+                    raise ValueError("devices do not message themselves")
+                if nb < 0:
+                    raise ValueError("nbytes must be non-negative")
+                box = boxes.get((tag, dst))
+                if dst in seen or (box is not None and src in box):
+                    raise RuntimeError(
+                        f"duplicate post on tag {tag!r} for pair {src}->{dst}"
+                    )
+                seen.add(dst)
+            row = self._matrix(tag)[src]
+            pending = 0
+            for dst, payload, nb in posts:
+                boxes[(tag, dst)][src] = payload
+                nb = int(nb)
+                row[dst] += nb
+                pending += nb
+                self._pending_by_box[(tag, dst)] += nb
+            self._pending[tag] += pending
+            if tag in self._window_open:
+                self._overlapped[tag] += pending
 
     def collect(self, dst: int, tag: str) -> dict[int, object]:
         """Drain ``dst``'s mailbox for ``tag``; returns ``{src: payload}``."""
         self._check_device(dst)
-        drained = self._pending_by_box.pop((tag, dst), 0)
-        if drained:
-            self._pending[tag] -= drained
-        return self._boxes.pop((tag, dst), {})
+        with self._lock:
+            self._window_open.discard(tag)
+            drained = self._pending_by_box.pop((tag, dst), 0)
+            if drained:
+                self._pending[tag] -= drained
+            return self._boxes.pop((tag, dst), {})
+
+    # ------------------------------------------------------------------
+    # Deferred posting (async hooks; the synchronous transport runs inline)
+    # ------------------------------------------------------------------
+    def defer(self, tag: str, job) -> None:
+        """Run ``job`` (an encode-and-post closure) for ``tag``.
+
+        The synchronous transport executes it inline, so ``post_step``
+        behaves exactly as before; :class:`WorkerTransport` overrides this
+        to hand the job to its worker pool.  One job per tag may be
+        outstanding at a time — the split-phase executor's
+        one-step-in-flight discipline.
+        """
+        job()
+
+    def complete(self, tag: str) -> float:
+        """Join ``tag``'s deferred job; returns seconds spent waiting.
+
+        No-op (0.0) on the synchronous transport — everything already ran
+        inside :meth:`defer`.  Worker exceptions re-raise here.
+        """
+        return 0.0
+
+    def close(self) -> None:
+        """Release background resources (no-op on the sync transport)."""
 
     # ------------------------------------------------------------------
     # Progress model
@@ -126,15 +214,18 @@ class Transport:
         return int(self._pending.get(tag, 0))
 
     def note_overlap(self, tag: str) -> int:
-        """Mark ``tag``'s currently-pending bytes as overlapped; returns them.
+        """Open ``tag``'s overlap window; returns the bytes already pending.
 
         Called by the pipelined executor at the start of a central-compute
-        window: whatever is still in flight at that moment is the traffic
-        the executed schedule hides under computation.
+        window: whatever is in flight at that moment — plus whatever a
+        deferred post job lands while the window stays open — is the
+        traffic the executed schedule hides under computation.
         """
-        pending = self.pending_bytes(tag)
-        if pending:
-            self._overlapped[tag] += pending
+        with self._lock:
+            pending = int(self._pending.get(tag, 0))
+            if pending:
+                self._overlapped[tag] += pending
+            self._window_open.add(tag)
         return pending
 
     def overlapped_bytes(self, tag: str) -> int:
@@ -144,26 +235,124 @@ class Transport:
     # ------------------------------------------------------------------
     def bytes_matrix(self, tag: str) -> np.ndarray:
         """Cumulative bytes posted under ``tag`` as an (N, N) matrix."""
-        if tag in self._bytes:
-            return self._bytes[tag].copy()
+        with self._lock:
+            if tag in self._bytes:
+                return self._bytes[tag].copy()
         return np.zeros((self.num_devices, self.num_devices), dtype=np.int64)
 
     def total_bytes(self) -> int:
-        return int(sum(m.sum() for m in self._bytes.values()))
+        with self._lock:
+            return int(sum(m.sum() for m in self._bytes.values()))
 
     def reset_accounting(self) -> None:
         """Clear byte counters (mailboxes must already be drained)."""
-        if any(self._boxes.values()):
-            pending = [key for key, box in self._boxes.items() if box]
-            raise RuntimeError(f"undelivered messages remain: {pending}")
-        self._bytes.clear()
-        self._pending.clear()
-        self._pending_by_box.clear()
-        self._overlapped.clear()
+        with self._lock:
+            if any(self._boxes.values()):
+                pending = [key for key, box in self._boxes.items() if box]
+                raise RuntimeError(f"undelivered messages remain: {pending}")
+            self._bytes.clear()
+            self._pending.clear()
+            self._pending_by_box.clear()
+            self._overlapped.clear()
+            self._window_open.clear()
 
     def pending_tags(self) -> list[str]:
-        return sorted({tag for (tag, _), box in self._boxes.items() if box})
+        with self._lock:
+            return sorted({tag for (tag, _), box in self._boxes.items() if box})
 
     def _check_device(self, device: int) -> None:
         if not 0 <= device < self.num_devices:
             raise ValueError(f"device {device} out of range [0, {self.num_devices})")
+
+
+class WorkerTransport(Transport):
+    """Thread-pool-backed transport: deferred encode/post jobs run on a
+    background worker, concurrently with the main thread.
+
+    Threading model (see README "async worker transport"):
+
+    * ``defer(tag, job)`` submits the exchange's quantize/pack/post closure
+      to a worker pool and returns immediately; the main thread goes on to
+      run the central sub-step, whose BLAS/spmv kernels release the GIL —
+      so the worker's NumPy quantize/pack kernels genuinely execute in
+      parallel on a second core;
+    * the pool has exactly **one** worker: step jobs must retire in
+      submission order because stochastic-rounding noise is drawn from a
+      shared sequential RNG stream (the bitwise contract with the
+      synchronous path).  Concurrency comes from overlapping the *main*
+      thread, not from intra-pool parallelism;
+    * ``complete(tag)`` joins the tag's job (re-raising worker exceptions)
+      and returns the seconds the caller was blocked — the *exposed* tail
+      of encode work the central window failed to cover, recorded in each
+      :class:`~repro.cluster.records.StepTimeline` as ``worker_wait_s``;
+    * :meth:`collect` auto-joins as a safety net, so a collector can never
+      observe a half-posted step;
+    * workers only **produce** (encode + post); the main thread alone
+      collects, decodes and accumulates, in the fixed device order — which
+      is what keeps the async path bitwise-identical to the sync one.
+    """
+
+    is_async = True
+
+    def __init__(self, num_devices: int) -> None:
+        super().__init__(num_devices)
+        # Exactly one worker, by design, not as a default: a second worker
+        # would let step jobs race on the shared sequential rounding RNG
+        # and break the bitwise contract (see class docstring).
+        self._pool: ThreadPoolExecutor | None = None
+        self._jobs: dict[str, Future] = {}
+        self._jobs_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def defer(self, tag: str, job) -> None:
+        with self._jobs_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix="repro-transport",
+                )
+            if tag in self._jobs:
+                raise RuntimeError(
+                    f"tag {tag!r} already has a deferred job in flight"
+                )
+            self._jobs[tag] = self._pool.submit(job)
+
+    def complete(self, tag: str) -> float:
+        with self._jobs_lock:
+            future = self._jobs.pop(tag, None)
+        if future is None:
+            return 0.0
+        t0 = time.perf_counter()
+        future.result()
+        return time.perf_counter() - t0
+
+    def complete_all(self) -> None:
+        """Join every outstanding job (used at epoch boundaries/shutdown)."""
+        with self._jobs_lock:
+            tags = list(self._jobs)
+        for tag in tags:
+            self.complete(tag)
+
+    def collect(self, dst: int, tag: str) -> dict[int, object]:
+        # Safety net: finalize_step joins via InFlightStep.mark_done, but a
+        # direct collector must never see a half-posted step either.
+        with self._jobs_lock:
+            outstanding = tag in self._jobs
+        if outstanding:
+            self.complete(tag)
+        return super().collect(dst, tag)
+
+    def reset_accounting(self) -> None:
+        self.complete_all()
+        super().reset_accounting()
+
+    def pending_tags(self) -> list[str]:
+        self.complete_all()
+        return super().pending_tags()
+
+    def close(self) -> None:
+        self.complete_all()
+        with self._jobs_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

@@ -56,6 +56,22 @@ class RunConfig:
     # the systems whose schedule overlaps (the adaqp variants and
     # vanilla-overlap); requires fused_compute.
     overlap: bool = True
+    # async_transport: run each step's quantize/pack/post job on a
+    # background worker thread (WorkerTransport) so it executes
+    # concurrently with the central sub-step's GIL-releasing BLAS/spmv —
+    # the recorded overlap becomes wall-clock speedup.  None (default)
+    # auto-selects: on for overlapped runs when the host has a spare core
+    # for the worker, off otherwise (single-core hosts would pay switch
+    # tax for no parallelism).  True forces it for overlapped runs; every
+    # choice is bit-identical to the synchronous transport under the same
+    # seed.
+    async_transport: bool | None = None
+    # timeline_history: how many measured per-step StepTimeline entries a
+    # TrainResult retains (most recent first to go: oldest dropped); the
+    # aggregate TimelineSummary always covers every step, so
+    # multi-hundred-epoch runs keep bounded memory without losing the
+    # overlap accounting.
+    timeline_history: int = 48
 
     # Baselines
     sancus_staleness: int = 4
@@ -73,6 +89,8 @@ class RunConfig:
         for b in self.bit_choices:
             check_in_set(b, SUPPORTED_BITS, name="bit_choices entry")
         check_in_set(self.fixed_bits, SUPPORTED_BITS, name="fixed_bits")
+        if self.timeline_history < 0:
+            raise ValueError("timeline_history must be >= 0")
 
     def with_overrides(self, **kwargs) -> "RunConfig":
         """Functional update (configs are frozen)."""

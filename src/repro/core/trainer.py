@@ -24,6 +24,7 @@ import numpy as np
 from repro.baselines.pipegcn import StaleHaloExchange
 from repro.baselines.sancus import BroadcastSkipExchange
 from repro.cluster.cluster import Cluster
+from repro.cluster.records import StepTimeline, TimelineSummary
 from repro.cluster.exchange import (
     ExactHaloExchange,
     FixedBitProvider,
@@ -100,6 +101,12 @@ class TrainResult:
     # Host-side measured overhead (bit-width assignment)
     assign_seconds: float = 0.0
     bit_histogram: dict[int, int] = field(default_factory=dict)
+    # Measured overlap accounting (overlapped runs only).  The summary
+    # covers every executed step of the run; recent_timelines keeps only
+    # the last ``RunConfig.timeline_history`` per-step entries, so
+    # multi-hundred-epoch runs never accumulate unbounded stage lists.
+    timeline_summary: TimelineSummary = field(default_factory=TimelineSummary)
+    recent_timelines: list[StepTimeline] = field(default_factory=list)
 
     @property
     def epochs(self) -> int:
@@ -260,6 +267,7 @@ def train(
         seed=config.seed,
         fused_compute=config.fused_compute,
         overlap=config.overlap and system in OVERLAP_SYSTEMS,
+        async_transport=config.async_transport,
     )
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]
@@ -271,28 +279,39 @@ def train(
         model_kind=config.model_kind,
     )
 
-    for epoch in range(config.epochs):
-        record = cluster.train_epoch(setup.exchange, epoch)
-        for opt in optimizers:
-            opt.step()
+    try:
+        for epoch in range(config.epochs):
+            record = cluster.train_epoch(setup.exchange, epoch)
+            for opt in optimizers:
+                opt.step()
 
-        sched: ScheduleResult = setup.schedule(record, cost_model, perf_model)
-        result.epoch_times.append(sched.epoch_time)
-        result.comm_time_total += sched.comm_time
-        result.comp_time_total += sched.comp_time
-        result.quant_time_total += sched.quant_time
-        result.wire_bytes_total += record.total_wire_bytes()
-        result.curve_loss.append(record.loss)
+            sched: ScheduleResult = setup.schedule(record, cost_model, perf_model)
+            result.epoch_times.append(sched.epoch_time)
+            result.comm_time_total += sched.comm_time
+            result.comp_time_total += sched.comp_time
+            result.quant_time_total += sched.quant_time
+            result.wire_bytes_total += record.total_wire_bytes()
+            result.curve_loss.append(record.loss)
+            if record.timeline_summary.steps:
+                result.timeline_summary.merge(record.timeline_summary)
+                result.recent_timelines.extend(record.timelines)
+                overflow = len(result.recent_timelines) - config.timeline_history
+                if overflow > 0:
+                    del result.recent_timelines[:overflow]
 
-        if epoch % config.eval_every == 0 or epoch == config.epochs - 1:
-            metrics = cluster.evaluate()
-            result.curve_epochs.append(epoch)
-            result.curve_val.append(metrics["val"])
-            result.curve_test.append(metrics["test"])
-            logger.info(
-                "%s epoch %d: loss=%.4f val=%.4f", system, epoch, record.loss, metrics["val"]
-            )
-
+            if epoch % config.eval_every == 0 or epoch == config.epochs - 1:
+                metrics = cluster.evaluate()
+                result.curve_epochs.append(epoch)
+                result.curve_val.append(metrics["val"])
+                result.curve_test.append(metrics["test"])
+                logger.info(
+                    "%s epoch %d: loss=%.4f val=%.4f",
+                    system, epoch, record.loss, metrics["val"],
+                )
+    finally:
+        # Even a failed run must release the async transport's worker
+        # thread (and whatever plan scratch its pending closure captured).
+        cluster.close()
     result.final_val = result.curve_val[-1] if result.curve_val else float("nan")
     result.final_test = result.curve_test[-1] if result.curve_test else float("nan")
     if setup.assigner is not None:

@@ -68,11 +68,14 @@ __all__ = [
     "OVERLAP_WORKLOAD",
     "bench_encode",
     "bench_decode",
+    "bench_pack_kernel",
+    "bench_unpack_kernel",
     "bench_compute_spmv",
     "bench_compute_gemm",
     "bench_epoch",
     "bench_epoch_vanilla",
     "bench_epoch_overlap",
+    "bench_epoch_overlap_async",
     "bench_exchange_split_phase",
     "run_bench",
     "compare_to_baseline",
@@ -120,6 +123,10 @@ OVERLAP_WORKLOAD = {
 _GATED_METRICS = (
     ("encode", "speedup"),
     ("decode", "speedup"),
+    # Quantization hot kernels: the PR-4 word/LUT formulations vs the
+    # PR-3 shift-mask/lane-loop ones.
+    ("pack_kernel", "speedup"),
+    ("unpack_kernel", "speedup"),
     ("compute_spmv", "speedup"),
     ("compute_gemm", "speedup"),
     ("epoch", "speedup"),
@@ -130,7 +137,134 @@ _GATED_METRICS = (
     # ...and the executed schedule must keep hiding the halo traffic
     # (every byte posted before its central window opens).
     ("epoch_overlap", "hidden_byte_fraction"),
+    # The shipped overlapped engine (auto async transport + rewritten
+    # quant kernels) vs the resurrected PR-3 synchronous overlapped state.
+    ("epoch_overlap_async", "speedup"),
 )
+
+
+# ---------------------------------------------------------------------------
+# PR-3-era quantization kernels, resurrected as baselines.
+#
+# The shipped pack/unpack were rewritten in PR 4 (word-merge packing,
+# lookup-table unpacking, validate=False on the trusted path); benchmarking
+# the new kernels against themselves would show nothing, so the old
+# formulations live on here — both for the kernel microbenches and for the
+# epoch_overlap_async baseline arm, which runs a whole epoch on them.
+# ---------------------------------------------------------------------------
+def _pr3_pack_bits(codes: np.ndarray, bits: int) -> np.ndarray:
+    codes = np.ascontiguousarray(codes, dtype=np.uint8).ravel()
+    if codes.size and int(codes.max()) >= (1 << bits):
+        raise ValueError(f"codes exceed {bits}-bit range")
+    if bits == 8:
+        return codes.copy()
+    per_byte = 8 // bits
+    padded_len = -(-codes.size // per_byte) * per_byte
+    padded = np.zeros(padded_len, dtype=np.uint8)
+    padded[: codes.size] = codes
+    groups = padded.reshape(-1, per_byte)
+    out = groups[:, 0].copy()
+    for lane in range(1, per_byte):
+        out |= groups[:, lane] << np.uint8(lane * bits)
+    return out
+
+
+def _pr3_unpack_bits(stream: np.ndarray, bits: int, count: int) -> np.ndarray:
+    if bits == 8:
+        return stream[:count].copy()
+    per_byte = 8 // bits
+    needed = -(-count // per_byte)
+    mask = np.uint8((1 << bits) - 1)
+    shifts = (np.arange(per_byte, dtype=np.uint8) * bits)[None, :]
+    codes = ((stream[:needed, None] >> shifts) & mask).reshape(-1)
+    return codes[:count].astype(np.uint8)
+
+
+def _pr3_pack_bits_batched(codes, bits, counts, *, validate=True):
+    counts = np.asarray(counts, dtype=np.int64)
+    codes = np.ascontiguousarray(codes, dtype=np.uint8).ravel()
+    if bits == 8 or not ((counts * bits) % 8).any():
+        packed = _pr3_pack_bits(codes, bits)
+        offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts * bits // 8, out=offsets[1:])
+        return [packed[offsets[i] : offsets[i + 1]] for i in range(counts.size)]
+    bounds = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return [
+        _pr3_pack_bits(codes[bounds[i] : bounds[i + 1]], bits)
+        for i in range(counts.size)
+    ]
+
+
+def _pr3_unpack_bits_batched(streams, bits, counts, *, out=None):
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if bits == 8 or not ((counts * bits) % 8).any():
+        return _pr3_unpack_bits(np.concatenate(streams), bits, int(counts.sum()))
+    return np.concatenate(
+        [_pr3_unpack_bits(s, bits, int(n)) for s, n in zip(streams, counts)]
+    )
+
+
+def _pr3_decode_cluster_step(collects, *, workspace=None):
+    """The PR-3 ``decode_cluster_step``: shift/mask unpack, per-payload
+    result allocations and the trailing astype copy (``workspace`` accepted
+    for signature compatibility, ignored — PR 3 had no decode scratch)."""
+    flat = [
+        (dst, src, payload)
+        for dst, mailbox in collects.items()
+        for src, payload in mailbox.items()
+    ]
+    if not flat:
+        return {dst: {} for dst in collects}
+    dim = flat[0][2].dim
+
+    targets: dict[int, list] = {}
+    streams: dict[int, list] = {}
+    zero_points: dict[int, list] = {}
+    scales: dict[int, list] = {}
+    for dst, src, payload in flat:
+        for bits, rows, stream, z, s in zip(
+            payload.group_bits,
+            payload.group_rows,
+            payload.streams,
+            payload.zero_points,
+            payload.scales,
+        ):
+            targets.setdefault(bits, []).append((dst, src, rows))
+            streams.setdefault(bits, []).append(stream)
+            zero_points.setdefault(bits, []).append(z)
+            scales.setdefault(bits, []).append(s)
+
+    out: dict[int, dict[int, np.ndarray]] = {dst: {} for dst in collects}
+    for dst, src, payload in flat:
+        out[dst][src] = np.empty((payload.num_rows, payload.dim), dtype=np.float32)
+    for bits in sorted(targets):
+        counts = np.asarray(
+            [rows.size * dim for _, _, rows in targets[bits]], dtype=np.int64
+        )
+        codes = _pr3_unpack_bits_batched(streams[bits], bits, counts).reshape(-1, dim)
+        z_all = (
+            zero_points[bits][0]
+            if len(zero_points[bits]) == 1
+            else np.concatenate(zero_points[bits])
+        )
+        s_all = (
+            scales[bits][0] if len(scales[bits]) == 1 else np.concatenate(scales[bits])
+        )
+        deq = (
+            codes.astype(np.float32) * s_all[:, None] + z_all[:, None]
+        ).astype(np.float32)
+        cursor = 0
+        for dst, src, rows in targets[bits]:
+            mat = out[dst][src]
+            if rows.size == mat.shape[0]:
+                mat[...] = deq[cursor : cursor + rows.size]
+            else:
+                mat[rows] = deq[cursor : cursor + rows.size]
+            cursor += rows.size
+    return out
 
 
 class _MonolithicFusedQuantizedExchange(FusedQuantizedHaloExchange):
@@ -279,6 +413,60 @@ def bench_decode(
         "unfused_mbps": payload_mb / t_legacy,
         "fused_mbps": payload_mb / t_fused,
         "speedup": t_legacy / t_fused,
+    }
+
+
+def bench_pack_kernel(
+    *, bits: int = 2, count: int = 1 << 20, reps: int = 30, seed: int = 0
+) -> dict:
+    """One step-sized ``pack_bits`` call: PR-3 lane loop vs word merge.
+
+    The new kernel also runs with ``validate=False`` — the trusted fused
+    path skips the O(n) range scan the old kernel always paid.
+    Throughput is MB/s of unpacked uint8 codes consumed.
+    """
+    from repro.quant.packing import pack_bits
+
+    gen = np.random.default_rng(seed)
+    codes = gen.integers(0, 1 << bits, count).astype(np.uint8)
+    payload_mb = codes.nbytes / 1e6
+    t_legacy = _median_time(lambda: _pr3_pack_bits(codes, bits), reps)
+    t_new = _median_time(lambda: pack_bits(codes, bits, validate=False), reps)
+    return {
+        "bits": bits,
+        "count": count,
+        "unfused_ms": t_legacy * 1e3,
+        "fused_ms": t_new * 1e3,
+        "unfused_mbps": payload_mb / t_legacy,
+        "fused_mbps": payload_mb / t_new,
+        "speedup": t_legacy / t_new,
+    }
+
+
+def bench_unpack_kernel(
+    *, bits: int = 2, count: int = 1 << 20, reps: int = 30, seed: int = 0
+) -> dict:
+    """One step-sized ``unpack_bits`` call: PR-3 shift/mask vs word LUT.
+
+    Throughput is MB/s of decoded uint8 codes produced (the acceptance
+    metric for the lookup-table decode).
+    """
+    from repro.quant.packing import pack_bits, unpack_bits
+
+    gen = np.random.default_rng(seed)
+    codes = gen.integers(0, 1 << bits, count).astype(np.uint8)
+    stream = pack_bits(codes, bits)
+    payload_mb = count / 1e6
+    t_legacy = _median_time(lambda: _pr3_unpack_bits(stream, bits, count), reps)
+    t_new = _median_time(lambda: unpack_bits(stream, bits, count), reps)
+    return {
+        "bits": bits,
+        "count": count,
+        "unfused_ms": t_legacy * 1e3,
+        "fused_ms": t_new * 1e3,
+        "unfused_mbps": payload_mb / t_legacy,
+        "fused_mbps": payload_mb / t_new,
+        "speedup": t_legacy / t_new,
     }
 
 
@@ -630,7 +818,12 @@ def bench_epoch_overlap(
             reassign_period=4,
             seed=seed,
             overlap=overlap,
+            async_transport=False,
         )
+        # async_transport pinned off: this bench isolates the split-phase
+        # executor itself; letting the auto default pick the worker would
+        # make the ratio depend on the runner's core count (the transport
+        # comparison lives in bench_epoch_overlap_async).
         cluster = Cluster(
             ds,
             book,
@@ -641,18 +834,22 @@ def bench_epoch_overlap(
             seed=seed,
             fused_compute=True,
             overlap=overlap,
+            async_transport=False,
         )
         setup = build_system(system, cluster, cost_model, cfg)
         times: list[float] = []
         losses: list[float] = []
         wire = 0
         record = None
-        for epoch in range(epochs):
-            t0 = time.perf_counter()
-            record = cluster.train_epoch(setup.exchange, epoch)
-            times.append(time.perf_counter() - t0)
-            losses.append(record.loss)
-            wire += record.total_wire_bytes()
+        try:
+            for epoch in range(epochs):
+                t0 = time.perf_counter()
+                record = cluster.train_epoch(setup.exchange, epoch)
+                times.append(time.perf_counter() - t0)
+                losses.append(record.loss)
+                wire += record.total_wire_bytes()
+        finally:
+            cluster.close()
         return float(np.min(times[warmup:])), losses, wire, record
 
     t_overlap, losses_o, bytes_o, rec_o = run(True)
@@ -683,6 +880,143 @@ def bench_epoch_overlap(
     }
 
 
+def bench_epoch_overlap_async(
+    *,
+    system: str = "adaqp-fixed",
+    workload: dict | None = None,
+    epochs: int = 8,
+    warmup: int = 2,
+    seed: int = 0,
+) -> dict:
+    """The PR-4 headline: the shipped overlapped engine vs the PR-3 state.
+
+    Four arms, all bitwise-identical (asserted on losses and wire bytes):
+
+    * ``fused`` — the shipped default: auto-selected transport (worker
+      thread when the host has a spare core, synchronous otherwise) plus
+      the rewritten quantization kernels;
+    * ``async`` / ``sync`` — the same engine with the transport forced on
+      / off; their ratio (``concurrency_speedup``) isolates what the
+      worker thread alone buys, which exceeds 1.0 only on multi-core
+      hosts (on one core the worker merely timeshares);
+    * ``unfused`` — the resurrected PR-3 synchronous overlapped epoch:
+      synchronous transport, PR-3 shift/mask + lane-loop quantization
+      kernels (patched into the fused encoder's call sites) and no decode
+      scratch reuse.
+
+    The gated ``speedup`` is ``unfused / fused`` — what this PR delivered
+    end to end on this host.
+    """
+    import contextlib
+    from unittest import mock
+
+    import repro.quant.fused as fused_mod
+
+    wl = dict(OVERLAP_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    ds, book = _load_workload(wl, seed)
+    cost_model = LinkCostModel.for_topology(parse_topology(wl["setting"]))
+
+    def run(async_transport, pr3_kernels: bool = False):
+        cfg = RunConfig(
+            epochs=epochs,
+            hidden_dim=wl["hidden_dim"],
+            num_layers=wl["num_layers"],
+            reassign_period=4,
+            seed=seed,
+            overlap=True,
+            async_transport=async_transport,
+        )
+        cluster = Cluster(
+            ds,
+            book,
+            model_kind="gcn",
+            hidden_dim=wl["hidden_dim"],
+            num_layers=wl["num_layers"],
+            dropout=0.5,
+            seed=seed,
+            fused_compute=True,
+            overlap=True,
+            async_transport=async_transport,
+        )
+        setup = build_system(system, cluster, cost_model, cfg)
+        with contextlib.ExitStack() as stack:
+            if pr3_kernels:
+                import repro.cluster.exchange as exchange_mod
+
+                setup.exchange._decode_ws = None
+                stack.enter_context(
+                    mock.patch.object(
+                        fused_mod, "pack_bits_batched", _pr3_pack_bits_batched
+                    )
+                )
+                stack.enter_context(
+                    mock.patch.object(
+                        fused_mod, "unpack_bits_batched", _pr3_unpack_bits_batched
+                    )
+                )
+                stack.enter_context(
+                    mock.patch.object(
+                        exchange_mod,
+                        "decode_cluster_step",
+                        _pr3_decode_cluster_step,
+                    )
+                )
+            times: list[float] = []
+            losses: list[float] = []
+            wire = 0
+            record = None
+            try:
+                for epoch in range(epochs):
+                    t0 = time.perf_counter()
+                    record = cluster.train_epoch(setup.exchange, epoch)
+                    times.append(time.perf_counter() - t0)
+                    losses.append(record.loss)
+                    wire += record.total_wire_bytes()
+            finally:
+                cluster.close()
+        was_async = cluster.async_transport
+        return float(np.min(times[warmup:])), losses, wire, record, was_async
+
+    t_default, losses_d, bytes_d, _, default_async = run(None)
+    t_async, losses_a, bytes_a, rec_a, _ = run(True)
+    t_sync, losses_s, bytes_s, _, _ = run(False)
+    t_pr3, losses_p, bytes_p, _, _ = run(False, pr3_kernels=True)
+
+    import os
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cores = os.cpu_count() or 1
+    summary = rec_a.timeline_summary
+    stage_total = (
+        summary.quantize_s
+        + summary.central_s
+        + summary.dequantize_s
+        + summary.marginal_s
+    )
+    return {
+        "system": system,
+        "workload": wl,
+        "epochs": epochs,
+        "cores": cores,
+        "default_is_async": default_async,
+        "fused_ms": t_default * 1e3,  # shipped default engine
+        "unfused_ms": t_pr3 * 1e3,  # resurrected PR-3 sync overlapped epoch
+        "async_ms": t_async * 1e3,
+        "sync_ms": t_sync * 1e3,
+        "speedup": t_pr3 / t_default,
+        "concurrency_speedup": t_sync / t_async,
+        "kernel_speedup": t_pr3 / t_sync,
+        "hidden_byte_fraction": rec_a.hidden_byte_fraction(),
+        "worker_wait_share": summary.worker_wait_s / max(stage_total, 1e-12),
+        "losses_match": losses_d == losses_a == losses_s == losses_p,
+        "wire_bytes_match": bytes_d == bytes_a == bytes_s == bytes_p,
+    }
+
+
 def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
     """Run the full perf suite; returns the ``BENCH_perf.json`` payload."""
     micro_reps = 20 if quick else 40
@@ -695,17 +1029,22 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
 
     report: dict = {
         "bench": "fused-engines",
-        "schema": 2,
+        "schema": 3,
         "quick": quick,
         "seed": seed,
         "encode": bench_encode(reps=micro_reps, seed=seed),
         "decode": bench_decode(reps=micro_reps, seed=seed),
+        "pack_kernel": bench_pack_kernel(reps=micro_reps, seed=seed),
+        "unpack_kernel": bench_unpack_kernel(reps=micro_reps, seed=seed),
         "compute_spmv": bench_compute_spmv(reps=micro_reps, seed=seed),
         "compute_gemm": bench_compute_gemm(reps=micro_reps, seed=seed),
         "epoch": bench_epoch(epochs=epochs, warmup=warmup, seed=seed),
         "epoch_vanilla": bench_epoch_vanilla(epochs=epochs, warmup=warmup, seed=seed),
         "exchange_split_phase": bench_exchange_split_phase(reps=micro_reps, seed=seed),
         "epoch_overlap": bench_epoch_overlap(epochs=epochs, warmup=warmup, seed=seed),
+        "epoch_overlap_async": bench_epoch_overlap_async(
+            epochs=epochs, warmup=warmup, seed=seed
+        ),
     }
     for system in extra_systems:
         report[f"epoch_{system}"] = bench_epoch(
@@ -736,7 +1075,7 @@ def compare_to_baseline(
                 f"{section}.{metric} regressed: {cur:.2f}x < "
                 f"{floor:.2f}x (baseline {base:.2f}x - {max_regression:.0%})"
             )
-    for section in ("epoch", "epoch_vanilla", "epoch_overlap"):
+    for section in ("epoch", "epoch_vanilla", "epoch_overlap", "epoch_overlap_async"):
         for key in ("wire_bytes_match", "losses_match"):
             if not current.get(section, {}).get(key, False):
                 problems.append(
@@ -756,7 +1095,8 @@ def render_report(report: dict) -> str:
 
     rows = []
     for section in (
-        "encode", "decode", "compute_spmv", "compute_gemm", "exchange_split_phase",
+        "encode", "decode", "pack_kernel", "unpack_kernel",
+        "compute_spmv", "compute_gemm", "exchange_split_phase",
     ):
         if section not in report:
             continue
@@ -787,7 +1127,7 @@ def render_report(report: dict) -> str:
         )
     table = render_table(["benchmark", "unfused", "fused", "speedup"], rows)
     checks = []
-    for section in ("epoch", "epoch_vanilla", "epoch_overlap"):
+    for section in ("epoch", "epoch_vanilla", "epoch_overlap", "epoch_overlap_async"):
         if section in report:
             r = report[section]
             checks.append(
@@ -802,6 +1142,15 @@ def render_report(report: dict) -> str:
             f"measured_central_share={r['measured_central_share']:.2f} "
             f"modeled_hidden_comm={r['modeled_hidden_comm_fraction']:.2f} "
             f"table2_headroom={r['table2_headroom_fraction']:.2f}"
+        )
+    if "epoch_overlap_async" in report:
+        r = report["epoch_overlap_async"]
+        checks.append(
+            f"epoch_overlap_async: cores={r['cores']} "
+            f"default_is_async={r['default_is_async']} "
+            f"kernel_speedup={r['kernel_speedup']:.2f}x "
+            f"concurrency_speedup={r['concurrency_speedup']:.2f}x "
+            f"worker_wait_share={r['worker_wait_share']:.2f}"
         )
     wl = report["epoch"]["workload"]
     head = (

@@ -30,7 +30,12 @@ from repro.quant.packing import (
     unpack_bits_batched,
 )
 from repro.quant.mixed import MixedPrecisionEncoder, MixedPrecisionPayload
-from repro.quant.fused import FusedStepEncoder, FusedStepPlan, decode_step
+from repro.quant.fused import (
+    DecodeWorkspace,
+    FusedStepEncoder,
+    FusedStepPlan,
+    decode_step,
+)
 from repro.quant.theory import (
     SUPPORTED_BITS,
     beta_values,
@@ -52,6 +57,7 @@ __all__ = [
     "MixedPrecisionPayload",
     "FusedStepEncoder",
     "FusedStepPlan",
+    "DecodeWorkspace",
     "decode_step",
     "SUPPORTED_BITS",
     "quantization_variance",

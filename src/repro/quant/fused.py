@@ -47,6 +47,7 @@ from repro.quant.packing import pack_bits_batched, unpack_bits_batched
 __all__ = [
     "FusedStepPlan",
     "FusedStepEncoder",
+    "DecodeWorkspace",
     "decode_step",
     "decode_cluster_step",
 ]
@@ -87,6 +88,11 @@ class FusedStepPlan:
     # slices of its groups and their element counts (packing batches).
     bit_slices: dict[int, list[slice]]
     bit_elems: dict[int, np.ndarray]
+    # For widths whose groups are scattered across pairs: their rows in
+    # payload-emission order (one precomputed take instead of a per-group
+    # concatenate) plus the reusable gather destination.
+    bit_rows: dict[int, np.ndarray]
+    bit_gather: dict[int, np.ndarray]
     # Scratch buffers (reused every epoch while the plan is valid).
     cat_buf: np.ndarray  # (n_total, dim) float32, cat order
     legacy_buf: np.ndarray  # (n_total, dim) float32, legacy order
@@ -142,6 +148,15 @@ def _build_plan(
 
     bits_legacy = bits_cat[perm_legacy]
     distinct = sorted(bit_slices)
+    bit_rows: dict[int, np.ndarray] = {}
+    bit_gather: dict[int, np.ndarray] = {}
+    if len(distinct) > 1:
+        for b, slices in bit_slices.items():
+            if len(slices) > 1:
+                bit_rows[b] = np.concatenate(
+                    [np.arange(sl.start, sl.stop, dtype=np.int64) for sl in slices]
+                )
+                bit_gather[b] = np.empty((bit_rows[b].size, dim), dtype=np.uint8)
     legacy_buf = np.empty((n_total, dim), dtype=np.float32)
     return FusedStepPlan(
         pairs=pairs,
@@ -158,6 +173,8 @@ def _build_plan(
         pair_groups=pair_groups,
         bit_slices=bit_slices,
         bit_elems={b: np.asarray(e, dtype=np.int64) for b, e in bit_elems.items()},
+        bit_rows=bit_rows,
+        bit_gather=bit_gather,
         # When legacy order == cat order the two stage buffers alias: the
         # tracer path then needs only a single gather.
         cat_buf=legacy_buf if identity else np.empty((n_total, dim), dtype=np.float32),
@@ -214,10 +231,21 @@ class FusedStepEncoder:
         indexed by rank works too.  ``observe``, when given, is called per
         pair with ``(src, dst, rows)`` where ``rows`` is the pair's block
         in original row order — the tracer hook.
+
+        The two halves are also exposed separately for the async transport:
+        :meth:`gather_step` snapshots the source rows (and feeds the
+        tracer) on the calling thread, after which
+        :meth:`quantize_pack_step` is safe to run on a transport worker —
+        it touches only plan-owned scratch and the encoder's RNG.
         """
-        n_total, dim = plan.n_total, plan.dim
+        self.gather_step(plan, values_by_rank, observe)
+        return self.quantize_pack_step(plan)
+
+    def gather_step(self, plan: FusedStepPlan, values_by_rank, observe=None) -> None:
+        """Stage the step's source rows into ``plan.legacy_buf`` (a snapshot)."""
+        n_total = plan.n_total
         if n_total == 0:
-            return {}
+            return
 
         if observe is None:
             for rank, start, stop in plan.device_blocks:
@@ -230,7 +258,6 @@ class FusedStepEncoder:
                     axis=0,
                     out=plan.legacy_buf[start:stop],
                 )
-            h = plan.legacy_buf
         else:
             # Tracers need pair blocks in original row order; gather those
             # first, then permute into legacy order (a no-op when every
@@ -249,13 +276,24 @@ class FusedStepEncoder:
             for pair, count in zip(plan.pairs, plan.pair_counts):
                 observe(pair[0], pair[1], plan.cat_buf[start : start + int(count)])
                 start += int(count)
-            h = (
-                plan.cat_buf
-                if plan.identity
-                else np.take(
-                    plan.cat_buf, plan.perm_legacy, axis=0, out=plan.legacy_buf
-                )
-            )
+            if not plan.identity:
+                np.take(plan.cat_buf, plan.perm_legacy, axis=0, out=plan.legacy_buf)
+            # identity: cat_buf aliases legacy_buf, nothing to permute.
+
+    def quantize_pack_step(
+        self, plan: FusedStepPlan
+    ) -> dict[tuple[int, int], MixedPrecisionPayload]:
+        """Quantize + pack the gathered step (worker-safe half).
+
+        Reads ``plan.legacy_buf`` (filled by :meth:`gather_step`), draws
+        the step's rounding noise from the shared RNG — callers must keep
+        step jobs serialized so stream consumption matches the legacy
+        per-group draws — and touches only plan-owned scratch.
+        """
+        n_total, dim = plan.n_total, plan.dim
+        if n_total == 0:
+            return {}
+        h = plan.legacy_buf
 
         # --- one stochastic-quantization kernel for the whole step -------
         # Identical arithmetic to quantize_stochastic per group: the level
@@ -285,6 +323,8 @@ class FusedStepEncoder:
         s32 = scale
 
         # --- pack each distinct bit-width as one batch -------------------
+        # Codes were clamped to range above, so the packers' O(n) range
+        # scan is skipped (validate=False — the trusted internal path).
         streams_by_bits: dict[int, list[np.ndarray]] = {}
         for bits, slices in plan.bit_slices.items():
             if len(slices) == 1:
@@ -293,11 +333,16 @@ class FusedStepEncoder:
                 # Single distinct bit-width: the slices tile the buffer.
                 segment = plan.codes_buf
             else:
-                segment = np.concatenate(
-                    [plan.codes_buf[sl] for sl in slices], axis=0
+                # Scattered groups: one precomputed take into plan scratch
+                # (no per-group Python loop on the hot path).
+                segment = np.take(
+                    plan.codes_buf,
+                    plan.bit_rows[bits],
+                    axis=0,
+                    out=plan.bit_gather[bits],
                 )
             streams_by_bits[bits] = pack_bits_batched(
-                segment, bits, plan.bit_elems[bits]
+                segment, bits, plan.bit_elems[bits], validate=False
             )
 
         # --- assemble per-pair payloads ----------------------------------
@@ -328,20 +373,50 @@ class FusedStepEncoder:
         return payloads
 
 
+class DecodeWorkspace:
+    """Reusable scratch buffers for :func:`decode_cluster_step`.
+
+    One instance per exchange; buffers are keyed by role and revalidated
+    by shape, so they persist across epochs and resize only at
+    reassignment boundaries.  Matrices returned by a workspace-backed
+    decode are views into (or reuses of) these buffers — valid until the
+    next decode call, which is exactly the finalize-half's
+    consume-immediately lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[object, np.ndarray] = {}
+
+    def take(self, key: object, shape: tuple[int, ...], dtype) -> np.ndarray:
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+        return buf
+
+
 def decode_cluster_step(
     collects: dict[int, dict[int, MixedPrecisionPayload]],
+    *,
+    workspace: DecodeWorkspace | None = None,
 ) -> dict[int, dict[int, np.ndarray]]:
     """Decode every payload of one step with batched kernels.
 
     ``collects`` maps each receiving rank to its ``{src: payload}`` mailbox
     (the shape :meth:`Transport.collect` returns).  Every (receiver, pair,
     group) stream of the step is bucketed by bit-width, unpacked through
-    one batched kernel per width and de-quantized in one elementwise
-    kernel; per-pair matrices are then reassembled.  Produces exactly the
-    matrices ``payload.decode()`` would — de-quantization is
-    row-elementwise, so batching cannot change any value — preserving each
-    mailbox's iteration order (gradient accumulation order stays the
-    legacy src-ascending order).
+    one batched lookup-table kernel per width and de-quantized in one
+    elementwise kernel; per-pair matrices are then reassembled — payloads
+    whose single group covers every row are served as zero-copy views into
+    the de-quantize buffer.  Produces exactly the matrices
+    ``payload.decode()`` would — de-quantization is row-elementwise, so
+    batching cannot change any value — preserving each mailbox's iteration
+    order (gradient accumulation order stays the legacy src-ascending
+    order).
+
+    ``workspace``, when given, supplies scratch reused across calls; the
+    returned matrices then stay valid only until the next decode (the
+    fused exchange consumes them within ``finalize_step``).
     """
     flat: list[tuple[int, int, MixedPrecisionPayload]] = [
         (dst, src, payload)
@@ -378,13 +453,38 @@ def decode_cluster_step(
             raise ValueError("payload groups do not cover all rows")
 
     out: dict[int, dict[int, np.ndarray]] = {dst: {} for dst in collects}
+    # Seed every result slot up front so each mailbox's iteration order is
+    # its collection order (receivers accumulate in that order — the
+    # bitwise contract).  Only payloads split across several groups need a
+    # persistent matrix (their widths fill disjoint row sets);
+    # single-group payloads cover every row, so their block of the
+    # de-quantize buffer is the result (the None placeholder is replaced
+    # by that view below).
     for dst, src, payload in flat:
-        out[dst][src] = np.empty((payload.num_rows, payload.dim), dtype=np.float32)
+        if len(payload.group_bits) == 1:
+            out[dst][src] = None  # type: ignore[assignment]
+        elif payload.group_bits:
+            shape = (payload.num_rows, payload.dim)
+            out[dst][src] = (
+                workspace.take(("mat", dst, src), shape, np.float32)
+                if workspace is not None
+                else np.empty(shape, dtype=np.float32)
+            )
+        else:  # zero groups: the coverage check above forced num_rows == 0
+            out[dst][src] = np.empty((0, payload.dim), dtype=np.float32)
     for bits in sorted(targets):
         counts = np.asarray(
             [rows.size * dim for _, _, rows in targets[bits]], dtype=np.int64
         )
-        codes = unpack_bits_batched(streams[bits], bits, counts).reshape(-1, dim)
+        total = int(counts.sum())
+        codes_out = None
+        if workspace is not None:
+            per_byte = 8 // bits
+            padded = -(-total // per_byte) * per_byte
+            codes_out = workspace.take(("codes", bits), (padded,), np.uint8)
+        codes = unpack_bits_batched(
+            streams[bits], bits, counts, out=codes_out
+        ).reshape(-1, dim)
         z_all = (
             zero_points[bits][0]
             if len(zero_points[bits]) == 1
@@ -393,23 +493,36 @@ def decode_cluster_step(
         s_all = (
             scales[bits][0] if len(scales[bits]) == 1 else np.concatenate(scales[bits])
         )
+        n_rows = total // dim
         deq = (
-            codes.astype(np.float32) * s_all[:, None] + z_all[:, None]
-        ).astype(np.float32)
+            workspace.take(("deq", bits), (n_rows, dim), np.float32)
+            if workspace is not None
+            else np.empty((n_rows, dim), dtype=np.float32)
+        )
+        # Same elementwise chain as codes.astype(f32) * s + z, minus the
+        # intermediate allocations (and the redundant trailing astype copy
+        # the old formulation paid).
+        deq[...] = codes
+        deq *= s_all[:, None]
+        deq += z_all[:, None]
         cursor = 0
         for dst, src, rows in targets[bits]:
-            mat = out[dst][src]
-            if rows.size == mat.shape[0]:
-                # Full coverage in one group: rows is exactly arange(n).
-                mat[...] = deq[cursor : cursor + rows.size]
+            block = deq[cursor : cursor + rows.size]
+            mat = out[dst].get(src)
+            if mat is None:
+                # Single full-coverage group: rows is exactly arange(n),
+                # so the dequantized block *is* the matrix.
+                out[dst][src] = block
             else:
-                mat[rows] = deq[cursor : cursor + rows.size]
+                mat[rows] = block
             cursor += rows.size
     return out
 
 
 def decode_step(
     payloads: dict[int, MixedPrecisionPayload],
+    *,
+    workspace: DecodeWorkspace | None = None,
 ) -> dict[int, np.ndarray]:
     """Decode one receiver's payloads; see :func:`decode_cluster_step`."""
-    return decode_cluster_step({-1: payloads})[-1]
+    return decode_cluster_step({-1: payloads}, workspace=workspace)[-1]

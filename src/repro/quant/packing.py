@@ -8,9 +8,27 @@ byte, ``unpack_bits`` inverts it exactly.
 Layout: little-endian within each byte — code ``i`` of a byte occupies bits
 ``[i*b, (i+1)*b)``.  The layout is an internal wire format; only the
 round-trip property matters.
+
+Kernel shapes (these are the quantized epoch's hot kernels):
+
+* ``pack_bits`` reinterprets the (padded) code array as one machine word
+  per output byte — codes already sit one-per-byte, so a byte's lanes are
+  the bytes of a little-endian uint16/uint32 — and merges them with two
+  (4-bit) or three (2-bit) contiguous shift-ORs; 1-bit packing is
+  ``np.packbits(..., bitorder="little")``.  No per-lane strided views.
+* ``unpack_bits`` decodes through a precomputed ``256 × (8/bits)`` lookup
+  table: one ``take`` per stream instead of per-lane shift/mask kernels.
+
+``validate=False`` skips ``pack_bits``'s O(n) code-range scan for trusted
+callers (the fused step encoder clamps its codes to range by
+construction); the public default keeps the check.  Out-of-range codes
+under ``validate=False`` corrupt neighbouring lanes — garbage in, garbage
+out, exactly like any native packing kernel.
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -20,9 +38,60 @@ __all__ = ["pack_bits", "unpack_bits", "pack_bits_batched", "unpack_bits_batched
 
 _ALLOWED_BITS = (1, 2, 4, 8)
 
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
-def pack_bits(codes: np.ndarray, bits: int) -> np.ndarray:
+#: bits -> 256-entry word table; entry b's raw bytes are byte b's decoded
+#: lanes in order.  One word per stream byte makes the decode a flat 1-D
+#: gather (fast) instead of a per-row 2-D take; viewing the gathered words
+#: back as uint8 recovers the lane bytes on any host byte order.
+_UNPACK_LUTS: dict[int, np.ndarray] = {}
+
+_WORD_DTYPES = {8: np.uint64, 4: np.uint32, 2: np.uint16}
+
+#: lane-merge word dtype and shift step per sub-byte width (pack side).
+_PACK_WORDS = {2: (np.uint32, 6), 4: (np.uint16, 4)}
+
+
+def _unpack_lut(bits: int) -> np.ndarray:
+    lut = _UNPACK_LUTS.get(bits)
+    if lut is None:
+        per_byte = 8 // bits
+        mask = (1 << bits) - 1
+        byte = np.arange(256, dtype=np.uint16)[:, None]
+        shifts = (np.arange(per_byte, dtype=np.uint16) * bits)[None, :]
+        lanes = np.ascontiguousarray(((byte >> shifts) & mask).astype(np.uint8))
+        lut = lanes.view(_WORD_DTYPES[per_byte]).ravel()
+        _UNPACK_LUTS[bits] = lut
+    return lut
+
+
+def _pack_lanes(padded: np.ndarray, bits: int) -> np.ndarray:
+    """Merge the one-code-per-byte array into packed bytes (len % lanes == 0)."""
+    if bits == 1:
+        return np.packbits(padded, bitorder="little")
+    if _LITTLE_ENDIAN:
+        # Lane i of an output byte sits in byte i of the corresponding
+        # little-endian word; shifting by (8 - bits) per lane folds every
+        # lane into the low byte (cross-lane residue lands above bit 7 or
+        # vanishes — codes are < 2^bits — and the uint8 cast truncates).
+        word_dtype, shift = _PACK_WORDS[bits]
+        words = padded.view(word_dtype)
+        out = words | (words >> word_dtype(shift))
+        for lane_shift in range(2 * shift, (8 // bits - 1) * shift + 1, shift):
+            out |= words >> word_dtype(lane_shift)
+        return out.astype(np.uint8)
+    per_byte = 8 // bits
+    groups = padded.reshape(-1, per_byte)
+    out = groups[:, 0].copy()
+    for lane in range(1, per_byte):
+        out |= groups[:, lane] << np.uint8(lane * bits)
+    return out
+
+
+def pack_bits(codes: np.ndarray, bits: int, *, validate: bool = True) -> np.ndarray:
     """Pack ``bits``-bit integer codes into a ``uint8`` stream.
+
+    ``validate=False`` skips the O(n) range scan (see module docstring).
 
     >>> import numpy as np
     >>> stream = pack_bits(np.array([1, 2, 3, 0], dtype=np.uint8), 2)
@@ -33,27 +102,31 @@ def pack_bits(codes: np.ndarray, bits: int) -> np.ndarray:
     """
     check_in_set(bits, _ALLOWED_BITS, name="bits")
     codes = np.ascontiguousarray(codes, dtype=np.uint8).ravel()
-    if codes.size and int(codes.max()) >= (1 << bits):
+    if validate and codes.size and int(codes.max()) >= (1 << bits):
         raise ValueError(f"codes exceed {bits}-bit range")
     if bits == 8:
         return codes.copy()
 
     per_byte = 8 // bits
     padded_len = -(-codes.size // per_byte) * per_byte  # ceil to multiple
-    padded = np.zeros(padded_len, dtype=np.uint8)
-    padded[: codes.size] = codes
-    groups = padded.reshape(-1, per_byte)
-    # Accumulate shifted lanes in uint8 (codes < 2^bits, so every shifted
-    # lane fits the byte); avoids the uint16 round-trip and the slow
-    # axis-1 reduce of the obvious formulation.
-    out = groups[:, 0].copy()
-    for lane in range(1, per_byte):
-        out |= groups[:, lane] << np.uint8(lane * bits)
-    return out
+    if padded_len == codes.size:
+        padded = codes  # word view is read-only; no defensive copy needed
+    else:
+        padded = np.zeros(padded_len, dtype=np.uint8)
+        padded[: codes.size] = codes
+    return _pack_lanes(padded, bits)
 
 
-def unpack_bits(stream: np.ndarray, bits: int, count: int) -> np.ndarray:
-    """Unpack ``count`` codes of width ``bits`` from a ``uint8`` stream."""
+def unpack_bits(
+    stream: np.ndarray, bits: int, count: int, *, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Unpack ``count`` codes of width ``bits`` from a ``uint8`` stream.
+
+    ``out``, when given, must be a C-contiguous uint8 buffer of at least
+    ``ceil(count / (8/bits)) * (8/bits)`` entries; the decoded codes are
+    written into its head and the returned array is a view of it (the
+    fused decode path reuses one scratch buffer across epochs).
+    """
     check_in_set(bits, _ALLOWED_BITS, name="bits")
     check_array(stream, name="stream", ndim=1, dtype_kind="u")
     if count < 0:
@@ -61,20 +134,26 @@ def unpack_bits(stream: np.ndarray, bits: int, count: int) -> np.ndarray:
     if bits == 8:
         if count > stream.size:
             raise ValueError("stream too short")
+        if out is not None:
+            head = out[:count]
+            head[...] = stream[:count]
+            return head
         return stream[:count].copy()
 
     per_byte = 8 // bits
     needed_bytes = -(-count // per_byte)
     if needed_bytes > stream.size:
         raise ValueError("stream too short")
-    mask = np.uint8((1 << bits) - 1)
-    shifts = (np.arange(per_byte, dtype=np.uint8) * bits)[None, :]
-    codes = ((stream[:needed_bytes, None] >> shifts) & mask).reshape(-1)
-    return codes[:count].astype(np.uint8)
+    lut = _unpack_lut(bits)
+    if out is None:
+        return lut[stream[:needed_bytes]].view(np.uint8)[:count]
+    words = out[: needed_bytes * per_byte].view(lut.dtype)
+    np.take(lut, stream[:needed_bytes], out=words)
+    return out[:count]
 
 
 def pack_bits_batched(
-    codes: np.ndarray, bits: int, counts: np.ndarray
+    codes: np.ndarray, bits: int, counts: np.ndarray, *, validate: bool = True
 ) -> list[np.ndarray]:
     """Pack consecutive segments of ``codes`` into independent byte streams.
 
@@ -101,7 +180,7 @@ def pack_bits_batched(
         raise ValueError("counts must sum to the number of codes")
 
     if bits == 8 or not ((counts * bits) % 8).any():
-        packed = pack_bits(codes, bits)
+        packed = pack_bits(codes, bits, validate=validate)
         offsets = np.zeros(counts.size + 1, dtype=np.int64)
         np.cumsum(counts * bits // 8, out=offsets[1:])
         return [packed[offsets[i] : offsets[i + 1]] for i in range(counts.size)]
@@ -109,18 +188,24 @@ def pack_bits_batched(
     bounds = np.zeros(counts.size + 1, dtype=np.int64)
     np.cumsum(counts, out=bounds[1:])
     return [
-        pack_bits(codes[bounds[i] : bounds[i + 1]], bits) for i in range(counts.size)
+        pack_bits(codes[bounds[i] : bounds[i + 1]], bits, validate=validate)
+        for i in range(counts.size)
     ]
 
 
 def unpack_bits_batched(
-    streams: list[np.ndarray], bits: int, counts: np.ndarray
+    streams: list[np.ndarray],
+    bits: int,
+    counts: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Unpack per-segment byte streams back into one concatenated code array.
 
     Inverse of :func:`pack_bits_batched`: ``streams[i]`` carries
     ``counts[i]`` codes. Byte-aligned batches are unpacked by a single
     kernel over the concatenated stream; ragged segments unpack one by one.
+    ``out`` forwards to :func:`unpack_bits` on the batched path.
     """
     check_in_set(bits, _ALLOWED_BITS, name="bits")
     counts = np.asarray(counts, dtype=np.int64)
@@ -130,7 +215,8 @@ def unpack_bits_batched(
         return np.zeros(0, dtype=np.uint8)
 
     if bits == 8 or not ((counts * bits) % 8).any():
-        return unpack_bits(np.concatenate(streams), bits, int(counts.sum()))
+        stream = streams[0] if len(streams) == 1 else np.concatenate(streams)
+        return unpack_bits(stream, bits, int(counts.sum()), out=out)
     return np.concatenate(
         [unpack_bits(stream, bits, int(n)) for stream, n in zip(streams, counts)]
     )

@@ -49,7 +49,10 @@ def _make_exchange(name):
     return FusedQuantizedHaloExchange(FixedBitProvider(4), np.random.default_rng(123))
 
 
-def _run_epochs(dataset, book, *, model_kind, overlap, exchange_name, epochs=3):
+def _run_epochs(
+    dataset, book, *, model_kind, overlap, exchange_name, epochs=3,
+    async_transport=False, timeline_keep=None,
+):
     cluster = Cluster(
         dataset,
         book,
@@ -60,6 +63,8 @@ def _run_epochs(dataset, book, *, model_kind, overlap, exchange_name, epochs=3):
         seed=7,
         fused_compute=True,
         overlap=overlap,
+        async_transport=async_transport,
+        timeline_keep=timeline_keep,
     )
     exchange = _make_exchange(exchange_name)
     losses, grads, wire = [], [], 0
@@ -70,6 +75,7 @@ def _run_epochs(dataset, book, *, model_kind, overlap, exchange_name, epochs=3):
         grads.append(cluster.devices[0].model.grad_vector().copy())
         wire += record.total_wire_bytes()
     metrics = cluster.evaluate()
+    cluster.close()
     return losses, grads, wire, metrics, record
 
 
@@ -95,6 +101,91 @@ def test_overlap_bitwise_identical_to_fused(
         assert np.array_equal(gp, gf), "reduced gradients diverged"
     assert pipe[2] == fused[2], "wire bytes diverged"
     assert pipe[3] == fused[3], "eval metrics diverged"
+
+
+@pytest.mark.parametrize("model_kind", ["gcn", "sage"])
+@pytest.mark.parametrize("parts", [1, 2, 4])
+@pytest.mark.parametrize(
+    "exchange_name", ["exact", "quantized", "stale", "broadcast"]
+)
+def test_async_transport_bitwise_identical_to_sync(
+    tiny_dataset, model_kind, parts, exchange_name
+):
+    """ISSUE 4's contract: the worker-backed transport is an execution
+    shape, not a numerics change — losses, reduced gradients, wire bytes
+    and eval metrics must match the synchronous pipeline bit for bit
+    (same reduction order: the worker produces, the main thread alone
+    collects and accumulates in device order)."""
+    book = _book(tiny_dataset, parts)
+    kwargs = dict(model_kind=model_kind, overlap=True, exchange_name=exchange_name)
+    asy = _run_epochs(tiny_dataset, book, async_transport=True, **kwargs)
+    syn = _run_epochs(tiny_dataset, book, async_transport=False, **kwargs)
+    assert asy[0] == syn[0], "losses diverged"
+    for ga, gs in zip(asy[1], syn[1]):
+        assert np.array_equal(ga, gs), "reduced gradients diverged"
+    assert asy[2] == syn[2], "wire bytes diverged"
+    assert asy[3] == syn[3], "eval metrics diverged"
+
+
+def test_async_transport_keeps_overlap_accounting(tiny_dataset):
+    """Worker posts land inside the open central windows, so the measured
+    interleave still reports every halo byte as hidden, and the timelines
+    carry the join-wait the worker exposed (>= 0)."""
+    book = _book(tiny_dataset, 4)
+    record = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", overlap=True,
+        exchange_name="quantized", async_transport=True,
+    )[4]
+    assert record.hidden_byte_fraction() == 1.0
+    assert all(t.overlapped_bytes == t.total_bytes for t in record.timelines)
+    assert all(t.worker_wait_s >= 0.0 for t in record.timelines)
+    summary = record.timeline_summary
+    assert summary.steps == len(record.timelines)
+    assert summary.total_bytes == sum(t.total_bytes for t in record.timelines)
+
+
+def test_async_transport_auto_defaults(tiny_dataset, tiny_book):
+    from repro.comm.transport import WorkerTransport, host_has_spare_core
+
+    auto = Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+    )
+    assert auto.async_transport == host_has_spare_core()
+    forced = Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+        async_transport=True,
+    )
+    assert forced.async_transport
+    assert isinstance(forced.transport, WorkerTransport)
+    # No pipeline -> no window to hide under -> always synchronous.
+    off = Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=False,
+        async_transport=True,
+    )
+    assert not off.async_transport
+    for c in (auto, forced, off):
+        c.close()
+
+
+def test_timeline_keep_caps_record_but_not_summary(tiny_dataset, tiny_book):
+    capped = _run_epochs(
+        tiny_dataset, tiny_book, model_kind="gcn", overlap=True,
+        exchange_name="exact", epochs=1, timeline_keep=2,
+    )[4]
+    full = _run_epochs(
+        tiny_dataset, tiny_book, model_kind="gcn", overlap=True,
+        exchange_name="exact", epochs=1,
+    )[4]
+    assert len(full.timelines) == 6  # 3 layers x fwd/bwd
+    assert len(capped.timelines) == 2  # last-N retained
+    assert [(t.layer, t.phase) for t in capped.timelines] == [
+        (1, "bwd"), (0, "bwd"),
+    ]
+    # The summary still covers every step, so the measured overlap
+    # accounting is identical to the uncapped record's.
+    assert capped.timeline_summary.steps == 6
+    assert capped.timeline_summary.total_bytes == full.timeline_summary.total_bytes
+    assert capped.hidden_byte_fraction() == full.hidden_byte_fraction()
 
 
 @pytest.mark.parametrize("parts", [1, 4])
@@ -147,6 +238,24 @@ def test_trainer_defaults_overlap_for_adaqp_variants(tiny_dataset, tiny_book):
     assert pipe.curve_test == plain.curve_test
     assert pipe.wire_bytes_total == plain.wire_bytes_total
     assert pipe.epoch_times == plain.epoch_times  # identical records/schedule
+
+
+def test_trainer_retains_capped_timelines(tiny_dataset, tiny_book):
+    """Multi-epoch runs keep bounded per-step state: the run-level summary
+    covers every executed step while only the last
+    ``RunConfig.timeline_history`` StepTimeline objects are retained."""
+    cfg = RunConfig(
+        epochs=6, hidden_dim=8, eval_every=2, reassign_period=4,
+        timeline_history=5,
+    )
+    result = train("adaqp-fixed", tiny_dataset, tiny_book, "2M-2D", cfg)
+    assert result.timeline_summary.steps == 6 * 6  # epochs x (layers x 2)
+    assert len(result.recent_timelines) == 5
+    assert result.timeline_summary.total_bytes > 0
+
+    plain = train("vanilla", tiny_dataset, tiny_book, "2M-2D", cfg)
+    assert plain.timeline_summary.steps == 0  # no pipeline, no timelines
+    assert plain.recent_timelines == []
 
 
 def test_overlap_system_set_matches_schedules():

@@ -45,3 +45,60 @@ def test_bytes_by_pair_requires_phases():
 
 def test_empty_epoch_zero_bytes():
     assert EpochRecord(loss=0.0).total_wire_bytes() == 0
+
+
+# ---------------------------------------------------------------------------
+# Timeline summaries and capped retention
+# ---------------------------------------------------------------------------
+def _timeline(layer=0, phase="fwd", total=100, overlapped=100, wait=0.0):
+    from repro.cluster.records import StepTimeline
+
+    return StepTimeline(
+        layer=layer,
+        phase=phase,
+        quantize_s=0.1,
+        comm_s=0.0,
+        central_s=0.3,
+        dequantize_s=0.2,
+        marginal_s=0.4,
+        comp_full_s=0.7,
+        overlapped_bytes=overlapped,
+        total_bytes=total,
+        measured=True,
+        worker_wait_s=wait,
+    )
+
+
+def test_timeline_summary_accumulates_and_merges():
+    from repro.cluster.records import TimelineSummary
+
+    a, b = TimelineSummary(), TimelineSummary()
+    a.add(_timeline(total=100, overlapped=60, wait=0.05))
+    a.add(_timeline(total=100, overlapped=100))
+    b.add(_timeline(total=50, overlapped=0))
+    b.merge(a)
+    assert b.steps == 3
+    assert b.total_bytes == 250
+    assert b.overlapped_bytes == 160
+    assert b.hidden_byte_fraction == pytest.approx(160 / 250)
+    assert b.worker_wait_s == pytest.approx(0.05)
+    assert b.central_share == pytest.approx(0.3 / 0.7)
+    assert TimelineSummary().hidden_byte_fraction == 0.0
+    assert TimelineSummary().central_share == 0.0
+
+
+def test_add_timeline_caps_list_but_not_accounting():
+    rec = EpochRecord(loss=0.0)
+    for layer in range(5):
+        rec.add_timeline(_timeline(layer=layer), keep_last=2)
+    assert [t.layer for t in rec.timelines] == [3, 4]
+    assert rec.timeline_summary.steps == 5
+    assert rec.timeline_summary.total_bytes == 500
+    assert rec.hidden_byte_fraction() == 1.0
+
+
+def test_hidden_byte_fraction_falls_back_to_raw_timelines():
+    # Timelines appended directly (not via add_timeline) still count.
+    rec = EpochRecord(loss=0.0)
+    rec.timelines.append(_timeline(total=80, overlapped=40))
+    assert rec.hidden_byte_fraction() == 0.5

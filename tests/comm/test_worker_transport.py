@@ -1,0 +1,246 @@
+"""WorkerTransport: deferred jobs, join semantics and concurrent accounting.
+
+The async transport's contract: jobs submitted with ``defer`` run off the
+caller's thread but retire in submission order; ``complete`` joins (and
+re-raises); ``collect`` never observes a half-posted step; and the
+pending/overlapped byte accounting stays exact no matter how posts and
+collects interleave across threads.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm.transport import Transport, WorkerTransport, host_has_spare_core
+
+
+def test_defer_runs_job_and_complete_joins():
+    t = WorkerTransport(2)
+    ran = threading.Event()
+
+    def job():
+        t.post(0, 1, "s", "payload", 10)
+        ran.set()
+
+    t.defer("s", job)
+    wait = t.complete("s")
+    assert ran.is_set()
+    assert wait >= 0.0
+    assert t.pending_bytes("s") == 10
+    assert t.collect(1, "s") == {0: "payload"}
+    t.close()
+
+
+def test_jobs_run_off_the_calling_thread():
+    t = WorkerTransport(2)
+    seen: list[str] = []
+    t.defer("s", lambda: seen.append(threading.current_thread().name))
+    t.complete("s")
+    assert len(seen) == 1 and seen[0] != threading.current_thread().name
+    t.close()
+
+
+def test_jobs_retire_in_submission_order():
+    t = WorkerTransport(4)
+    order: list[str] = []
+    for tag in ("a", "b", "c"):
+        t.defer(tag, lambda tag=tag: order.append(tag))
+    for tag in ("a", "b", "c"):
+        t.complete(tag)
+    assert order == ["a", "b", "c"]
+    t.close()
+
+
+def test_complete_reraises_worker_exceptions():
+    t = WorkerTransport(2)
+
+    def bad():
+        raise RuntimeError("kaboom")
+
+    t.defer("s", bad)
+    with pytest.raises(RuntimeError, match="kaboom"):
+        t.complete("s")
+    t.close()
+
+
+def test_complete_without_job_is_noop():
+    t = WorkerTransport(2)
+    assert t.complete("nothing") == 0.0
+    # Synchronous transports share the same API as a no-op.
+    assert Transport(2).complete("nothing") == 0.0
+    t.close()
+
+
+def test_collect_auto_joins_outstanding_job():
+    t = WorkerTransport(2)
+    release = threading.Event()
+
+    def job():
+        release.wait(timeout=5.0)
+        t.post(0, 1, "s", "late", 7)
+
+    t.defer("s", job)
+    threading.Timer(0.02, release.set).start()
+    # Collect must block on the job instead of returning an empty mailbox.
+    assert t.collect(1, "s") == {0: "late"}
+    t.close()
+
+
+def test_one_job_per_tag_in_flight():
+    t = WorkerTransport(2)
+    release = threading.Event()
+    t.defer("s", lambda: release.wait(timeout=5.0))
+    with pytest.raises(RuntimeError, match="already has a deferred job"):
+        t.defer("s", lambda: None)
+    release.set()
+    t.complete("s")
+    t.close()
+
+
+def test_reset_accounting_joins_outstanding_jobs():
+    t = WorkerTransport(2)
+    t.defer("s", lambda: t.post(0, 1, "s", "x", 5))
+    # The job posts an envelope nobody collected: reset must join first,
+    # then refuse exactly like the synchronous transport.
+    with pytest.raises(RuntimeError, match="undelivered"):
+        t.reset_accounting()
+    t.collect(1, "s")
+    t.reset_accounting()
+    assert t.total_bytes() == 0
+    t.close()
+
+
+def test_close_is_idempotent():
+    t = WorkerTransport(2)
+    t.defer("s", lambda: None)
+    t.close()
+    t.close()
+
+
+def test_host_has_spare_core_is_boolean():
+    assert isinstance(host_has_spare_core(), bool)
+
+
+# ---------------------------------------------------------------------------
+# Progress model under deferred posting
+# ---------------------------------------------------------------------------
+def test_posts_landing_in_open_window_count_as_overlapped():
+    t = WorkerTransport(2)
+    release = threading.Event()
+
+    def job():
+        release.wait(timeout=5.0)
+        t.post(0, 1, "s", "x", 100)
+
+    t.defer("s", job)
+    # Window opens before the worker posted anything (the async executor's
+    # note_overlap right after post_step returns).
+    assert t.note_overlap("s") == 0
+    release.set()
+    t.complete("s")
+    assert t.overlapped_bytes("s") == 100
+    t.collect(1, "s")
+    # Window closed at collect: later posts are not overlapped.
+    t.post(0, 1, "s", "y", 50)
+    assert t.overlapped_bytes("s") == 100
+    t.collect(1, "s")
+    t.close()
+
+
+def test_sync_transport_window_semantics_unchanged():
+    t = Transport(2)
+    t.post(0, 1, "s", "a", 10)
+    assert t.note_overlap("s") == 10
+    # Post while the window is open (what an async worker would do).
+    t.post_batch(0, "s2", [(1, "b", 5)])
+    assert t.overlapped_bytes("s2") == 0  # different tag, no window
+    t.collect(1, "s")
+    t.collect(1, "s2")
+    assert t.overlapped_bytes("s") == 10
+
+
+def test_accounting_never_corrupts_across_threads():
+    """Stress: many concurrent posters/finalizers on distinct tags.
+
+    Each poster thread defers a job posting a full fan-out, opens an
+    overlap window, then finalizes (join + collect all).  Afterwards the
+    per-tag byte matrices, overlapped counters and pending counters must
+    be exact — no lost updates, no phantom envelopes.
+    """
+    n = 8
+    steps_per_thread = 20
+    t = WorkerTransport(n)
+    errors: list[BaseException] = []
+
+    def worker(thread_id: int) -> None:
+        try:
+            for step in range(steps_per_thread):
+                tag = f"T{thread_id}/s{step}"
+                src = thread_id % n
+
+                def job(tag=tag, src=src):
+                    posts = [
+                        (dst, f"p{src}->{dst}", 10 + dst)
+                        for dst in range(n)
+                        if dst != src
+                    ]
+                    t.post_batch(src, tag, posts)
+
+                t.defer(tag, job)
+                t.note_overlap(tag)
+                time.sleep(0.0001 * (thread_id % 3))
+                t.complete(tag)
+                expected = sum(10 + dst for dst in range(n) if dst != src)
+                assert t.pending_bytes(tag) == expected
+                assert t.overlapped_bytes(tag) == expected
+                got = 0
+                for dst in range(n):
+                    for _, nb_payload in t.collect(dst, tag).items():
+                        got += 1
+                assert got == n - 1
+                assert t.pending_bytes(tag) == 0
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join(timeout=30)
+    assert not errors, errors
+
+    # Global accounting adds up exactly: per thread, per step, one fan-out.
+    total = 0
+    for thread_id in range(6):
+        src = thread_id % n
+        per_step = sum(10 + dst for dst in range(n) if dst != src)
+        for step in range(steps_per_thread):
+            tag = f"T{thread_id}/s{step}"
+            m = t.bytes_matrix(tag)
+            assert m.sum() == per_step
+            assert m[src].sum() == per_step
+            total += per_step
+    assert t.total_bytes() == total
+    assert t.pending_tags() == []
+    t.reset_accounting()
+    assert t.total_bytes() == 0
+    t.close()
+
+
+def test_worker_posts_are_bitwise_payload_identical():
+    """Envelope payloads routed through the worker are the same objects
+    the job posted — no serialization, no copies, no reordering."""
+    t = WorkerTransport(3)
+    arrays = [np.arange(6, dtype=np.float32) + i for i in range(2)]
+
+    def job():
+        t.post(0, 2, "s", arrays[0], arrays[0].nbytes)
+        t.post(1, 2, "s", arrays[1], arrays[1].nbytes)
+
+    t.defer("s", job)
+    got = t.collect(2, "s")
+    assert list(got) == [0, 1]  # collection order == post order
+    assert got[0] is arrays[0] and got[1] is arrays[1]
+    t.close()
