@@ -15,6 +15,7 @@ from repro.harness.perfbench import (
     bench_exchange_split_phase,
     bench_pack_kernel,
     bench_unpack_kernel,
+    bench_worker_scaling,
 )
 
 pytestmark = pytest.mark.perf
@@ -59,10 +60,28 @@ def test_async_overlap_epoch_beats_the_pr3_state():
     # Every halo byte still hidden: worker posts land inside open windows.
     assert result["hidden_byte_fraction"] > 0.9, result
     # Conservative floor for noisy shared runners; the curated-baseline
-    # ratio gate holds the real 1.15x line.
-    assert result["speedup"] > 0.95, result
+    # ratio gate holds the real 1.15x line.  (Looser than PR 4's 0.95:
+    # the keyed rounding RNG adds an equal per-pair Philox cost to both
+    # arms, compressing the ratio toward 1.0 without changing what it
+    # detects — the PR-3 kernels winning would still read well below.)
+    assert result["speedup"] > 0.9, result
     # Forcing the worker on a single-core host must not melt down either.
     assert result["concurrency_speedup"] > 0.6, result
+
+
+def test_worker_scaling_beats_single_worker_on_multicore():
+    """ISSUE 5's acceptance line: the keyed-RNG sharded encode/decode must
+    clear >=1.3x at 4 workers vs 1 on multi-core hosts (the tighter
+    curated-baseline gate lives in the ``repro bench`` CI comparison).
+    Wire bytes must match at any worker count everywhere."""
+    result = bench_worker_scaling(reps=10)
+    assert result["wire_bytes_match"], "worker count changed wire accounting"
+    if not result["multi_core"]:
+        pytest.skip(
+            f"host has {result['cores']} core(s); {result['workers']}-worker "
+            "fan-out would measure the scheduler, not the engine"
+        )
+    assert result["speedup"] > 1.3, result
 
 
 def test_quant_kernel_rewrites_hold_their_floors():

@@ -100,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="escape hatch: keep each step's quantize/pack/post on the "
              "main thread instead of the worker-backed transport "
              "(overlapped runs default to async; bit-identical, slower)")
+    p_train.add_argument(
+        "--transport-workers", type=int, default=None, metavar="N",
+        help="worker threads in the async transport's pool (default: auto "
+             "= the host's spare cores; results are bit-identical at any "
+             "count under the keyed rounding RNG)")
+    p_train.add_argument(
+        "--rng-mode", default="keyed", choices=("keyed", "stream"),
+        help="stochastic-rounding noise source: 'keyed' (default) derives "
+             "each message's noise from its (epoch, phase, layer, src, dst) "
+             "coordinates, so results are independent of execution order "
+             "and worker count; 'stream' restores the legacy shared "
+             "sequential generator (the pre-PR-5 bitwise contract)")
 
     p_part = sub.add_parser("partition", help="partition a dataset, report quality")
     p_part.add_argument("--dataset", default="ogbn-products",
@@ -134,10 +146,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_info() -> int:
+    from repro.comm.transport import (
+        detected_cores,
+        host_has_spare_core,
+        host_spare_cores,
+    )
+
     print(f"repro {__version__} — AdaQP reproduction (MLSys 2023)")
     print(f"systems:  {', '.join(SYSTEMS)}")
     print(f"datasets: {', '.join(available_datasets('tiny'))} (scales: tiny, small)")
     print("settings: any xM-yD topology, e.g. 2M-1D, 2M-2D, 2M-4D, 6M-4D")
+
+    # Host / transport auto-selection, so "why did my run pick that
+    # transport?" is answerable from the CLI.
+    cores = detected_cores()
+    spare = host_spare_cores()
+    verdict = "yes" if host_has_spare_core() else "no"
+    cfg = RunConfig()
+    async_default = (
+        f"worker transport with {max(1, spare)} worker(s)"
+        if host_has_spare_core()
+        else "synchronous transport (no spare core)"
+    )
+    print(f"host:     {cores} core(s) detected; spare core for transport "
+          f"workers: {verdict} ({spare} spare)")
+    print(f"defaults: rng_mode={cfg.rng_mode}; overlapped runs auto-select "
+          f"{async_default}")
+    print("          (override: --rng-mode, --transport-workers, "
+          "--no-async-transport, --no-overlap)")
     return 0
 
 
@@ -161,6 +197,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         fused_compute=not args.no_fused_compute,
         overlap=not args.no_overlap,
         async_transport=False if args.no_async_transport else None,
+        transport_workers=args.transport_workers,
+        rng_mode=args.rng_mode,
     )
     print(f"training {args.system} / {args.model} on {args.dataset}-{args.scale} "
           f"({topology.name}, {args.epochs} epochs)...")

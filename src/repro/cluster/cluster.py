@@ -33,7 +33,12 @@ from repro.cluster.exchange import ExactHaloExchange, HaloExchange
 from repro.cluster.records import EpochRecord, PhaseRecord
 from repro.cluster.runtime import DeviceRuntime
 from repro.comm.allreduce import allreduce_sum
-from repro.comm.transport import Transport, WorkerTransport, host_has_spare_core
+from repro.comm.transport import (
+    Transport,
+    WorkerTransport,
+    host_has_spare_core,
+    host_spare_cores,
+)
 from repro.gnn.coefficients import build_aggregation
 from repro.gnn.model import MODEL_KINDS, DistGNN
 from repro.graph.datasets import GraphDataset
@@ -87,9 +92,21 @@ class Cluster:
         overlapped runs (it still degrades to off without ``overlap``,
         where there is no central window to hide work under).
         Bit-identical to the synchronous transport under the same seed:
-        the single worker serializes step jobs (preserving the RNG
-        stream) and only the main thread collects, decodes and
-        accumulates, in device order.
+        stream-rounding exchanges serialize their step jobs (preserving
+        the RNG stream), keyed-rounding exchanges are order-independent
+        by construction, and only the main thread scatters and
+        accumulates, in device order over source-sorted mailboxes.
+    transport_workers:
+        Worker threads in the :class:`~repro.comm.transport.
+        WorkerTransport` pool (ignored when the transport resolves to
+        synchronous).  ``None`` (default) auto-selects the host's spare
+        cores (``host_spare_cores()``, at least 1): the main thread keeps
+        one core, the workers saturate the rest.  Exchanges decide how
+        much parallelism they can actually use — keyed-rounding engines
+        shard each step's encode/decode across the pool; stream-rounding
+        engines submit one job per step regardless (their bitwise
+        contract is order-dependent), making extra workers harmless but
+        idle.
     timeline_keep:
         Cap on the per-step :class:`~repro.cluster.records.StepTimeline`
         entries retained in each epoch record (``None`` keeps all — one
@@ -111,6 +128,7 @@ class Cluster:
         fused_compute: bool = True,
         overlap: bool = False,
         async_transport: bool | None = None,
+        transport_workers: int | None = None,
         timeline_keep: int | None = None,
     ) -> None:
         check_in_set(model_kind, MODEL_KINDS, name="model_kind")
@@ -192,11 +210,23 @@ class Cluster:
         if async_transport is None:
             async_transport = self.overlap and host_has_spare_core()
         self.async_transport = bool(async_transport) and self.overlap
-        self.transport: Transport = (
-            WorkerTransport(self.num_devices)
-            if self.async_transport
-            else Transport(self.num_devices)
-        )
+        if transport_workers is not None and transport_workers < 1:
+            raise ValueError("transport_workers must be >= 1 (or None for auto)")
+        if self.async_transport:
+            # Auto worker count: one core stays with the main thread, the
+            # spare cores run the pool (at least one worker even when a
+            # forced async transport finds no spare core).
+            self.transport_workers = int(
+                transport_workers
+                if transport_workers is not None
+                else max(1, host_spare_cores())
+            )
+            self.transport: Transport = WorkerTransport(
+                self.num_devices, workers=self.transport_workers
+            )
+        else:
+            self.transport_workers = 0
+            self.transport = Transport(self.num_devices)
         self.timeline_keep = timeline_keep
         self._engine: FusedClusterCompute | None = None
         self._phase_static: dict[tuple[int, str, bool], tuple[np.ndarray, ...]] = {}
@@ -360,8 +390,21 @@ class Cluster:
         return logits
 
     def close(self) -> None:
-        """Release background transport resources (worker threads)."""
+        """Release background transport resources (worker threads).
+
+        Idempotent, and safe after a failed epoch: the transport joins
+        outstanding worker jobs swallowing their exceptions (the caller
+        already saw them) before shutting the pool down.
+        """
         self.transport.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Context-managed clusters cannot leak worker pools, whatever the
+        # body raised — the reason this is the recommended usage form.
+        self.close()
 
     def evaluate(self) -> dict[str, float]:
         """Global metrics on train/val/test splits (paper's 'accuracy')."""

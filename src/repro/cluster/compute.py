@@ -68,6 +68,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.cluster.exchange import step_tag
 from repro.cluster.records import StepTimeline
 from repro.cluster.runtime import DeviceRuntime
 from repro.nn.blas import row_matmul
@@ -542,11 +543,17 @@ class FusedClusterCompute:
         plan = self.overlap_plan()
         mod = self.devices[0].model.layers[layer]
         t0 = time.perf_counter()
+        # Open the overlap window *before* posting: async workers may post
+        # (and, with worker-side decode, even collect) the step's traffic
+        # before this thread runs again, and bytes only count as hidden if
+        # the window is already open when they land.  For the synchronous
+        # transport the accounting is unchanged — everything posts into
+        # the open window instead of being pending at note_overlap time.
+        transport.note_overlap(step_tag("fwd", layer))
         step = exchange.post_step(
             layer, "fwd", self.devices, transport, self._own_views[layer]
         )
         t1 = time.perf_counter()
-        transport.note_overlap(step.tag)
 
         # Central window: aggregation + dense update of central rows only.
         z = self._z[layer]
@@ -645,11 +652,12 @@ class FusedClusterCompute:
             for k in range(len(self.devices))
         ]
         t1 = time.perf_counter()
+        # Window first, then post — see forward_layer_overlap.
+        transport.note_overlap(step_tag("bwd", layer))
         step = exchange.post_step(
             layer, "bwd", self.devices, transport, d_halo_views
         )
         t2 = time.perf_counter()
-        transport.note_overlap(step.tag)
 
         # Central window: remaining input-grad rows, parameter partials,
         # owned-row gradient routing.

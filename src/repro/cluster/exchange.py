@@ -26,34 +26,49 @@ policy's gather or encode copies), so callers may mutate the source
 buffers while a step is in flight.
 
 **Async post paths.**  Each ``post_step`` splits into a *snapshot* half
-(gathers the outgoing rows on the calling thread) and an
-*encode-and-post* job handed to :meth:`Transport.defer`.  On the
-synchronous transport the job runs inline, byte-for-byte the old
-behaviour; on a :class:`~repro.comm.transport.WorkerTransport` it runs
-on the worker thread, overlapping the caller's subsequent compute.
-Because the snapshot happens before ``post_step`` returns, the
-frozen-at-post contract holds under both transports; ``finalize_step``
-joins the job (via :meth:`InFlightStep.mark_done`) before collecting, so
-receivers never observe a half-posted step.  Thread placement of the
-quantize work differs by engine: the fused engine feeds the tracer and
-gathers on the calling thread (only ``quantize_pack_step`` runs in the
-job), while the per-pair engines' ``_post`` hook — bit lookup, tracer
-``observe`` and the RNG draw — runs *inside* the deferred job, i.e. on
-the worker under an async transport.  That is safe only because exactly
-one job runs at a time and finalize joins before any consumer reads the
-tracer or RNG; code adding mid-window readers of either must not rely on
-the main thread owning them.
+(gathers the outgoing rows on the calling thread) and one or more
+*encode-and-post* jobs handed to :meth:`Transport.defer` /
+:meth:`Transport.defer_many`.  On the synchronous transport the jobs run
+inline, byte-for-byte the old behaviour; on a
+:class:`~repro.comm.transport.WorkerTransport` they run on the worker
+pool, overlapping the caller's subsequent compute.  Because the snapshot
+happens before ``post_step`` returns, the frozen-at-post contract holds
+under both transports; ``finalize_step`` joins the jobs (via
+:meth:`InFlightStep.mark_done`) before reading results, so receivers
+never observe a half-posted step.
+
+**Worker fan-out.**  How many jobs a step becomes depends on the
+exchange's determinism model.  Under keyed rounding
+(:class:`~repro.quant.stochastic.KeyedRounding`) every message block's
+noise is a pure function of its coordinates, so the fused engine shards
+one step's encode across all ``transport.workers`` and — on async
+transports — chases it with per-receiver collect/decode jobs, all free
+to retire in any order; the exact exchange (no noise at all) shards its
+batched posts per source device.  Under stream rounding the shared
+sequential RNG forces one job per step (the PR-4 contract, preserved
+bit for bit).  Thread placement of the per-pair engines' ``_post`` hook
+— bit lookup, tracer ``observe`` and the RNG draw — is *inside* the
+single deferred job, i.e. on a worker under an async transport.  That is
+safe only because exactly one such job runs at a time and finalize joins
+before any consumer reads the tracer or RNG; code adding mid-window
+readers of either must not rely on the main thread owning them.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Protocol
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.comm.transport import Transport
-from repro.quant.fused import DecodeWorkspace, FusedStepEncoder, decode_cluster_step
+from repro.quant.fused import (
+    DecodeWorkspace,
+    FusedStepEncoder,
+    decode_cluster_step,
+    decode_step,
+)
 from repro.quant.mixed import MixedPrecisionEncoder
 from repro.quant.theory import SUPPORTED_BITS
 from repro.utils.validation import check_in_set
@@ -67,7 +82,13 @@ __all__ = [
     "ExactHaloExchange",
     "QuantizedHaloExchange",
     "FusedQuantizedHaloExchange",
+    "step_tag",
 ]
+
+
+def step_tag(phase: str, layer: int) -> str:
+    """The transport tag of one (phase, layer) exchange step."""
+    return f"{phase}/L{layer}"
 
 
 class BitProvider(Protocol):
@@ -142,10 +163,15 @@ class InFlightStep:
     pipelined executor passes to :meth:`Transport.note_overlap`.
 
     ``worker_wait_s`` is filled by :meth:`mark_done`: the seconds the
-    finalize half spent blocked joining the step's deferred encode job —
-    0.0 on the synchronous transport, and ~0.0 under the async transport
-    whenever the central window fully covered the encode (the exposed
-    tail the timelines report).
+    finalize half spent blocked joining the step's deferred encode (and,
+    on async transports, decode) jobs — 0.0 on the synchronous transport,
+    and ~0.0 under the async transport whenever the central window fully
+    covered the deferred work (the exposed tail the timelines report).
+
+    ``decoded`` is the async fused engine's stash: per-receiver decoded
+    matrices produced by worker-side decode jobs, complete once
+    :meth:`mark_done` returns; ``None`` whenever decode happens in
+    ``finalize_step`` itself (synchronous transports, non-fused policies).
     """
 
     __slots__ = (
@@ -157,6 +183,7 @@ class InFlightStep:
         "dim",
         "done",
         "worker_wait_s",
+        "decoded",
     )
 
     def __init__(
@@ -176,6 +203,7 @@ class InFlightStep:
         self.dim = dim
         self.done = False
         self.worker_wait_s = 0.0
+        self.decoded: dict[int, dict[int, np.ndarray]] | None = None
 
     def mark_done(self) -> None:
         if self.done:
@@ -183,7 +211,7 @@ class InFlightStep:
                 f"step {self.tag!r} finalized twice (stale in-flight handle)"
             )
         self.done = True
-        # Join the step's deferred encode/post job (no-op when the
+        # Join the step's deferred encode/post/decode jobs (no-op when the
         # transport is synchronous); every finalize half calls mark_done
         # first, so no policy can collect a half-posted step.
         self.worker_wait_s = self.transport.complete(self.tag)
@@ -222,7 +250,7 @@ class HaloExchange:
         per-pair encode/post loop runs as one deferred transport job.
         """
         check_in_set(phase, ("fwd", "bwd"), name="phase")
-        tag = f"{phase}/L{layer}"
+        tag = step_tag(phase, layer)
         staged: list[tuple[int, int, np.ndarray]] = []
         for dev in devices:
             part = dev.part
@@ -233,7 +261,9 @@ class HaloExchange:
                 # calling thread, regardless of where the job runs.
                 staged.append((dev.rank, q, values[maps[q]]))
         if staged:
-
+            # One job per step: the _post hook may consume a sequential
+            # RNG stream or feed a tracer, neither of which tolerates
+            # concurrent callers (see the module docstring).
             def job() -> None:
                 for src, q, rows in staged:
                     self._post(transport, layer, phase, src, q, tag, rows)
@@ -437,7 +467,7 @@ class ExactHaloExchange(HaloExchange):
         values_by_dev: list[np.ndarray],
     ) -> InFlightStep:
         check_in_set(phase, ("fwd", "bwd"), name="phase")
-        tag = f"{phase}/L{layer}"
+        tag = step_tag(phase, layer)
         plans = self._plan_for(phase, devices)
         # Snapshot half: one gather per device, fresh memory; the float32
         # coercion mirrors the per-pair _post hook (and keeps the byte
@@ -452,12 +482,26 @@ class ExactHaloExchange(HaloExchange):
             )
             staged.append((dev.rank, plan, block))
         if staged:
+            # Exact payloads carry no rounding noise, so per-device post
+            # jobs are order-free: a multi-worker pool runs them
+            # concurrently (receivers sort mailboxes by source, so the
+            # arrival order is invisible).
+            if transport.workers > 1:
 
-            def job() -> None:
-                for rank, plan, block in staged:
-                    transport.post_batch(rank, tag, self._batch_posts(plan, block))
+                def make_job(rank: int, plan: tuple, block: np.ndarray):
+                    def job() -> None:
+                        transport.post_batch(rank, tag, self._batch_posts(plan, block))
 
-            transport.defer(tag, job)
+                    return job
+
+                transport.defer_many(tag, [make_job(*entry) for entry in staged])
+            else:
+
+                def job() -> None:
+                    for rank, plan, block in staged:
+                        transport.post_batch(rank, tag, self._batch_posts(plan, block))
+
+                transport.defer(tag, job)
         dim = int(values_by_dev[devices[0].rank].shape[1])
         return InFlightStep(layer, phase, tag, devices, transport, dim)
 
@@ -519,7 +563,12 @@ class QuantizedHaloExchange(HaloExchange):
         Source of per-message bit-widths (fixed, uniform-random or the
         adaptive assigner).
     rng:
-        Stream for stochastic rounding.
+        Source of stochastic-rounding noise: a plain generator (shared
+        sequential stream — the legacy order-dependent contract) or a
+        rounding policy such as
+        :class:`~repro.quant.stochastic.KeyedRounding`, whose noise is a
+        pure function of each message's (epoch, phase, layer, src, dst)
+        coordinates.
     tracer:
         Optional object with ``observe(phase, layer, src, dst, rows)``;
         the adaptive assigner registers one to see every transfer's input
@@ -531,24 +580,28 @@ class QuantizedHaloExchange(HaloExchange):
     def __init__(
         self,
         bit_provider: BitProvider,
-        rng: np.random.Generator,
+        rng,
         tracer: object | None = None,
     ) -> None:
         self.bit_provider = bit_provider
         self.encoder = MixedPrecisionEncoder(rng)
+        self.rounding = self.encoder.rounding
         self.tracer = tracer
 
     def on_epoch_start(self, epoch: int) -> None:
         set_epoch = getattr(self.bit_provider, "set_epoch", None)
         if set_epoch is not None:
             set_epoch(epoch)
+        # Keyed rounding takes the epoch as a noise coordinate (stream
+        # rounding's state is its stream position; the call is a no-op).
+        self.rounding.set_epoch(epoch)
 
     def _post(self, transport, layer, phase, src, dst, tag, rows) -> None:
         rows = np.ascontiguousarray(rows, dtype=np.float32)
         if self.tracer is not None:
             self.tracer.observe(phase, layer, src, dst, rows)
         bits = self.bit_provider.bits_for(layer, phase, src, dst, rows.shape[0])
-        payload = self.encoder.encode(rows, bits)
+        payload = self.encoder.encode(rows, bits, block=(phase, layer, src, dst))
         transport.post(src, dst, tag, payload, payload.wire_bytes)
 
     def _decode(self, payload: object) -> np.ndarray:
@@ -581,14 +634,21 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
     def __init__(
         self,
         bit_provider: BitProvider,
-        rng: np.random.Generator,
+        rng,
         tracer: object | None = None,
     ) -> None:
         super().__init__(bit_provider, rng, tracer)
-        # Shares ``rng`` with the (now unused) per-pair encoder, so the
-        # stream position matches the legacy path draw for draw.
-        self.fused_encoder = FusedStepEncoder(rng)
+        # Shares the rounding policy with the (now unused) per-pair
+        # encoder: under stream rounding the stream position matches the
+        # legacy path draw for draw; under keyed rounding both produce the
+        # same coordinate-determined noise by construction.
+        self.fused_encoder = FusedStepEncoder(self.rounding)
         self._decode_ws = DecodeWorkspace()
+        # Worker-side decode scratch, one workspace per receiving rank:
+        # per-receiver decode jobs run concurrently on the pool, so they
+        # must never share buffers (the finalize half consumes each
+        # receiver's views before its next step decodes).
+        self._decode_ws_by_rank: dict[int, DecodeWorkspace] = {}
         self._topologies: dict[str, tuple] = {}
         self._halo_bufs: dict[tuple[int, int], np.ndarray] = {}
 
@@ -602,20 +662,30 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         values_by_dev: list[np.ndarray],
     ) -> InFlightStep:
         check_in_set(phase, ("fwd", "bwd"), name="phase")
-        tag = f"{phase}/L{layer}"
-        self._encode_and_post(transport, layer, phase, devices, tag, values_by_dev)
+        tag = step_tag(phase, layer)
         dim = int(values_by_dev[devices[0].rank].shape[1])
-        return InFlightStep(layer, phase, tag, devices, transport, dim)
+        step = InFlightStep(layer, phase, tag, devices, transport, dim)
+        self._encode_and_post(
+            transport, layer, phase, devices, tag, values_by_dev, step=step
+        )
+        return step
 
     def finalize_step(
         self, step: InFlightStep, out: list[np.ndarray] | None = None
     ) -> list[np.ndarray] | None:
         step.mark_done()
-        collects = {
-            dev.rank: step.transport.collect(dev.rank, step.tag)
-            for dev in step.devices
-        }
-        decoded = decode_cluster_step(collects, workspace=self._decode_ws)
+        if step.decoded is not None:
+            # Async transport: worker jobs already collected and decoded
+            # every receiver's mailbox (mark_done joined them); only the
+            # scatter/accumulate below — the order-sensitive half — runs
+            # on this thread.
+            decoded = step.decoded
+        else:
+            collects = {
+                dev.rank: step.transport.collect(dev.rank, step.tag)
+                for dev in step.devices
+            }
+            decoded = decode_cluster_step(collects, workspace=self._decode_ws)
         if step.phase == "fwd":
             halo_by_dev: list[np.ndarray] = []
             for dev in step.devices:
@@ -650,6 +720,7 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         devices: list,
         tag: str,
         values_by_rank: list[np.ndarray],
+        step: InFlightStep | None = None,
     ) -> None:
         pairs, pair_counts, device_blocks, cat_idx = self._topology_for(
             phase, devices
@@ -675,23 +746,71 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
                 tracer.observe(phase, layer, src, dst, rows)
 
         # Snapshot half (calling thread): gather the step's source rows
-        # into plan scratch and feed the tracer.  The quantize/pack/post
-        # half runs as one deferred job — on the worker under the async
-        # transport, where its kernels overlap the central sub-step.
+        # into plan scratch and feed the tracer (bit lookups above run
+        # here too — providers and tracers never see worker threads).
         encoder = self.fused_encoder
         encoder.gather_step(plan, values_by_rank, observe)
 
-        def job() -> None:
-            payloads = encoder.quantize_pack_step(plan)
-            posts_by_rank: dict[int, list[tuple[int, object, int]]] = {}
-            for (src, dst), payload in payloads.items():
-                posts_by_rank.setdefault(src, []).append(
-                    (dst, payload, payload.wire_bytes)
-                )
-            for rank, posts in posts_by_rank.items():
-                transport.post_batch(rank, tag, posts)
+        # Quantize/pack/post half: one deferred job per encode shard.
+        # Keyed rounding gives every pair coordinate-determined noise, so
+        # the step splits into transport.workers contiguous shards that
+        # may run concurrently and retire in any order; stream rounding
+        # yields exactly one shard (shards_for pins it), preserving the
+        # sequential-stream contract.  On async transports the last shard
+        # to finish defers one collect+decode job per receiver under the
+        # same tag — decode overlaps the central window too, and finalize
+        # is left with only the order-sensitive scatter/accumulate.
+        shards = encoder.shards_for(plan, max(transport.workers, 1))
+        eager_decode = transport.is_async and step is not None
+        if eager_decode:
+            step.decoded = {}
+        remaining = [len(shards)]
+        remaining_lock = threading.Lock()
 
-        transport.defer(tag, job)
+        def make_job(shard):
+            def job() -> None:
+                payloads = encoder.quantize_pack_shard(
+                    plan, shard, coords=(phase, layer)
+                )
+                posts_by_rank: dict[int, list[tuple[int, object, int]]] = {}
+                for (src, dst), payload in payloads.items():
+                    posts_by_rank.setdefault(src, []).append(
+                        (dst, payload, payload.wire_bytes)
+                    )
+                for rank, posts in posts_by_rank.items():
+                    transport.post_batch(rank, tag, posts)
+                if eager_decode:
+                    with remaining_lock:
+                        remaining[0] -= 1
+                        last = remaining[0] == 0
+                    if last:
+                        self._defer_decodes(transport, step)
+
+            return job
+
+        transport.defer_many(tag, [make_job(shard) for shard in shards])
+
+    def _defer_decodes(self, transport: Transport, step: InFlightStep) -> None:
+        """Queue one collect+decode job per receiver (worker side).
+
+        Called by the step's last encode shard, so every envelope is
+        already posted; the jobs use the *base* ``Transport.collect``
+        (which sorts by source) — the subclass safety-net would try to
+        join the very job set they run in.  Each receiver gets its own
+        :class:`DecodeWorkspace`; the views stashed in ``step.decoded``
+        stay valid until that receiver's next decode, one whole step away,
+        by which time finalize has consumed them.
+        """
+        for dev in step.devices:
+
+            def decode_job(rank: int = dev.rank) -> None:
+                mailbox = Transport.collect(transport, rank, step.tag)
+                workspace = self._decode_ws_by_rank.get(rank)
+                if workspace is None:
+                    workspace = self._decode_ws_by_rank[rank] = DecodeWorkspace()
+                step.decoded[rank] = decode_step(mailbox, workspace=workspace)
+
+            transport.defer(step.tag, decode_job)
 
     def _topology_for(self, phase: str, devices: list) -> tuple:
         """Static step topology: pair order, row counts, gather indices."""

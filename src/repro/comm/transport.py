@@ -11,10 +11,19 @@ Two transports share the mailbox/accounting core:
 * :class:`Transport` executes everything on the calling thread — posts are
   visible the moment ``post``/``post_batch`` returns;
 * :class:`WorkerTransport` additionally runs *deferred jobs* (the
-  exchanges' quantize/pack/post closures) on a background worker thread,
-  so the poster's heavy kernels overlap the main thread's GIL-releasing
-  compute.  ``defer`` hands a job to the pool, ``complete`` joins it —
-  the split-phase executor's finalize half always joins before collecting.
+  exchanges' quantize/pack/post closures, and their collect/decode
+  followups) on a pool of background worker threads, so the posters'
+  heavy kernels overlap the main thread's GIL-releasing compute — and,
+  with several workers, each other.  ``defer``/``defer_many`` hand jobs
+  to the pool, ``complete`` joins everything registered under a tag
+  (including jobs a running job deferred after it) — the split-phase
+  executor's finalize half always joins before collecting.
+
+Worker counts are a *transport* property: exchanges consult
+``transport.workers`` to decide how many encode shards to emit.  Whether
+that is safe is the exchange's call — keyed rounding makes shards
+order-independent; stream rounding pins every exchange to one job per
+step regardless of the pool size.
 """
 
 from __future__ import annotations
@@ -27,7 +36,31 @@ from concurrent.futures import Future, ThreadPoolExecutor
 
 import numpy as np
 
-__all__ = ["Transport", "WorkerTransport", "host_has_spare_core"]
+__all__ = [
+    "Transport",
+    "WorkerTransport",
+    "detected_cores",
+    "host_spare_cores",
+    "host_has_spare_core",
+]
+
+
+def detected_cores() -> int:
+    """CPU cores available to this process (affinity-aware on Linux)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def host_spare_cores() -> int:
+    """Cores left over for transport workers once the main thread has one.
+
+    The auto worker count (``transport_workers=None``) resolves to this,
+    so a K-core host runs the main thread plus K-1 workers — saturating
+    the hardware without oversubscribing it.
+    """
+    return max(0, detected_cores() - 1)
 
 
 def host_has_spare_core() -> bool:
@@ -38,10 +71,7 @@ def host_has_spare_core() -> bool:
     tax — callers that auto-select the transport (``async_transport=None``)
     use this to fall back to the synchronous one there.
     """
-    try:
-        return len(os.sched_getaffinity(0)) > 1
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return (os.cpu_count() or 1) > 1
+    return host_spare_cores() >= 1
 
 
 class Transport:
@@ -79,6 +109,8 @@ class Transport:
 
     #: whether deferred jobs really run on a background worker
     is_async = False
+    #: background workers available for deferred jobs (0 = inline only)
+    workers = 0
 
     def __init__(self, num_devices: int) -> None:
         if num_devices < 1:
@@ -172,14 +204,22 @@ class Transport:
                 self._overlapped[tag] += pending
 
     def collect(self, dst: int, tag: str) -> dict[int, object]:
-        """Drain ``dst``'s mailbox for ``tag``; returns ``{src: payload}``."""
+        """Drain ``dst``'s mailbox for ``tag``; returns ``{src: payload}``.
+
+        Iteration order is **source-ascending**, whatever order the posts
+        arrived in: concurrent transport workers retire envelopes in
+        nondeterministic order, and receivers accumulate floats in mailbox
+        iteration order — sorting here is what keeps accumulation (and so
+        training results) bitwise-reproducible at any worker count.
+        """
         self._check_device(dst)
         with self._lock:
             self._window_open.discard(tag)
             drained = self._pending_by_box.pop((tag, dst), 0)
             if drained:
                 self._pending[tag] -= drained
-            return self._boxes.pop((tag, dst), {})
+            box = self._boxes.pop((tag, dst), {})
+        return {src: box[src] for src in sorted(box)} if len(box) > 1 else box
 
     # ------------------------------------------------------------------
     # Deferred posting (async hooks; the synchronous transport runs inline)
@@ -189,14 +229,19 @@ class Transport:
 
         The synchronous transport executes it inline, so ``post_step``
         behaves exactly as before; :class:`WorkerTransport` overrides this
-        to hand the job to its worker pool.  One job per tag may be
-        outstanding at a time — the split-phase executor's
-        one-step-in-flight discipline.
+        to hand the job to its worker pool.  A tag may carry several jobs
+        (encode shards plus their decode followups); ``complete`` joins
+        them all.
         """
         job()
 
+    def defer_many(self, tag: str, jobs) -> None:
+        """Defer every job in ``jobs`` under ``tag`` (inline: run in order)."""
+        for job in jobs:
+            self.defer(tag, job)
+
     def complete(self, tag: str) -> float:
-        """Join ``tag``'s deferred job; returns seconds spent waiting.
+        """Join ``tag``'s deferred jobs; returns seconds spent waiting.
 
         No-op (0.0) on the synchronous transport — everything already ran
         inside :meth:`defer`.  Worker exceptions re-raise here.
@@ -204,7 +249,7 @@ class Transport:
         return 0.0
 
     def close(self) -> None:
-        """Release background resources (no-op on the sync transport)."""
+        """Release background resources; idempotent (no-op here)."""
 
     # ------------------------------------------------------------------
     # Progress model
@@ -266,78 +311,97 @@ class Transport:
 
 
 class WorkerTransport(Transport):
-    """Thread-pool-backed transport: deferred encode/post jobs run on a
-    background worker, concurrently with the main thread.
+    """Thread-pool-backed transport: deferred encode/post (and decode)
+    jobs run on background workers, concurrently with the main thread —
+    and, at ``workers > 1``, with each other.
 
     Threading model (see README "async worker transport"):
 
-    * ``defer(tag, job)`` submits the exchange's quantize/pack/post closure
-      to a worker pool and returns immediately; the main thread goes on to
-      run the central sub-step, whose BLAS/spmv kernels release the GIL —
-      so the worker's NumPy quantize/pack kernels genuinely execute in
-      parallel on a second core;
-    * the pool has exactly **one** worker: step jobs must retire in
-      submission order because stochastic-rounding noise is drawn from a
-      shared sequential RNG stream (the bitwise contract with the
-      synchronous path).  Concurrency comes from overlapping the *main*
-      thread, not from intra-pool parallelism;
-    * ``complete(tag)`` joins the tag's job (re-raising worker exceptions)
-      and returns the seconds the caller was blocked — the *exposed* tail
-      of encode work the central window failed to cover, recorded in each
-      :class:`~repro.cluster.records.StepTimeline` as ``worker_wait_s``;
+    * ``defer``/``defer_many`` submit the exchange's quantize/pack/post
+      closures to the pool and return immediately; the main thread goes on
+      to run the central sub-step, whose BLAS/spmv kernels release the GIL
+      — so the workers' NumPy quantize/pack kernels genuinely execute in
+      parallel on spare cores;
+    * the pool size is the caller's choice.  At ``workers=1`` jobs retire
+      in submission order — the execution shape stream-rounding exchanges
+      rely on (their noise comes from a shared sequential RNG).  Keyed
+      rounding makes payload bytes a pure function of block coordinates,
+      so such exchanges shard one step across every worker and let shards
+      retire in any order;
+    * a running job may itself :meth:`defer` followup work under its tag
+      (the fused exchange's last encode shard defers per-receiver decode
+      jobs); ``complete(tag)`` joins everything registered under the tag,
+      including followups that appear while it waits, re-raises worker
+      exceptions, and returns the seconds the caller was blocked — the
+      *exposed* tail the central window failed to cover, recorded per step
+      as :class:`~repro.cluster.records.StepTimeline` ``worker_wait_s``;
     * :meth:`collect` auto-joins as a safety net, so a collector can never
-      observe a half-posted step;
-    * workers only **produce** (encode + post); the main thread alone
-      collects, decodes and accumulates, in the fixed device order — which
-      is what keeps the async path bitwise-identical to the sync one.
+      observe a half-posted step.  (Worker-side decode jobs use the base
+      :meth:`Transport.collect` directly — they run *inside* the tag's job
+      set, after every post of the step, and must not join themselves.)
+    * workers produce (encode + post) and pre-decode; the main thread
+      alone scatters and accumulates, in fixed device order over
+      source-sorted mailboxes — which is what keeps the async path
+      bitwise-reproducible at any worker count.
     """
 
     is_async = True
 
-    def __init__(self, num_devices: int) -> None:
+    def __init__(self, num_devices: int, *, workers: int = 1) -> None:
         super().__init__(num_devices)
-        # Exactly one worker, by design, not as a default: a second worker
-        # would let step jobs race on the shared sequential rounding RNG
-        # and break the bitwise contract (see class docstring).
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
         self._pool: ThreadPoolExecutor | None = None
-        self._jobs: dict[str, Future] = {}
+        self._jobs: dict[str, list[Future]] = {}
         self._jobs_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     def defer(self, tag: str, job) -> None:
         with self._jobs_lock:
+            if self._closed:
+                raise RuntimeError("transport is closed")
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
-                    max_workers=1,
+                    max_workers=self.workers,
                     thread_name_prefix="repro-transport",
                 )
-            if tag in self._jobs:
-                raise RuntimeError(
-                    f"tag {tag!r} already has a deferred job in flight"
-                )
-            self._jobs[tag] = self._pool.submit(job)
+            self._jobs.setdefault(tag, []).append(self._pool.submit(job))
 
     def complete(self, tag: str) -> float:
-        with self._jobs_lock:
-            future = self._jobs.pop(tag, None)
-        if future is None:
-            return 0.0
         t0 = time.perf_counter()
-        future.result()
-        return time.perf_counter() - t0
+        joined = 0
+        while True:
+            with self._jobs_lock:
+                futures = self._jobs.get(tag, [])
+                batch = futures[joined:]
+                if not batch:
+                    self._jobs.pop(tag, None)
+                    break
+            # Join outside the lock (jobs may defer followups under this
+            # tag, which needs the lock); loop to pick up anything that
+            # was registered while we waited.
+            for future in batch:
+                future.result()
+            joined += len(batch)
+        return time.perf_counter() - t0 if joined else 0.0
 
     def complete_all(self) -> None:
         """Join every outstanding job (used at epoch boundaries/shutdown)."""
-        with self._jobs_lock:
-            tags = list(self._jobs)
-        for tag in tags:
-            self.complete(tag)
+        while True:
+            with self._jobs_lock:
+                tags = [t for t, futures in self._jobs.items() if futures]
+            if not tags:
+                return
+            for tag in tags:
+                self.complete(tag)
 
     def collect(self, dst: int, tag: str) -> dict[int, object]:
         # Safety net: finalize_step joins via InFlightStep.mark_done, but a
         # direct collector must never see a half-posted step either.
         with self._jobs_lock:
-            outstanding = tag in self._jobs
+            outstanding = bool(self._jobs.get(tag))
         if outstanding:
             self.complete(tag)
         return super().collect(dst, tag)
@@ -351,8 +415,22 @@ class WorkerTransport(Transport):
         return super().pending_tags()
 
     def close(self) -> None:
-        self.complete_all()
+        """Shut the pool down; idempotent, and never raises job errors.
+
+        The exception paths are exactly where close matters most (a failed
+        epoch must not leak the worker threads), so outstanding jobs are
+        joined with their exceptions swallowed — anyone who cared already
+        saw them re-raised from :meth:`complete`.  After close the
+        transport refuses new deferred work.
+        """
         with self._jobs_lock:
+            self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        with self._jobs_lock:
+            orphans = [f for futures in self._jobs.values() for f in futures]
+            self._jobs.clear()
+        for future in orphans:
+            if future.done():
+                future.exception()  # retrieve, so nothing warns at gc time

@@ -56,8 +56,8 @@ class RunConfig:
     # the systems whose schedule overlaps (the adaqp variants and
     # vanilla-overlap); requires fused_compute.
     overlap: bool = True
-    # async_transport: run each step's quantize/pack/post job on a
-    # background worker thread (WorkerTransport) so it executes
+    # async_transport: run each step's quantize/pack/post (and decode)
+    # jobs on background worker threads (WorkerTransport) so they execute
     # concurrently with the central sub-step's GIL-releasing BLAS/spmv —
     # the recorded overlap becomes wall-clock speedup.  None (default)
     # auto-selects: on for overlapped runs when the host has a spare core
@@ -66,6 +66,23 @@ class RunConfig:
     # choice is bit-identical to the synchronous transport under the same
     # seed.
     async_transport: bool | None = None
+    # transport_workers: size of the async transport's worker pool.  None
+    # (default) auto-selects the host's spare cores (cores - 1, at least
+    # 1).  With rng_mode="keyed" the fused engine shards each step's
+    # encode/pack across the pool and decodes per receiver on it, so
+    # results are bitwise-identical at ANY worker count; with
+    # rng_mode="stream" exchanges submit one job per step regardless
+    # (extra workers sit idle — the stream contract is order-dependent).
+    transport_workers: int | None = None
+    # rng_mode: where stochastic-rounding noise comes from.  "keyed" (the
+    # default) derives each message block's noise from a counter-based
+    # Philox generator keyed on (run_seed, epoch, phase, layer, src, dst)
+    # — a pure function of data coordinates, so training results are
+    # bitwise-reproducible regardless of execution order, thread
+    # placement or transport worker count.  "stream" restores the legacy
+    # shared sequential generator (the pre-PR-5 bitwise contract), which
+    # pins every encode to a fixed global order.
+    rng_mode: str = "keyed"
     # timeline_history: how many measured per-step StepTimeline entries a
     # TrainResult retains (most recent first to go: oldest dropped); the
     # aggregate TimelineSummary always covers every step, so
@@ -89,6 +106,9 @@ class RunConfig:
         for b in self.bit_choices:
             check_in_set(b, SUPPORTED_BITS, name="bit_choices entry")
         check_in_set(self.fixed_bits, SUPPORTED_BITS, name="fixed_bits")
+        check_in_set(self.rng_mode, ("keyed", "stream"), name="rng_mode")
+        if self.transport_workers is not None and self.transport_workers < 1:
+            raise ValueError("transport_workers must be >= 1 (or None for auto)")
         if self.timeline_history < 0:
             raise ValueError("timeline_history must be >= 0")
 

@@ -49,6 +49,7 @@ from repro.core.scheduler import (
 from repro.graph.datasets import GraphDataset
 from repro.graph.partition.book import PartitionBook
 from repro.nn.optim import Adam
+from repro.quant.stochastic import KeyedRounding
 from repro.utils.logging import get_logger
 from repro.utils.seed import RngPool
 
@@ -163,6 +164,15 @@ def build_system(
     quantized_cls = (
         FusedQuantizedHaloExchange if config.fused_exchange else QuantizedHaloExchange
     )
+
+    def rounding():
+        # Keyed mode: noise is a pure function of (run seed, block
+        # coordinates), derived per system from the same pool fork the
+        # stream generator would use — deterministic given config.seed.
+        if config.rng_mode == "keyed":
+            return KeyedRounding(pool.fork("rounding").seed)
+        return pool.get("rounding")
+
     if name == "vanilla":
         return _SystemSetup(exchange=ExactHaloExchange(), schedule=schedule_vanilla)
     if name == "adaqp":
@@ -176,7 +186,7 @@ def build_system(
             solver=config.solver,
             default_bits=config.default_bits,
         )
-        exchange = quantized_cls(assigner, pool.get("rounding"), tracer=assigner)
+        exchange = quantized_cls(assigner, rounding(), tracer=assigner)
         return _SystemSetup(exchange=exchange, schedule=schedule_adaqp, assigner=assigner)
     if name == "adaqp-uniform":
         provider = UniformRandomBitProvider(
@@ -184,11 +194,11 @@ def build_system(
             choices=config.bit_choices,
             period=config.uniform_period,
         )
-        exchange = quantized_cls(provider, pool.get("rounding"))
+        exchange = quantized_cls(provider, rounding())
         return _SystemSetup(exchange=exchange, schedule=schedule_adaqp)
     if name == "adaqp-fixed":
         exchange = quantized_cls(
-            FixedBitProvider(config.fixed_bits), pool.get("rounding")
+            FixedBitProvider(config.fixed_bits), rounding()
         )
         return _SystemSetup(exchange=exchange, schedule=schedule_adaqp)
     if name == "adaqp-no-overlap":
@@ -202,7 +212,7 @@ def build_system(
             solver=config.solver,
             default_bits=config.default_bits,
         )
-        exchange = quantized_cls(assigner, pool.get("rounding"), tracer=assigner)
+        exchange = quantized_cls(assigner, rounding(), tracer=assigner)
         return _SystemSetup(
             exchange=exchange,
             schedule=schedule_quantized_no_overlap,
@@ -268,6 +278,7 @@ def train(
         fused_compute=config.fused_compute,
         overlap=config.overlap and system in OVERLAP_SYSTEMS,
         async_transport=config.async_transport,
+        transport_workers=config.transport_workers,
     )
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]

@@ -77,6 +77,7 @@ __all__ = [
     "bench_epoch_overlap",
     "bench_epoch_overlap_async",
     "bench_exchange_split_phase",
+    "bench_worker_scaling",
     "run_bench",
     "compare_to_baseline",
     "render_report",
@@ -140,6 +141,11 @@ _GATED_METRICS = (
     # The shipped overlapped engine (auto async transport + rewritten
     # quant kernels) vs the resurrected PR-3 synchronous overlapped state.
     ("epoch_overlap_async", "speedup"),
+    # Keyed-RNG multi-worker pipeline: one exchange step at 4 transport
+    # workers vs 1.  Gated only on multi-core runners (compare_to_baseline
+    # skips it when the current report says multi_core=false — thread
+    # fan-out on a starved host measures the scheduler, not the engine).
+    ("worker_scaling", "speedup"),
 )
 
 
@@ -772,6 +778,84 @@ def bench_exchange_split_phase(
     }
 
 
+def bench_worker_scaling(
+    *,
+    workload: dict | None = None,
+    reps: int = 20,
+    workers: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Keyed-RNG encode/decode fan-out: 1 transport worker vs ``workers``.
+
+    Drives one real fused quantized exchange step (the DEFAULT_WORKLOAD
+    topology) through :class:`~repro.comm.transport.WorkerTransport` under
+    :class:`~repro.quant.stochastic.KeyedRounding`: ``post_step`` shards
+    the quantize/pack across the pool, the last shard chases it with
+    per-receiver decode jobs, and ``finalize_step`` just joins and
+    scatters.  The calling thread blocks in finalize, so the measured
+    ratio isolates intra-pool parallelism — the thing the keyed RNG makes
+    legal — rather than main-thread overlap (that is
+    ``epoch_overlap_async``'s job).
+
+    ``multi_core`` gates: on hosts with fewer cores than ``workers`` the
+    ratio measures timesharing, so the CI comparison skips it there
+    (``speedup`` is still reported).  Wire bytes must match across worker
+    counts — the order-independence contract's cheap half; the bitwise
+    losses/gradients matrix lives in the tier-1 equivalence suite.
+    """
+    from repro.comm.transport import WorkerTransport, detected_cores
+    from repro.quant.stochastic import KeyedRounding
+
+    wl = dict(DEFAULT_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    ds, book = _load_workload(wl, seed)
+    cluster = _workload_cluster(ds, book, wl, seed, True)
+    devices = cluster.devices
+    h_by_dev = [dev.features for dev in devices]
+    rows_out = sum(
+        len(rows) for dev in devices for rows in dev.part.send_map.values()
+    )
+    payload_mb = rows_out * ds.num_features * 4 / 1e6
+
+    def run(n_workers: int) -> tuple[float, int]:
+        transport = WorkerTransport(cluster.num_devices, workers=n_workers)
+        exchange = FusedQuantizedHaloExchange(
+            FixedBitProvider(2), KeyedRounding(seed)
+        )
+
+        def step():
+            in_flight = exchange.post_step(0, "fwd", devices, transport, h_by_dev)
+            exchange.finalize_step(in_flight)
+
+        try:
+            elapsed = _median_time(step, reps)
+            total = transport.total_bytes()
+        finally:
+            transport.close()
+        return elapsed, total
+
+    t_one, bytes_one = run(1)
+    t_many, bytes_many = run(workers)
+    cores = detected_cores()
+    return {
+        "workload": wl,
+        "workers": workers,
+        "cores": cores,
+        "multi_core": cores >= workers,
+        # unfused/fused ride the generic renderer + gate machinery; the
+        # explicit aliases say what the arms actually are.
+        "unfused_ms": t_one * 1e3,  # == one_worker_ms
+        "fused_ms": t_many * 1e3,  # == pool_ms
+        "one_worker_ms": t_one * 1e3,
+        "pool_ms": t_many * 1e3,
+        "unfused_mbps": payload_mb / t_one,
+        "fused_mbps": payload_mb / t_many,
+        "speedup": t_one / t_many,
+        "wire_bytes_match": bytes_one == bytes_many,
+    }
+
+
 def bench_epoch_overlap(
     *,
     system: str = "adaqp-fixed",
@@ -1029,7 +1113,7 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
 
     report: dict = {
         "bench": "fused-engines",
-        "schema": 3,
+        "schema": 4,
         "quick": quick,
         "seed": seed,
         "encode": bench_encode(reps=micro_reps, seed=seed),
@@ -1041,6 +1125,7 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
         "epoch": bench_epoch(epochs=epochs, warmup=warmup, seed=seed),
         "epoch_vanilla": bench_epoch_vanilla(epochs=epochs, warmup=warmup, seed=seed),
         "exchange_split_phase": bench_exchange_split_phase(reps=micro_reps, seed=seed),
+        "worker_scaling": bench_worker_scaling(reps=micro_reps // 2, seed=seed),
         "epoch_overlap": bench_epoch_overlap(epochs=epochs, warmup=warmup, seed=seed),
         "epoch_overlap_async": bench_epoch_overlap_async(
             epochs=epochs, warmup=warmup, seed=seed
@@ -1064,6 +1149,17 @@ def compare_to_baseline(
     """
     problems: list[str] = []
     for section, metric in _GATED_METRICS:
+        if (
+            section == "worker_scaling"
+            and section in current
+            and not current[section].get("multi_core", False)
+        ):
+            # Thread fan-out on a core-starved runner measures the OS
+            # scheduler; the ratio is reported but not held to the floor.
+            # (A *missing* section still falls through to the
+            # missing-metric check below — skipping is for measured-but-
+            # ungateable runs only.)
+            continue
         cur = current.get(section, {}).get(metric)
         base = baseline.get(section, {}).get(metric)
         if cur is None or base is None:
@@ -1086,6 +1182,11 @@ def compare_to_baseline(
             "epoch_vanilla.losses_close is False: batched exact exchange "
             "diverged from the per-pair baseline"
         )
+    if not current.get("worker_scaling", {}).get("wire_bytes_match", True):
+        problems.append(
+            "worker_scaling.wire_bytes_match is False: worker count "
+            "changed the wire bytes under keyed rounding"
+        )
     return problems
 
 
@@ -1097,6 +1198,7 @@ def render_report(report: dict) -> str:
     for section in (
         "encode", "decode", "pack_kernel", "unpack_kernel",
         "compute_spmv", "compute_gemm", "exchange_split_phase",
+        "worker_scaling",
     ):
         if section not in report:
             continue
@@ -1151,6 +1253,13 @@ def render_report(report: dict) -> str:
             f"kernel_speedup={r['kernel_speedup']:.2f}x "
             f"concurrency_speedup={r['concurrency_speedup']:.2f}x "
             f"worker_wait_share={r['worker_wait_share']:.2f}"
+        )
+    if "worker_scaling" in report:
+        r = report["worker_scaling"]
+        checks.append(
+            f"worker_scaling: {r['workers']} workers on {r['cores']} cores "
+            f"(gated={r['multi_core']}) "
+            f"wire_bytes_match={r['wire_bytes_match']}"
         )
     wl = report["epoch"]["workload"]
     head = (

@@ -17,7 +17,11 @@ Pipeline:
 """
 
 from repro.quant.stochastic import (
+    KeyedRounding,
     QuantizedTensor,
+    StreamRounding,
+    as_rounding,
+    block_key,
     dequantize,
     quantize_stochastic,
     quantize_with_noise,
@@ -49,6 +53,10 @@ __all__ = [
     "quantize_with_noise",
     "dequantize",
     "stochastic_round",
+    "block_key",
+    "StreamRounding",
+    "KeyedRounding",
+    "as_rounding",
     "pack_bits",
     "unpack_bits",
     "pack_bits_batched",

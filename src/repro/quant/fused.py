@@ -13,11 +13,15 @@ across every source device and every peer — into batched kernels:
   into a contiguous segment of a step-wide buffer, directly in the legacy
   RNG-consumption order (devices ascending, peers ascending within each
   device, bit-widths ascending within each pair);
-* rounding noise for the whole step is drawn with one ``rng.random`` call —
-  NumPy generators fill requests sequentially, so one big draw consumes
-  the stream exactly like the legacy per-group draws, making the fused
-  path bitwise-identical to the unfused one under the same seed;
-* stochastic quantization runs as **one** kernel for the whole step: the
+* rounding noise comes from the encoder's rounding policy: under
+  :class:`~repro.quant.stochastic.StreamRounding` one ``rng.random`` call
+  covers the whole step (NumPy generators fill requests sequentially, so
+  one big draw consumes the stream exactly like the legacy per-group
+  draws — bitwise-identical to the unfused path under the same seed);
+  under :class:`~repro.quant.stochastic.KeyedRounding` each (src, dst)
+  pair's noise is one counter-based Philox draw keyed on the block's
+  coordinates, making the emitted bytes independent of execution order;
+* stochastic quantization runs as **one** kernel per encode shard: the
   only bit-width-dependent quantity is the level count ``2^b - 1``, which
   becomes a per-row vector instead of a per-group scalar;
 * packing runs through :func:`~repro.quant.packing.pack_bits_batched`, one
@@ -28,6 +32,15 @@ across every source device and every peer — into batched kernels:
   (de-quantization is row-elementwise, so it batches across pairs and
   receivers without changing a single value).
 
+**Encode shards.**  A step's pairs partition into contiguous legacy-order
+spans (:meth:`FusedStepEncoder.shards_for`); each shard's quantize/pack is
+self-contained — it reads and writes only its row span of the plan
+scratch — so a multi-worker transport runs shards concurrently.  Keyed
+rounding makes the shard decomposition invisible in the output: every
+pair's noise is its own keyed draw, so any shard count (and any retirement
+order) emits byte-identical payloads.  Stream rounding is
+order-dependent by definition and therefore always encodes as one shard.
+
 All index structures (gather orders, group slices, payload skeletons) are
 cached in a :class:`FusedStepPlan` and reused across epochs until the
 bit-width assignment for the step changes (i.e. at reassignment
@@ -37,12 +50,13 @@ preallocated alongside the plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.quant.mixed import MixedPrecisionPayload
 from repro.quant.packing import pack_bits_batched, unpack_bits_batched
+from repro.quant.stochastic import as_rounding
 
 __all__ = [
     "FusedStepPlan",
@@ -64,6 +78,32 @@ class _PairGroup:
 
 
 @dataclass
+class _EncodeShard:
+    """One contiguous run of a step's pairs, encodable independently.
+
+    ``start``/``stop`` span the shard's rows in *both* cat and legacy
+    order (the legacy sort is pair-major, so pair runs keep their cat
+    boundaries); all packing index structures are shard-local so
+    concurrent shards never share mutable state.
+    """
+
+    pair_lo: int
+    pair_hi: int
+    start: int
+    stop: int
+    single_bits: int | None  # set when the shard's rows share one width
+    # Per distinct bit-width, in payload-emission order: the legacy-order
+    # slices of its groups and their element counts (packing batches).
+    bit_slices: dict[int, list[slice]]
+    bit_elems: dict[int, np.ndarray]
+    # For widths whose groups are scattered across pairs: their rows in
+    # payload-emission order (one precomputed take instead of a per-group
+    # concatenate) plus the reusable gather destination.
+    bit_rows: dict[int, np.ndarray]
+    bit_gather: dict[int, np.ndarray]
+
+
+@dataclass
 class FusedStepPlan:
     """Cached index structures for one (layer, phase) step of the cluster.
 
@@ -74,6 +114,7 @@ class FusedStepPlan:
 
     pairs: list[tuple[int, int]]  # (src, dst), legacy iteration order
     pair_counts: np.ndarray  # rows per pair, same order
+    cat_bounds: np.ndarray  # (n_pairs + 1,) row offsets per pair
     device_blocks: list[tuple[int, int, int]]  # (rank, start, stop) cat slices
     cat_idx: np.ndarray  # (n_total,) local source row per cat position
     bits_cat: np.ndarray  # (n_total,) per-row bits, cat order
@@ -82,25 +123,18 @@ class FusedStepPlan:
     identity: bool  # True when legacy order == cat order
     gather_idx: np.ndarray  # local source row per legacy-order position
     levels: np.ndarray  # (n_total, 1) float32, 2^bits - 1 per legacy row
-    single_bits: int | None  # set when the whole step shares one width
     pair_groups: dict[tuple[int, int], list[_PairGroup]]
-    # Per distinct bit-width, in payload-emission order: the legacy-order
-    # slices of its groups and their element counts (packing batches).
-    bit_slices: dict[int, list[slice]]
-    bit_elems: dict[int, np.ndarray]
-    # For widths whose groups are scattered across pairs: their rows in
-    # payload-emission order (one precomputed take instead of a per-group
-    # concatenate) plus the reusable gather destination.
-    bit_rows: dict[int, np.ndarray]
-    bit_gather: dict[int, np.ndarray]
     # Scratch buffers (reused every epoch while the plan is valid).
     cat_buf: np.ndarray  # (n_total, dim) float32, cat order
     legacy_buf: np.ndarray  # (n_total, dim) float32, legacy order
     noise_buf: np.ndarray  # (n_total, dim) float64, legacy order
+    noise_cat_buf: np.ndarray  # (n_total, dim) float64, cat order (keyed fill)
     codes_buf: np.ndarray  # (n_total, dim) uint8, legacy order
     norm_buf: np.ndarray  # (n_total, dim) float32 scratch
     floor_buf: np.ndarray  # (n_total, dim) float32 scratch
     round_buf: np.ndarray  # (n_total, dim) bool scratch
+    # Shard decompositions, cached per shard count (built on demand).
+    shard_cache: dict[int, list[_EncodeShard]] = field(default_factory=dict)
 
     @property
     def n_total(self) -> int:
@@ -129,38 +163,27 @@ def _build_plan(
     np.cumsum(pair_counts, out=bounds[1:])
 
     pair_groups: dict[tuple[int, int], list[_PairGroup]] = {}
-    bit_slices: dict[int, list[slice]] = {}
-    bit_elems: dict[int, list[int]] = {}
     pos = 0
     for i, pair in enumerate(pairs):
         pair_bits = bits_cat[bounds[i] : bounds[i + 1]]
         groups: list[_PairGroup] = []
         for b in np.unique(pair_bits):
             local_rows = np.flatnonzero(pair_bits == b)
-            group = _PairGroup(
-                bits=int(b), start=pos, stop=pos + local_rows.size, rows=local_rows
+            groups.append(
+                _PairGroup(
+                    bits=int(b), start=pos, stop=pos + local_rows.size, rows=local_rows
+                )
             )
-            groups.append(group)
-            bit_slices.setdefault(int(b), []).append(slice(group.start, group.stop))
-            bit_elems.setdefault(int(b), []).append(local_rows.size * dim)
             pos += local_rows.size
         pair_groups[pair] = groups
 
     bits_legacy = bits_cat[perm_legacy]
-    distinct = sorted(bit_slices)
-    bit_rows: dict[int, np.ndarray] = {}
-    bit_gather: dict[int, np.ndarray] = {}
-    if len(distinct) > 1:
-        for b, slices in bit_slices.items():
-            if len(slices) > 1:
-                bit_rows[b] = np.concatenate(
-                    [np.arange(sl.start, sl.stop, dtype=np.int64) for sl in slices]
-                )
-                bit_gather[b] = np.empty((bit_rows[b].size, dim), dtype=np.uint8)
     legacy_buf = np.empty((n_total, dim), dtype=np.float32)
+    noise_buf = np.empty((n_total, dim), dtype=np.float64)
     return FusedStepPlan(
         pairs=pairs,
         pair_counts=pair_counts,
+        cat_bounds=bounds,
         device_blocks=device_blocks,
         cat_idx=cat_idx,
         bits_cat=bits_cat.copy(),
@@ -169,17 +192,16 @@ def _build_plan(
         identity=identity,
         gather_idx=cat_idx if identity else cat_idx[perm_legacy],
         levels=((1 << bits_legacy.astype(np.int64)) - 1)[:, None].astype(np.float32),
-        single_bits=distinct[0] if len(distinct) == 1 else None,
         pair_groups=pair_groups,
-        bit_slices=bit_slices,
-        bit_elems={b: np.asarray(e, dtype=np.int64) for b, e in bit_elems.items()},
-        bit_rows=bit_rows,
-        bit_gather=bit_gather,
-        # When legacy order == cat order the two stage buffers alias: the
-        # tracer path then needs only a single gather.
+        # When legacy order == cat order the stage buffers alias: the
+        # tracer path then needs only a single gather, and the keyed
+        # per-pair noise fill needs no permutation.
         cat_buf=legacy_buf if identity else np.empty((n_total, dim), dtype=np.float32),
         legacy_buf=legacy_buf,
-        noise_buf=np.empty((n_total, dim), dtype=np.float64),
+        noise_buf=noise_buf,
+        noise_cat_buf=noise_buf
+        if identity
+        else np.empty((n_total, dim), dtype=np.float64),
         codes_buf=np.empty((n_total, dim), dtype=np.uint8),
         norm_buf=np.empty((n_total, dim), dtype=np.float32),
         floor_buf=np.empty((n_total, dim), dtype=np.float32),
@@ -187,16 +209,98 @@ def _build_plan(
     )
 
 
+def _build_shards(plan: FusedStepPlan, n_shards: int) -> list[_EncodeShard]:
+    """Partition the plan's pairs into ≤ ``n_shards`` contiguous runs.
+
+    Cuts land on pair boundaries nearest the equal-row targets (a pair is
+    the atom — its noise is one keyed draw), so shards balance by row
+    count, not pair count.  Degenerate targets collapse, so fewer pairs
+    than shards simply yields fewer shards.
+    """
+    n_pairs = len(plan.pairs)
+    total = plan.n_total
+    n_shards = max(1, min(int(n_shards), n_pairs))
+    bounds = plan.cat_bounds
+    raw = set()
+    for s in range(1, n_shards):
+        target = s * total / n_shards
+        hi = int(np.searchsorted(bounds, target))
+        lo = hi - 1
+        # Nearest pair boundary to the equal-rows target.
+        cut = lo if hi > n_pairs or target - bounds[lo] <= bounds[hi] - target else hi
+        raw.add(int(cut))
+    edges = [0, *sorted(c for c in raw if 0 < c < n_pairs), n_pairs]
+
+    shards: list[_EncodeShard] = []
+    for lo, hi in zip(edges, edges[1:]):
+        bit_slices: dict[int, list[slice]] = {}
+        bit_elems: dict[int, list[int]] = {}
+        for i in range(lo, hi):
+            for g in plan.pair_groups[plan.pairs[i]]:
+                bit_slices.setdefault(g.bits, []).append(slice(g.start, g.stop))
+                bit_elems.setdefault(g.bits, []).append((g.stop - g.start) * plan.dim)
+        distinct = sorted(bit_slices)
+        bit_rows: dict[int, np.ndarray] = {}
+        bit_gather: dict[int, np.ndarray] = {}
+        if len(distinct) > 1:
+            for b, slices in bit_slices.items():
+                if len(slices) > 1:
+                    rows = np.concatenate(
+                        [np.arange(sl.start, sl.stop, dtype=np.int64) for sl in slices]
+                    )
+                    bit_rows[b] = rows
+                    bit_gather[b] = np.empty((rows.size, plan.dim), dtype=np.uint8)
+        shards.append(
+            _EncodeShard(
+                pair_lo=lo,
+                pair_hi=hi,
+                start=int(plan.cat_bounds[lo]),
+                stop=int(plan.cat_bounds[hi]),
+                single_bits=distinct[0] if len(distinct) == 1 else None,
+                bit_slices=bit_slices,
+                bit_elems={
+                    b: np.asarray(e, dtype=np.int64) for b, e in bit_elems.items()
+                },
+                bit_rows=bit_rows,
+                bit_gather=bit_gather,
+            )
+        )
+    return shards
+
+
 class FusedStepEncoder:
     """Encode a whole (layer, phase) exchange step in batched kernels.
 
     One instance per exchange; plans are cached per step key and
-    revalidated against the step's current bit assignment.
+    revalidated against the step's current bit assignment.  ``rng`` may be
+    a plain generator (stream rounding, the legacy contract) or a rounding
+    policy; keyed rounding additionally needs each step's ``(phase,
+    layer)`` coordinates (the ``coords`` arguments below) and unlocks
+    multi-shard encoding.
     """
 
-    def __init__(self, rng: np.random.Generator) -> None:
-        self.rng = rng
+    def __init__(self, rng) -> None:
+        self.rounding = as_rounding(rng)
         self._plans: dict[object, FusedStepPlan] = {}
+
+    @property
+    def rng(self) -> np.random.Generator | None:
+        """The shared stream generator (``None`` under keyed rounding)."""
+        return getattr(self.rounding, "rng", None)
+
+    def shards_for(self, plan: FusedStepPlan, n_shards: int) -> list[_EncodeShard]:
+        """The plan's shard decomposition for ``n_shards`` workers (cached).
+
+        Stream rounding always yields one shard — its noise is a shared
+        sequential draw, so the step cannot be split without changing the
+        stream consumption order.
+        """
+        if self.rounding.mode != "keyed":
+            n_shards = 1
+        cached = plan.shard_cache.get(n_shards)
+        if cached is None:
+            cached = plan.shard_cache[n_shards] = _build_shards(plan, n_shards)
+        return cached
 
     def plan_for(
         self,
@@ -222,7 +326,7 @@ class FusedStepEncoder:
         return plan
 
     def encode_step(
-        self, plan: FusedStepPlan, values_by_rank, observe=None
+        self, plan: FusedStepPlan, values_by_rank, observe=None, *, coords=None
     ) -> dict[tuple[int, int], MixedPrecisionPayload]:
         """Quantize + pack the step's messages; returns per-pair payloads.
 
@@ -230,16 +334,18 @@ class FusedStepEncoder:
         messages are gathered from (activations or halo gradients); a list
         indexed by rank works too.  ``observe``, when given, is called per
         pair with ``(src, dst, rows)`` where ``rows`` is the pair's block
-        in original row order — the tracer hook.
+        in original row order — the tracer hook.  ``coords`` is the step's
+        ``(phase, layer)`` — required under keyed rounding, ignored under
+        stream rounding.
 
         The two halves are also exposed separately for the async transport:
         :meth:`gather_step` snapshots the source rows (and feeds the
         tracer) on the calling thread, after which
         :meth:`quantize_pack_step` is safe to run on a transport worker —
-        it touches only plan-owned scratch and the encoder's RNG.
+        it touches only plan-owned scratch and the encoder's noise policy.
         """
         self.gather_step(plan, values_by_rank, observe)
-        return self.quantize_pack_step(plan)
+        return self.quantize_pack_step(plan, coords=coords)
 
     def gather_step(self, plan: FusedStepPlan, values_by_rank, observe=None) -> None:
         """Stage the step's source rows into ``plan.legacy_buf`` (a snapshot)."""
@@ -281,74 +387,125 @@ class FusedStepEncoder:
             # identity: cat_buf aliases legacy_buf, nothing to permute.
 
     def quantize_pack_step(
-        self, plan: FusedStepPlan
+        self, plan: FusedStepPlan, *, coords=None
     ) -> dict[tuple[int, int], MixedPrecisionPayload]:
         """Quantize + pack the gathered step (worker-safe half).
 
-        Reads ``plan.legacy_buf`` (filled by :meth:`gather_step`), draws
-        the step's rounding noise from the shared RNG — callers must keep
-        step jobs serialized so stream consumption matches the legacy
-        per-group draws — and touches only plan-owned scratch.
+        Reads ``plan.legacy_buf`` (filled by :meth:`gather_step`) and
+        touches only plan-owned scratch.  Under stream rounding, callers
+        must keep step jobs serialized so stream consumption matches the
+        legacy per-group draws; under keyed rounding the result is
+        order-independent and this call is just the one-shard composition
+        of :meth:`quantize_pack_shard`.
         """
-        n_total, dim = plan.n_total, plan.dim
-        if n_total == 0:
-            return {}
-        h = plan.legacy_buf
+        payloads: dict[tuple[int, int], MixedPrecisionPayload] = {}
+        for shard in self.shards_for(plan, 1):
+            payloads.update(self.quantize_pack_shard(plan, shard, coords=coords))
+        return payloads
 
-        # --- one stochastic-quantization kernel for the whole step -------
+    def quantize_pack_shard(
+        self, plan: FusedStepPlan, shard: _EncodeShard, *, coords=None
+    ) -> dict[tuple[int, int], MixedPrecisionPayload]:
+        """Quantize + pack one contiguous shard of the gathered step.
+
+        Reads and writes only the shard's ``[start, stop)`` row span of
+        the plan scratch, so a multi-worker transport may run disjoint
+        shards concurrently.  ``coords`` is the step's ``(phase, layer)``
+        — required for keyed rounding (each pair's noise is one keyed
+        Philox draw), ignored for stream rounding (one sequential draw
+        over the whole — necessarily single — shard).
+        """
+        dim = plan.dim
+        start, stop = shard.start, shard.stop
+        if stop == start:
+            return {}
+        h = plan.legacy_buf[start:stop]
+
+        # --- rounding noise for the shard's rows -------------------------
+        if self.rounding.mode == "keyed":
+            if coords is None:
+                raise ValueError(
+                    "keyed rounding needs the step's (phase, layer) coordinates"
+                )
+            phase, layer = coords
+            # One keyed draw per pair, into the pair's cat-order block
+            # (pair-local row order — the coordinate system the noise is
+            # defined in), then permuted to legacy order alongside the
+            # staged values.  The buffers alias when the orders coincide.
+            bounds = plan.cat_bounds
+            for i in range(shard.pair_lo, shard.pair_hi):
+                block = plan.noise_cat_buf[bounds[i] : bounds[i + 1]]
+                if block.size:
+                    src, dst = plan.pairs[i]
+                    self.rounding.block_noise(phase, layer, src, dst, out=block)
+            if not plan.identity:
+                np.take(
+                    plan.noise_cat_buf,
+                    plan.perm_legacy[start:stop],
+                    axis=0,
+                    out=plan.noise_buf[start:stop],
+                )
+            noise = plan.noise_buf[start:stop]
+        else:
+            # Stream rounding: one sequential draw (shards_for pinned the
+            # decomposition to a single whole-step shard) — consumes the
+            # stream exactly like the legacy per-group draws.
+            noise = self.rounding.rng.random(out=plan.noise_buf[start:stop])
+
+        # --- one stochastic-quantization kernel for the shard ------------
         # Identical arithmetic to quantize_stochastic per group: the level
         # count is the only group-dependent quantity and enters as a
-        # per-row vector.  One sequential noise draw == the per-group
-        # draws, so codes match the legacy path bit for bit.  All
-        # intermediates live in plan-owned scratch buffers.
+        # per-row vector.  All intermediates live in the shard's span of
+        # plan-owned scratch buffers.
         z32 = h.min(axis=1)
         scale = h.max(axis=1)
         scale -= z32
-        scale /= plan.levels[:, 0]
+        scale /= plan.levels[start:stop, 0]
         safe_scale = np.where(scale > 0, scale, np.float32(1.0))
-        norm = np.subtract(h, z32[:, None], out=plan.norm_buf)
+        norm = np.subtract(h, z32[:, None], out=plan.norm_buf[start:stop])
         norm /= safe_scale[:, None]
-        floor = np.floor(norm, out=plan.floor_buf)
-        noise = self.rng.random(out=plan.noise_buf)
+        floor = np.floor(norm, out=plan.floor_buf[start:stop])
         np.subtract(norm, floor, out=norm)  # fractional parts
-        round_up = np.less(noise, norm, out=plan.round_buf)
+        round_up = np.less(noise, norm, out=plan.round_buf[start:stop])
         codes = np.add(floor, round_up, out=floor)
         # Codes are >= 0 (normalized values are), so the legacy
         # clip(0, top) reduces to an upper bound.
-        if plan.single_bits is not None:
-            np.minimum(codes, np.float32((1 << plan.single_bits) - 1), out=codes)
+        if shard.single_bits is not None:
+            np.minimum(codes, np.float32((1 << shard.single_bits) - 1), out=codes)
         else:
-            np.minimum(codes, plan.levels, out=codes)
-        plan.codes_buf[...] = codes  # exact small integers; cast == astype
+            np.minimum(codes, plan.levels[start:stop], out=codes)
+        codes_buf = plan.codes_buf[start:stop]
+        codes_buf[...] = codes  # exact small integers; cast == astype
         s32 = scale
 
         # --- pack each distinct bit-width as one batch -------------------
         # Codes were clamped to range above, so the packers' O(n) range
         # scan is skipped (validate=False — the trusted internal path).
         streams_by_bits: dict[int, list[np.ndarray]] = {}
-        for bits, slices in plan.bit_slices.items():
+        for bits, slices in shard.bit_slices.items():
             if len(slices) == 1:
                 segment = plan.codes_buf[slices[0]]
-            elif plan.single_bits is not None:
-                # Single distinct bit-width: the slices tile the buffer.
-                segment = plan.codes_buf
+            elif shard.single_bits is not None:
+                # Single distinct bit-width: the slices tile the span.
+                segment = codes_buf
             else:
-                # Scattered groups: one precomputed take into plan scratch
+                # Scattered groups: one precomputed take into shard scratch
                 # (no per-group Python loop on the hot path).
                 segment = np.take(
                     plan.codes_buf,
-                    plan.bit_rows[bits],
+                    shard.bit_rows[bits],
                     axis=0,
-                    out=plan.bit_gather[bits],
+                    out=shard.bit_gather[bits],
                 )
             streams_by_bits[bits] = pack_bits_batched(
-                segment, bits, plan.bit_elems[bits], validate=False
+                segment, bits, shard.bit_elems[bits], validate=False
             )
 
         # --- assemble per-pair payloads ----------------------------------
         stream_cursor = dict.fromkeys(streams_by_bits, 0)
         payloads: dict[tuple[int, int], MixedPrecisionPayload] = {}
-        for i, pair in enumerate(plan.pairs):
+        for i in range(shard.pair_lo, shard.pair_hi):
+            pair = plan.pairs[i]
             group_bits: list[int] = []
             group_rows: list[np.ndarray] = []
             streams: list[np.ndarray] = []
@@ -359,8 +516,8 @@ class FusedStepEncoder:
                 group_rows.append(g.rows)
                 streams.append(streams_by_bits[g.bits][stream_cursor[g.bits]])
                 stream_cursor[g.bits] += 1
-                zero_points.append(z32[g.start : g.stop])
-                scales.append(s32[g.start : g.stop])
+                zero_points.append(z32[g.start - start : g.stop - start])
+                scales.append(s32[g.start - start : g.stop - start])
             payloads[pair] = MixedPrecisionPayload(
                 num_rows=int(plan.pair_counts[i]),
                 dim=dim,

@@ -18,8 +18,10 @@ from repro.quant.packing import pack_bits, unpack_bits
 from repro.quant.stochastic import (
     METADATA_BYTES_PER_ROW,
     QuantizedTensor,
+    as_rounding,
     dequantize,
     quantize_stochastic,
+    quantize_with_noise,
 )
 from repro.utils.validation import check_array
 
@@ -85,15 +87,36 @@ class MixedPrecisionPayload:
 
 
 class MixedPrecisionEncoder:
-    """Encode float32 message matrices with per-row bit-widths."""
+    """Encode float32 message matrices with per-row bit-widths.
 
-    def __init__(self, rng: np.random.Generator) -> None:
-        self.rng = rng
+    ``rng`` may be a plain :class:`numpy.random.Generator` (sequential
+    stream noise, the legacy contract) or a rounding policy from
+    :mod:`repro.quant.stochastic`.  Under :class:`~repro.quant.stochastic.
+    KeyedRounding` each message's noise is a pure function of its block
+    coordinates, which callers supply per encode via ``block``.
+    """
 
-    def encode(self, h: np.ndarray, bits_per_row: np.ndarray) -> MixedPrecisionPayload:
+    def __init__(self, rng) -> None:
+        self.rounding = as_rounding(rng)
+
+    @property
+    def rng(self) -> np.random.Generator | None:
+        """The shared stream generator (``None`` under keyed rounding)."""
+        return getattr(self.rounding, "rng", None)
+
+    def encode(
+        self,
+        h: np.ndarray,
+        bits_per_row: np.ndarray,
+        block: tuple[str, int, int, int] | None = None,
+    ) -> MixedPrecisionPayload:
         """Quantize row ``i`` of ``h`` at ``bits_per_row[i]`` bits.
 
         Rows are grouped by bit-width; each group becomes one packed stream.
+        ``block`` names the message's ``(phase, layer, src, dst)``
+        coordinates — required under keyed rounding (the noise for the
+        whole message is one keyed draw in row order, sliced per group),
+        ignored under stream rounding.
 
         Examples
         --------
@@ -113,6 +136,15 @@ class MixedPrecisionEncoder:
                 f"vs {h.shape[0]} rows"
             )
 
+        keyed = self.rounding.mode == "keyed"
+        if keyed:
+            if block is None:
+                raise ValueError(
+                    "keyed rounding needs the message's (phase, layer, src, "
+                    "dst) block coordinates"
+                )
+            noise_full = self.rounding.block_noise(*block, shape=h.shape)
+
         group_bits: list[int] = []
         group_rows: list[np.ndarray] = []
         streams: list[np.ndarray] = []
@@ -120,7 +152,13 @@ class MixedPrecisionEncoder:
         scales: list[np.ndarray] = []
         for bits in sorted(np.unique(bits_per_row).tolist()):
             rows = np.flatnonzero(bits_per_row == bits)
-            q = quantize_stochastic(h[rows], int(bits), self.rng)
+            if keyed:
+                # Noise indexed by original row position: the same values
+                # the fused encoder's per-pair keyed draw assigns, however
+                # the rows are grouped.
+                q = quantize_with_noise(h[rows], int(bits), noise_full[rows])
+            else:
+                q = quantize_stochastic(h[rows], int(bits), self.rounding.rng)
             group_bits.append(int(bits))
             group_rows.append(rows)
             streams.append(pack_bits(q.codes, int(bits)))

@@ -11,6 +11,21 @@ For a message vector ``h`` and bit-width ``b``:
 Stochastic rounding makes ``E[ĥ] = h`` (unbiased) with per-element variance
 at most ``S²/6`` under the uniform-fraction assumption, giving Theorem 1's
 vector variance ``D · S² / 6``.
+
+**Rounding-noise sources.**  Where the noise comes from is a systems
+choice, captured by two interchangeable policies:
+
+* :class:`StreamRounding` draws from one shared sequential
+  :class:`numpy.random.Generator` — the original contract, where bitwise
+  reproducibility requires every encode to consume the stream in a fixed
+  global order (which is why it pins the worker transport to one worker);
+* :class:`KeyedRounding` makes the noise for each quantized message block
+  a *pure function of its coordinates*: a counter-based Philox generator
+  keyed on ``(run_seed, epoch, phase, layer, src, dst)``.  Encode jobs
+  then produce bitwise-identical bytes regardless of which thread runs
+  them or in what order they retire — determinism becomes a property of
+  data coordinates rather than schedule, and the transport may fan encode
+  and decode work across any number of workers.
 """
 
 from __future__ import annotations
@@ -27,6 +42,10 @@ __all__ = [
     "quantize_stochastic",
     "quantize_with_noise",
     "dequantize",
+    "block_key",
+    "StreamRounding",
+    "KeyedRounding",
+    "as_rounding",
 ]
 
 _ALLOWED_BITS = (1, 2, 4, 8)
@@ -152,3 +171,126 @@ def dequantize(q: QuantizedTensor) -> np.ndarray:
     return (
         q.codes.astype(np.float32) * q.scale[:, None] + q.zero_point[:, None]
     ).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Rounding-noise policies
+# ---------------------------------------------------------------------------
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15  # 2^64 / phi, the usual odd sequencing constant
+
+_PHASE_IDS = {"fwd": 0, "bwd": 1}
+
+
+def _mix64(z: int) -> int:
+    """SplitMix64 finalizer: a full-avalanche 64-bit hash step."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def block_key(
+    run_seed: int, epoch: int, phase: str, layer: int, src: int, dst: int
+) -> tuple[int, int]:
+    """Philox key words for one message block's rounding noise.
+
+    The coordinates are absorbed one by one through SplitMix64 mixing
+    (plain Python integer arithmetic — platform- and order-stable), then
+    finalized into the two 64-bit words Philox4x64 takes as its key.  Two
+    blocks differing in *any* coordinate get statistically independent
+    streams; the same coordinates always reproduce the same stream.
+
+    >>> block_key(0, 0, "fwd", 0, 0, 1) == block_key(0, 0, "fwd", 0, 0, 1)
+    True
+    >>> block_key(0, 0, "fwd", 0, 0, 1) != block_key(0, 0, "bwd", 0, 0, 1)
+    True
+    """
+    h = _mix64(int(run_seed) ^ _GOLDEN)
+    for coord in (epoch, _PHASE_IDS[phase], layer, src, dst):
+        h = _mix64(h ^ _mix64((int(coord) + _GOLDEN) & _MASK64))
+    return _mix64(h ^ 0xA5A5A5A5A5A5A5A5), _mix64(h ^ 0x3C3C3C3C3C3C3C3C)
+
+
+class StreamRounding:
+    """Sequential rounding noise from one shared generator (the legacy
+    contract): reproducible only when every encode consumes the stream in
+    a fixed global order."""
+
+    mode = "stream"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def set_epoch(self, epoch: int) -> None:
+        """No-op: the stream position, not the epoch, is the state."""
+
+
+class KeyedRounding:
+    """Counter-based rounding noise keyed on message-block coordinates.
+
+    Each block's noise is drawn from a fresh Philox generator keyed on
+    ``(run_seed, epoch, phase, layer, src, dst)`` — a pure function of
+    *what* is being quantized, never of *when* or *where* it runs.  The
+    per-epoch coordinate comes from :meth:`set_epoch`, which exchanges
+    call from their ``on_epoch_start`` hook; every (phase, layer, src,
+    dst) block is encoded exactly once per epoch, so blocks never share a
+    stream.
+    """
+
+    mode = "keyed"
+
+    def __init__(self, run_seed: int) -> None:
+        self.run_seed = int(run_seed)
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = int(epoch)
+
+    def block_generator(
+        self, phase: str, layer: int, src: int, dst: int
+    ) -> np.random.Generator:
+        key = block_key(self.run_seed, self.epoch, phase, layer, src, dst)
+        return np.random.Generator(
+            np.random.Philox(key=np.asarray(key, dtype=np.uint64))
+        )
+
+    def block_noise(
+        self,
+        phase: str,
+        layer: int,
+        src: int,
+        dst: int,
+        shape: tuple[int, ...] | None = None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Uniform [0, 1) rounding noise for one block, row-major.
+
+        ``out`` (a C-contiguous float64 buffer) receives the draw in
+        place; otherwise a fresh ``shape`` array is returned.  The same
+        coordinates always produce the same values, whichever form is
+        used — both consume the keyed stream from its origin.
+        """
+        gen = self.block_generator(phase, layer, src, dst)
+        if out is not None:
+            gen.random(out=out)
+            return out
+        return gen.random(shape)
+
+
+def as_rounding(source) -> StreamRounding | KeyedRounding:
+    """Coerce an encoder's noise source to a rounding policy.
+
+    Plain :class:`numpy.random.Generator` instances (every pre-keyed
+    caller) wrap into :class:`StreamRounding`; policy objects pass
+    through.
+    """
+    if isinstance(source, (StreamRounding, KeyedRounding)):
+        return source
+    if isinstance(source, np.random.Generator):
+        return StreamRounding(source)
+    raise TypeError(
+        "rounding source must be a numpy Generator, StreamRounding or "
+        f"KeyedRounding, got {type(source).__name__}"
+    )

@@ -16,6 +16,7 @@ import pytest
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.compute import restrict_rows
+from repro.comm.transport import Transport
 from repro.cluster.exchange import (
     ExactHaloExchange,
     FixedBitProvider,
@@ -35,7 +36,7 @@ def _book(dataset, parts):
     return partition_graph(dataset.graph, parts, method="metis", seed=0)
 
 
-def _make_exchange(name):
+def _make_exchange(name, rng_mode="stream"):
     if name == "exact":
         return ExactHaloExchange()
     if name == "stale":
@@ -46,12 +47,16 @@ def _make_exchange(name):
         from repro.baselines.sancus import BroadcastSkipExchange
 
         return BroadcastSkipExchange(2)
-    return FusedQuantizedHaloExchange(FixedBitProvider(4), np.random.default_rng(123))
+    from repro.quant.stochastic import KeyedRounding
+
+    rng = KeyedRounding(123) if rng_mode == "keyed" else np.random.default_rng(123)
+    return FusedQuantizedHaloExchange(FixedBitProvider(4), rng)
 
 
 def _run_epochs(
     dataset, book, *, model_kind, overlap, exchange_name, epochs=3,
-    async_transport=False, timeline_keep=None,
+    async_transport=False, timeline_keep=None, transport_workers=None,
+    rng_mode="stream", transport_cls=None,
 ):
     cluster = Cluster(
         dataset,
@@ -64,9 +69,12 @@ def _run_epochs(
         fused_compute=True,
         overlap=overlap,
         async_transport=async_transport,
+        transport_workers=transport_workers,
         timeline_keep=timeline_keep,
     )
-    exchange = _make_exchange(exchange_name)
+    if transport_cls is not None:
+        cluster.transport = transport_cls(cluster.num_devices)
+    exchange = _make_exchange(exchange_name, rng_mode)
     losses, grads, wire = [], [], 0
     record = None
     for epoch in range(epochs):
@@ -125,6 +133,170 @@ def test_async_transport_bitwise_identical_to_sync(
         assert np.array_equal(ga, gs), "reduced gradients diverged"
     assert asy[2] == syn[2], "wire bytes diverged"
     assert asy[3] == syn[3], "eval metrics diverged"
+
+
+# ----------------------------------------------------------------------
+# ISSUE 5: keyed rounding RNG — determinism from data coordinates
+# ----------------------------------------------------------------------
+class _ShuffledTransport(Transport):
+    """A deterministic stand-in for adversarial job scheduling: deferred
+    jobs accumulate and run in *reverse submission order* at join time
+    (followups deferred by running jobs are picked up too).  Any
+    retirement order a real pool could produce is a prefix-respecting
+    interleaving of this and submission order, so equality across the two
+    extremes is the order-independence property."""
+
+    is_async = True  # engage the sharded encode + worker-decode paths
+    workers = 4
+
+    def __init__(self, num_devices):
+        super().__init__(num_devices)
+        self._queue: dict[str, list] = {}
+
+    def defer(self, tag, job):
+        self._queue.setdefault(tag, []).append(job)
+
+    def complete(self, tag):
+        while self._queue.get(tag):
+            jobs = self._queue.pop(tag)
+            for job in reversed(jobs):
+                job()
+        self._queue.pop(tag, None)
+        return 0.0
+
+    def collect(self, dst, tag):
+        self.complete(tag)
+        return super().collect(dst, tag)
+
+    def reset_accounting(self):
+        for tag in list(self._queue):
+            self.complete(tag)
+        super().reset_accounting()
+
+
+@pytest.mark.parametrize(
+    "exchange_name", ["exact", "quantized", "stale", "broadcast"]
+)
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_keyed_rng_order_independent_across_worker_counts(
+    tiny_dataset, exchange_name, workers
+):
+    """ISSUE 5's acceptance property: with rng_mode="keyed", losses,
+    reduced gradients, wire bytes and eval metrics are bitwise-identical
+    across transport_workers in {sync, 1, 2, 4} for every exchange
+    policy — determinism is a property of data coordinates, not of which
+    thread encoded a block or when it retired.  (The synchronous
+    transport is the baseline arm of every comparison.)"""
+    book = _book(tiny_dataset, 4)
+    kwargs = dict(
+        model_kind="gcn", overlap=True, exchange_name=exchange_name,
+        rng_mode="keyed",
+    )
+    baseline = _run_epochs(tiny_dataset, book, async_transport=False, **kwargs)
+    arm = _run_epochs(
+        tiny_dataset, book, async_transport=True,
+        transport_workers=workers, **kwargs,
+    )
+    assert arm[0] == baseline[0], "losses diverged"
+    for ga, gb in zip(arm[1], baseline[1]):
+        assert np.array_equal(ga, gb), "reduced gradients diverged"
+    assert arm[2] == baseline[2], "wire bytes diverged"
+    assert arm[3] == baseline[3], "eval metrics diverged"
+
+
+@pytest.mark.parametrize("exchange_name", ["exact", "quantized"])
+def test_keyed_rng_survives_shuffled_job_retirement(tiny_dataset, exchange_name):
+    """Shuffled job-retirement order: running every deferred job (encode
+    shards and decode followups) in reverse submission order must leave
+    the training trajectory bitwise-unchanged under keyed rounding."""
+    book = _book(tiny_dataset, 4)
+    kwargs = dict(
+        model_kind="gcn", overlap=True, exchange_name=exchange_name,
+        rng_mode="keyed",
+    )
+    plain = _run_epochs(tiny_dataset, book, async_transport=False, **kwargs)
+    shuffled = _run_epochs(
+        tiny_dataset, book, async_transport=False,
+        transport_cls=_ShuffledTransport, **kwargs,
+    )
+    assert shuffled[0] == plain[0], "losses diverged"
+    for ga, gb in zip(shuffled[1], plain[1]):
+        assert np.array_equal(ga, gb), "reduced gradients diverged"
+    assert shuffled[2] == plain[2], "wire bytes diverged"
+    assert shuffled[3] == plain[3], "eval metrics diverged"
+    # The shuffled transport still records a fully hidden interleave.
+    assert shuffled[4].hidden_byte_fraction() == 1.0
+
+
+def test_worker_decode_keeps_overlap_accounting_at_many_workers(tiny_dataset):
+    """With worker-side decode the step's mailboxes are drained on the
+    pool; the window opened before the post must still classify every
+    byte as hidden."""
+    book = _book(tiny_dataset, 4)
+    record = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", overlap=True,
+        exchange_name="quantized", rng_mode="keyed",
+        async_transport=True, transport_workers=4,
+    )[4]
+    assert record.hidden_byte_fraction() == 1.0
+    assert all(t.overlapped_bytes == t.total_bytes for t in record.timelines)
+
+
+def test_cluster_is_a_context_manager(tiny_dataset, tiny_book):
+    """Satellite: `with Cluster(...)` closes the transport on exit — even
+    when the body raises — and close stays idempotent afterwards."""
+    with Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+        async_transport=True, transport_workers=2,
+    ) as cluster:
+        assert cluster.transport_workers == 2
+        cluster.train_epoch(_make_exchange("quantized", "keyed"), 0)
+    # Exited: the worker pool is gone and further deferred work refuses.
+    with pytest.raises(RuntimeError, match="closed"):
+        cluster.transport.defer("t", lambda: None)
+    cluster.close()  # double-close is a no-op
+
+    class Boom(Exception):
+        pass
+
+    try:
+        with Cluster(
+            tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+            async_transport=True,
+        ) as cluster:
+            raise Boom
+    except Boom:
+        pass
+    with pytest.raises(RuntimeError, match="closed"):
+        cluster.transport.defer("t", lambda: None)
+
+
+def test_transport_worker_resolution(tiny_dataset, tiny_book):
+    from repro.comm.transport import host_spare_cores
+
+    auto = Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+        async_transport=True,
+    )
+    assert auto.transport_workers == max(1, host_spare_cores())
+    assert auto.transport.workers == auto.transport_workers
+    pinned = Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+        async_transport=True, transport_workers=3,
+    )
+    assert pinned.transport.workers == 3
+    sync = Cluster(
+        tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+        async_transport=False, transport_workers=3,
+    )
+    assert sync.transport_workers == 0 and sync.transport.workers == 0
+    with pytest.raises(ValueError, match="transport_workers"):
+        Cluster(
+            tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
+            async_transport=True, transport_workers=0,
+        )
+    for c in (auto, pinned, sync):
+        c.close()
 
 
 def test_async_transport_keeps_overlap_accounting(tiny_dataset):

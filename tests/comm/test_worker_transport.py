@@ -88,14 +88,64 @@ def test_collect_auto_joins_outstanding_job():
     t.close()
 
 
-def test_one_job_per_tag_in_flight():
-    t = WorkerTransport(2)
+def test_complete_joins_every_job_under_a_tag():
+    """A tag may carry several jobs (encode shards + decode followups);
+    complete must join them all, not just the first."""
+    t = WorkerTransport(2, workers=2)
+    done: list[int] = []
     release = threading.Event()
-    t.defer("s", lambda: release.wait(timeout=5.0))
-    with pytest.raises(RuntimeError, match="already has a deferred job"):
-        t.defer("s", lambda: None)
+    t.defer("s", lambda: (release.wait(timeout=5.0), done.append(1)))
+    t.defer("s", lambda: done.append(2))
     release.set()
     t.complete("s")
+    assert sorted(done) == [1, 2]
+    assert t.complete("s") == 0.0  # tag drained
+    t.close()
+
+
+def test_complete_joins_followups_deferred_by_running_jobs():
+    """The fused engine's last encode shard defers decode jobs under the
+    same tag *from inside the pool*; complete must pick those up even
+    though they were registered after it started waiting."""
+    t = WorkerTransport(2, workers=1)
+    order: list[str] = []
+
+    def encode():
+        order.append("encode")
+        t.defer("s", lambda: order.append("decode"))
+
+    t.defer("s", encode)
+    t.complete("s")
+    assert order == ["encode", "decode"]
+    t.close()
+
+
+def test_multi_worker_jobs_run_concurrently():
+    """At workers=2 two jobs of one tag really overlap: each blocks until
+    the other has started, which deadlocks on a single-worker pool."""
+    t = WorkerTransport(2, workers=2)
+    a_started = threading.Event()
+    b_started = threading.Event()
+
+    def job_a():
+        a_started.set()
+        assert b_started.wait(timeout=10.0)
+
+    def job_b():
+        b_started.set()
+        assert a_started.wait(timeout=10.0)
+
+    t.defer_many("s", [job_a, job_b])
+    t.complete("s")
+    t.close()
+
+
+def test_worker_count_validated():
+    with pytest.raises(ValueError, match="workers"):
+        WorkerTransport(2, workers=0)
+    assert Transport(2).workers == 0
+    t = WorkerTransport(2, workers=3)
+    assert t.workers == 3
     t.close()
 
 
@@ -117,10 +167,44 @@ def test_close_is_idempotent():
     t.defer("s", lambda: None)
     t.close()
     t.close()
+    # The synchronous transport's no-op close is idempotent too.
+    s = Transport(2)
+    s.close()
+    s.close()
 
 
-def test_host_has_spare_core_is_boolean():
+def test_close_after_failed_job_swallows_and_releases():
+    """The close-after-failed-epoch path: a job that raised must not keep
+    the pool alive (leaked worker threads) or re-raise out of close."""
+    t = WorkerTransport(2)
+
+    def bad():
+        raise RuntimeError("epoch failed mid-flight")
+
+    t.defer("s", bad)
+    t.close()  # joins, swallows, shuts the pool down
+    t.close()  # and stays idempotent afterwards
+    with pytest.raises(RuntimeError, match="closed"):
+        t.defer("s2", lambda: None)
+
+
+def test_collect_sorts_mailboxes_by_source():
+    """Concurrent workers retire posts in arbitrary order; receivers
+    accumulate floats in mailbox iteration order, so collect must hand
+    back sources ascending regardless of arrival order."""
+    t = Transport(4)
+    for src in (2, 0, 3):
+        t.post(src, 1, "s", f"p{src}", 1)
+    assert list(t.collect(1, "s")) == [0, 2, 3]
+
+
+def test_host_core_helpers_consistent():
+    from repro.comm.transport import detected_cores, host_spare_cores
+
     assert isinstance(host_has_spare_core(), bool)
+    assert detected_cores() >= 1
+    assert host_spare_cores() == detected_cores() - 1
+    assert host_has_spare_core() == (host_spare_cores() >= 1)
 
 
 # ---------------------------------------------------------------------------

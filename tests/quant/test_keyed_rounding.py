@@ -1,0 +1,194 @@
+"""Keyed (counter-based) rounding noise: determinism from coordinates.
+
+The PR-5 contract: under :class:`KeyedRounding`, the stochastic-rounding
+noise of every quantized message block is a pure function of
+``(run_seed, epoch, phase, layer, src, dst)`` — never of execution order,
+thread placement or how the step was sharded.  These tests pin the key
+derivation, the policy API, and the bitwise equivalence between the
+per-pair and fused encoders (which the trainer-level equivalence suites
+build on).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.quant.fused import FusedStepEncoder
+from repro.quant.mixed import MixedPrecisionEncoder
+from repro.quant.stochastic import (
+    KeyedRounding,
+    StreamRounding,
+    as_rounding,
+    block_key,
+)
+
+
+# ----------------------------------------------------------------------
+# Key derivation
+# ----------------------------------------------------------------------
+def test_block_key_deterministic_and_coordinate_sensitive():
+    base = block_key(7, 3, "fwd", 1, 0, 2)
+    assert base == block_key(7, 3, "fwd", 1, 0, 2)
+    # Every coordinate matters, including direction and src/dst order.
+    variants = [
+        block_key(8, 3, "fwd", 1, 0, 2),
+        block_key(7, 4, "fwd", 1, 0, 2),
+        block_key(7, 3, "bwd", 1, 0, 2),
+        block_key(7, 3, "fwd", 2, 0, 2),
+        block_key(7, 3, "fwd", 1, 2, 0),
+        block_key(7, 3, "fwd", 1, 0, 3),
+    ]
+    assert len({base, *variants}) == len(variants) + 1
+    for w0, w1 in (base, *variants):
+        assert 0 <= w0 < 2**64 and 0 <= w1 < 2**64
+
+
+def test_block_key_rejects_unknown_phase():
+    with pytest.raises(KeyError):
+        block_key(0, 0, "sideways", 0, 0, 1)
+
+
+# ----------------------------------------------------------------------
+# Policy API
+# ----------------------------------------------------------------------
+def test_keyed_noise_is_order_and_form_independent():
+    rounding = KeyedRounding(11)
+    rounding.set_epoch(5)
+    a = rounding.block_noise("fwd", 0, 1, 2, shape=(6, 4))
+    out = np.empty((6, 4), dtype=np.float64)
+    rounding.block_noise("fwd", 0, 1, 2, out=out)
+    assert np.array_equal(a, out)
+    # Drawing other blocks in between must not perturb a block's stream.
+    rounding.block_noise("bwd", 2, 0, 1, shape=(3, 3))
+    assert np.array_equal(a, rounding.block_noise("fwd", 0, 1, 2, shape=(6, 4)))
+    # The epoch is a coordinate.
+    rounding.set_epoch(6)
+    assert not np.array_equal(a, rounding.block_noise("fwd", 0, 1, 2, shape=(6, 4)))
+    assert (a >= 0).all() and (a < 1).all()
+
+
+def test_as_rounding_coercion():
+    gen = np.random.default_rng(0)
+    stream = as_rounding(gen)
+    assert isinstance(stream, StreamRounding) and stream.rng is gen
+    keyed = KeyedRounding(3)
+    assert as_rounding(keyed) is keyed
+    assert as_rounding(stream) is stream
+    with pytest.raises(TypeError):
+        as_rounding(42)
+    # set_epoch is part of both policies' surface (no-op for streams).
+    stream.set_epoch(9)
+    assert stream.rng is gen
+
+
+def test_encoders_expose_rng_only_in_stream_mode():
+    gen = np.random.default_rng(0)
+    assert MixedPrecisionEncoder(gen).rng is gen
+    assert MixedPrecisionEncoder(KeyedRounding(0)).rng is None
+    assert FusedStepEncoder(gen).rng is gen
+    assert FusedStepEncoder(KeyedRounding(0)).rng is None
+
+
+def test_keyed_encode_requires_block_coordinates():
+    enc = MixedPrecisionEncoder(KeyedRounding(0))
+    h = np.zeros((4, 3), dtype=np.float32)
+    with pytest.raises(ValueError, match="coordinates"):
+        enc.encode(h, np.full(4, 2))
+    fused = FusedStepEncoder(KeyedRounding(0))
+    plan = fused.plan_for(
+        "k",
+        [(0, 1)],
+        np.array([4], dtype=np.int64),
+        [(0, 0, 4)],
+        np.arange(4, dtype=np.int64),
+        np.full(4, 2, dtype=np.int64),
+        3,
+    )
+    fused.gather_step(plan, {0: h})
+    with pytest.raises(ValueError, match="coordinates"):
+        fused.quantize_pack_step(plan)
+
+
+# ----------------------------------------------------------------------
+# Encoder equivalence and order independence
+# ----------------------------------------------------------------------
+def _synthetic_step(seed, rows=24, dim=8):
+    """A 3-source, 4-destination step in the topology builder's layout:
+    pairs device-major (sources ascending, peers ascending within one),
+    device blocks contiguous in cat order."""
+    gen = np.random.default_rng(seed)
+    pairs = [(0, 1), (0, 2), (1, 0), (1, 3), (2, 1), (2, 3)]
+    counts = gen.integers(5, rows, len(pairs)).astype(np.int64)
+    n = int(counts.sum())
+    values = {r: gen.normal(size=(64, dim)).astype(np.float32) for r in range(3)}
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    cat_idx = np.concatenate([gen.integers(0, 64, c) for c in counts]).astype(np.int64)
+    bits_cat = gen.choice([2, 4, 8], size=n)
+    blocks = []
+    for rank in range(3):
+        spans = [i for i, (src, _) in enumerate(pairs) if src == rank]
+        blocks.append((rank, int(bounds[spans[0]]), int(bounds[spans[-1] + 1])))
+    return pairs, counts, bounds, cat_idx, bits_cat, values, blocks, dim
+
+
+def test_fused_keyed_matches_per_pair_keyed_bitwise():
+    pairs, counts, bounds, cat_idx, bits_cat, values, blocks, dim = _synthetic_step(3)
+    fused = FusedStepEncoder(KeyedRounding(17))
+    plan = fused.plan_for("k", pairs, counts, blocks, cat_idx, bits_cat, dim)
+    payloads = fused.encode_step(plan, values, coords=("fwd", 1))
+
+    per_pair = MixedPrecisionEncoder(KeyedRounding(17))
+    for i, (src, dst) in enumerate(pairs):
+        h = values[src][cat_idx[bounds[i] : bounds[i + 1]]]
+        expected = per_pair.encode(
+            h, bits_cat[bounds[i] : bounds[i + 1]], block=("fwd", 1, src, dst)
+        )
+        got = payloads[(src, dst)]
+        assert got.group_bits == expected.group_bits
+        for a, b in zip(got.streams, expected.streams):
+            assert np.array_equal(a, b)
+        for a, b in zip(got.zero_points, expected.zero_points):
+            assert np.array_equal(a, b)
+        for a, b in zip(got.scales, expected.scales):
+            assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("n_shards", [2, 3, 8])
+def test_sharded_encode_is_bitwise_shard_and_order_invariant(n_shards):
+    pairs, counts, _, cat_idx, bits_cat, values, blocks, dim = _synthetic_step(5)
+    whole = FusedStepEncoder(KeyedRounding(9))
+    plan_w = whole.plan_for("k", pairs, counts, blocks, cat_idx, bits_cat, dim)
+    reference = whole.encode_step(plan_w, values, coords=("bwd", 2))
+
+    sharded = FusedStepEncoder(KeyedRounding(9))
+    plan_s = sharded.plan_for("k", pairs, counts, blocks, cat_idx, bits_cat, dim)
+    sharded.gather_step(plan_s, values)
+    shards = sharded.shards_for(plan_s, n_shards)
+    assert 1 <= len(shards) <= min(n_shards, len(pairs))
+    # Shards tile the pair list exactly once.
+    spans = sorted((s.pair_lo, s.pair_hi) for s in shards)
+    assert spans[0][0] == 0 and spans[-1][1] == len(pairs)
+    assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+
+    shuffled = list(shards)
+    random.Random(n_shards).shuffle(shuffled)
+    got = {}
+    for shard in shuffled:
+        got.update(sharded.quantize_pack_shard(plan_s, shard, coords=("bwd", 2)))
+    assert set(got) == set(reference)
+    for pair in reference:
+        for a, b in zip(reference[pair].streams, got[pair].streams):
+            assert np.array_equal(a, b)
+        for a, b in zip(reference[pair].zero_points, got[pair].zero_points):
+            assert np.array_equal(a, b)
+
+
+def test_stream_mode_pins_to_one_shard():
+    pairs, counts, _, cat_idx, bits_cat, values, blocks, dim = _synthetic_step(8)
+    enc = FusedStepEncoder(np.random.default_rng(0))
+    plan = enc.plan_for("k", pairs, counts, blocks, cat_idx, bits_cat, dim)
+    assert len(enc.shards_for(plan, 8)) == 1  # order-dependent stream
+    keyed = FusedStepEncoder(KeyedRounding(0))
+    plan_k = keyed.plan_for("k", pairs, counts, blocks, cat_idx, bits_cat, dim)
+    assert len(keyed.shards_for(plan_k, 8)) > 1

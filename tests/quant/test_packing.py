@@ -53,3 +53,62 @@ def test_property_roundtrip(bits, values):
     assert np.array_equal(unpack_bits(stream, bits, codes.size), codes)
     # Compression: packed stream is ceil(n*bits/8) bytes.
     assert stream.size == -(-codes.size * bits // 8)
+
+
+# ----------------------------------------------------------------------
+# Big-endian lane-loop fallback (forced on little-endian CI)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def big_endian_pack(monkeypatch):
+    """Force ``pack_bits`` down the byte-order-agnostic lane loop.
+
+    The word-merge kernel reinterprets code bytes as little-endian
+    machine words, so big-endian hosts take a per-lane shift-OR fallback
+    instead.  CI never runs big-endian hardware; flipping the flag is the
+    only way the fallback gets exercised — its wire bytes must be
+    *identical* to the word-merge kernel's (the stream layout is a wire
+    format, not a host detail).
+    """
+    import repro.quant.packing as packing
+
+    monkeypatch.setattr(packing, "_LITTLE_ENDIAN", False)
+    return packing
+
+
+@pytest.mark.parametrize("bits", [2, 4])
+@pytest.mark.parametrize("n", [0, 1, 3, 4, 17, 256, 1001])
+def test_big_endian_fallback_matches_word_merge(big_endian_pack, monkeypatch, bits, n):
+    codes = np.random.default_rng(n + bits).integers(0, 1 << bits, n).astype(np.uint8)
+    fallback = big_endian_pack.pack_bits(codes, bits)
+    monkeypatch.setattr(big_endian_pack, "_LITTLE_ENDIAN", True)
+    word_merge = big_endian_pack.pack_bits(codes, bits)
+    assert np.array_equal(fallback, word_merge)
+
+
+@pytest.mark.parametrize("bits", [1, 2, 4, 8])
+def test_big_endian_fallback_roundtrips(big_endian_pack, bits):
+    gen = np.random.default_rng(bits)
+    codes = gen.integers(0, 1 << bits, 513).astype(np.uint8)
+    stream = big_endian_pack.pack_bits(codes, bits)
+    # The word-LUT unpack is byte-order-agnostic by construction (it
+    # views the gathered words back as bytes), so it must invert the
+    # fallback's streams exactly.
+    assert np.array_equal(big_endian_pack.unpack_bits(stream, bits, codes.size), codes)
+
+
+def test_big_endian_fallback_validates_and_pads(big_endian_pack):
+    with pytest.raises(ValueError, match="range"):
+        big_endian_pack.pack_bits(np.array([4], dtype=np.uint8), 2)
+    # Ragged tail: zero-padding must match the word-merge layout.
+    stream = big_endian_pack.pack_bits(np.array([3, 1, 2], dtype=np.uint8), 2)
+    assert stream.tolist() == [0b00100111]
+
+
+def test_big_endian_fallback_through_batched_kernels(big_endian_pack):
+    from repro.quant.packing import pack_bits_batched, unpack_bits_batched
+
+    gen = np.random.default_rng(0)
+    counts = np.array([8, 24, 16], dtype=np.int64)
+    codes = gen.integers(0, 4, int(counts.sum())).astype(np.uint8)
+    streams = pack_bits_batched(codes, 2, counts)
+    assert np.array_equal(unpack_bits_batched(streams, 2, counts), codes)

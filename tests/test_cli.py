@@ -11,6 +11,37 @@ def test_info(capsys):
     assert "adaqp" in out and "reddit" in out
 
 
+def test_info_reports_host_and_transport_resolution(capsys):
+    """Satellite (ISSUE 5): auto-selection decisions are debuggable from
+    the CLI — core count, spare-core verdict, resolved rng/transport."""
+    from repro.comm.transport import detected_cores, host_has_spare_core
+
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert f"{detected_cores()} core(s) detected" in out
+    verdict = "yes" if host_has_spare_core() else "no"
+    assert f"spare core for transport workers: {verdict}" in out
+    assert "rng_mode=keyed" in out
+    if host_has_spare_core():
+        assert "worker transport with" in out
+    else:
+        assert "synchronous transport (no spare core)" in out
+
+
+def test_train_transport_and_rng_flags(capsys):
+    code = main(
+        [
+            "train", "--system", "adaqp-fixed", "--dataset", "yelp",
+            "--setting", "2M-2D", "--epochs", "2", "--hidden", "8",
+            "--transport-workers", "2", "--rng-mode", "keyed",
+        ]
+    )
+    assert code == 0
+    assert "throughput" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["train", "--rng-mode", "chaotic"])
+
+
 def test_partition_command(capsys):
     assert main(["partition", "--dataset", "yelp", "--parts", "2"]) == 0
     out = capsys.readouterr().out
