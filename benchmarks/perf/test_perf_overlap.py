@@ -14,6 +14,7 @@ from repro.harness.perfbench import (
     bench_epoch_overlap_async,
     bench_exchange_split_phase,
     bench_pack_kernel,
+    bench_process_scaling,
     bench_unpack_kernel,
     bench_worker_scaling,
 )
@@ -82,6 +83,23 @@ def test_worker_scaling_beats_single_worker_on_multicore():
             "fan-out would measure the scheduler, not the engine"
         )
     assert result["speedup"] > 1.3, result
+
+
+def test_process_scaling_beats_single_process_on_multicore():
+    """ISSUE 6's acceptance line: the process-backed transport's sharded
+    encode + per-receiver decode over shared-memory rings must clear
+    >=1.2x at 4 worker processes vs 1 on multi-core hosts (the curated
+    1.5x baseline holds the same 1.2x floor in the ``repro bench`` CI
+    comparison).  Wire bytes must match at any process count everywhere —
+    that half of the contract costs nothing to check on any host."""
+    result = bench_process_scaling(reps=8)
+    assert result["wire_bytes_match"], "process count changed wire accounting"
+    if not result["multi_core"]:
+        pytest.skip(
+            f"host has {result['cores']} core(s); {result['workers']}-process "
+            "fan-out would measure the scheduler, not the engine"
+        )
+    assert result["speedup"] > 1.2, result
 
 
 def test_quant_kernel_rewrites_hold_their_floors():

@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.exchange import HaloExchange, InFlightStep
-from repro.comm.transport import Transport
+from repro.comm.transport import SyncTransport as Transport
 
 __all__ = ["BroadcastSkipExchange"]
 

@@ -96,15 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical, but epoch records then carry no measured "
              "stage timelines)")
     p_train.add_argument(
+        "--transport", default=None, metavar="SPEC",
+        help="transport backend spec 'backend[:workers]': auto (default), "
+             "sync, worker[:N] (thread pool), process[:N] (worker "
+             "processes over shared memory — scales quantize-heavy steps "
+             "past the GIL); every backend is bit-identical to sync "
+             "under the same seed")
+    p_train.add_argument(
         "--no-async-transport", action="store_true",
-        help="escape hatch: keep each step's quantize/pack/post on the "
-             "main thread instead of the worker-backed transport "
-             "(overlapped runs default to async; bit-identical, slower)")
+        help="deprecated: use --transport sync (keeps each step's "
+             "quantize/pack/post on the main thread)")
     p_train.add_argument(
         "--transport-workers", type=int, default=None, metavar="N",
-        help="worker threads in the async transport's pool (default: auto "
-             "= the host's spare cores; results are bit-identical at any "
-             "count under the keyed rounding RNG)")
+        help="deprecated: use --transport worker:N / process:N (worker "
+             "count of the async transport's pool; default auto = the "
+             "host's spare cores)")
     p_train.add_argument(
         "--rng-mode", default="keyed", choices=("keyed", "stream"),
         help="stochastic-rounding noise source: 'keyed' (default) derives "
@@ -151,6 +157,7 @@ def _cmd_info() -> int:
         host_has_spare_core,
         host_spare_cores,
     )
+    from repro.comm.transports import available_backends, resolve_spec
 
     print(f"repro {__version__} — AdaQP reproduction (MLSys 2023)")
     print(f"systems:  {', '.join(SYSTEMS)}")
@@ -163,6 +170,7 @@ def _cmd_info() -> int:
     spare = host_spare_cores()
     verdict = "yes" if host_has_spare_core() else "no"
     cfg = RunConfig()
+    resolved = resolve_spec(cfg.transport, overlap=True)
     async_default = (
         f"worker transport with {max(1, spare)} worker(s)"
         if host_has_spare_core()
@@ -170,15 +178,39 @@ def _cmd_info() -> int:
     )
     print(f"host:     {cores} core(s) detected; spare core for transport "
           f"workers: {verdict} ({spare} spare)")
-    print(f"defaults: rng_mode={cfg.rng_mode}; overlapped runs auto-select "
-          f"{async_default}")
-    print("          (override: --rng-mode, --transport-workers, "
-          "--no-async-transport, --no-overlap)")
+    print(f"backends: {', '.join(available_backends())} "
+          "(select with --transport backend[:workers])")
+    print(f"defaults: rng_mode={cfg.rng_mode}; transport={cfg.transport} — "
+          f"overlapped runs resolve to '{resolved}', i.e. {async_default}")
+    print("          (override: --transport sync|worker[:N]|process[:N], "
+          "--rng-mode, --no-overlap)")
     return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.comm.topology import parse_topology
+    from repro.comm.transports import parse_transport_spec
+
+    legacy_flags = args.no_async_transport or args.transport_workers is not None
+    if args.transport is not None and legacy_flags:
+        print(
+            "error: --transport conflicts with the deprecated "
+            "--no-async-transport/--transport-workers flags",
+            file=sys.stderr,
+        )
+        return 2
+    if legacy_flags:
+        print(
+            "warning: --no-async-transport/--transport-workers are "
+            "deprecated; use --transport sync|worker:N|process:N",
+            file=sys.stderr,
+        )
+    if args.transport is not None:
+        try:
+            parse_transport_spec(args.transport)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     topology = parse_topology(args.setting)
     ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -196,6 +228,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         eval_every=max(1, args.epochs // 8),
         fused_compute=not args.no_fused_compute,
         overlap=not args.no_overlap,
+        transport=args.transport if args.transport is not None else "auto",
         async_transport=False if args.no_async_transport else None,
         transport_workers=args.transport_workers,
         rng_mode=args.rng_mode,

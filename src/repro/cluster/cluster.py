@@ -33,12 +33,8 @@ from repro.cluster.exchange import ExactHaloExchange, HaloExchange
 from repro.cluster.records import EpochRecord, PhaseRecord
 from repro.cluster.runtime import DeviceRuntime
 from repro.comm.allreduce import allreduce_sum
-from repro.comm.transport import (
-    Transport,
-    WorkerTransport,
-    host_has_spare_core,
-    host_spare_cores,
-)
+from repro.comm.transport import SyncTransport, TransportBackend
+from repro.comm.transports import TransportSpec, create_transport, resolve_spec
 from repro.gnn.coefficients import build_aggregation
 from repro.gnn.model import MODEL_KINDS, DistGNN
 from repro.graph.datasets import GraphDataset
@@ -82,8 +78,22 @@ class Cluster:
         ``fused_compute=False``); bit-identical to the non-overlapped
         engines under the same seed.  The trainer turns it on for the
         adaqp-variant systems.
+    transport:
+        Transport backend selection — a spec string (``"auto"``,
+        ``"sync"``, ``"worker:4"``, ``"process:2"``) or a parsed
+        :class:`~repro.comm.transports.TransportSpec`.  ``"auto"`` (the
+        default) resolves to the worker backend when the split-phase
+        pipeline executes and the host has a spare core, sync otherwise;
+        the async backends degrade to sync for non-overlapped runs
+        (there is no central window to hide work under).  Resolution
+        happens here, once: ``cluster.transport_spec`` is the concrete
+        spec, and a process pool spawns at construction (before epoch
+        state exists to drag through a fork) and drains + unlinks its
+        shared memory at :meth:`close`.  Mutually exclusive with the
+        legacy pair below.
     async_transport:
-        Route each step's encode/pack/post job through a
+        Legacy knob (use ``transport=``).  Route each step's
+        encode/pack/post job through a
         :class:`~repro.comm.transport.WorkerTransport` worker thread, so
         it runs concurrently with the central sub-step's GIL-releasing
         BLAS/spmv — the recorded overlap becomes wall-clock speedup.
@@ -97,7 +107,8 @@ class Cluster:
         by construction, and only the main thread scatters and
         accumulates, in device order over source-sorted mailboxes.
     transport_workers:
-        Worker threads in the :class:`~repro.comm.transport.
+        Legacy knob (use ``transport="worker:N"``).  Worker threads in
+        the :class:`~repro.comm.transport.
         WorkerTransport` pool (ignored when the transport resolves to
         synchronous).  ``None`` (default) auto-selects the host's spare
         cores (``host_spare_cores()``, at least 1): the main thread keeps
@@ -127,6 +138,7 @@ class Cluster:
         seed: int = 0,
         fused_compute: bool = True,
         overlap: bool = False,
+        transport: str | TransportSpec | None = None,
         async_transport: bool | None = None,
         transport_workers: int | None = None,
         timeline_keep: int | None = None,
@@ -202,31 +214,39 @@ class Cluster:
         # degrades to off rather than erroring (the legacy loop remains a
         # pure escape hatch).
         self.overlap = bool(overlap) and self.fused_compute
-        # The worker transport only pays off when a central window exists
-        # to hide the encode under *and* a spare core exists to run the
-        # worker on, so the auto default (None) requires both; an explicit
-        # True forces it (the equivalence/stress suites do), still gated
-        # on overlap — without the pipeline there is no window at all.
-        if async_transport is None:
-            async_transport = self.overlap and host_has_spare_core()
-        self.async_transport = bool(async_transport) and self.overlap
-        if transport_workers is not None and transport_workers < 1:
-            raise ValueError("transport_workers must be >= 1 (or None for auto)")
-        if self.async_transport:
-            # Auto worker count: one core stays with the main thread, the
-            # spare cores run the pool (at least one worker even when a
-            # forced async transport finds no spare core).
-            self.transport_workers = int(
-                transport_workers
-                if transport_workers is not None
-                else max(1, host_spare_cores())
+        # Backend selection goes through one TransportSpec.  The legacy
+        # async_transport/transport_workers pair maps onto the spec it
+        # always meant — False is "sync", True forces "worker" (still
+        # gated on overlap: without the pipeline there is no central
+        # window to hide work under), None is "auto" (worker when the
+        # pipeline executes and the host has a spare core) — so existing
+        # callers resolve to exactly the backends they got before.
+        if transport is not None and (
+            async_transport is not None or transport_workers is not None
+        ):
+            raise ValueError(
+                "pass either transport= or the legacy "
+                "async_transport/transport_workers pair, not both"
             )
-            self.transport: Transport = WorkerTransport(
-                self.num_devices, workers=self.transport_workers
-            )
-        else:
-            self.transport_workers = 0
-            self.transport = Transport(self.num_devices)
+        if transport is None:
+            if transport_workers is not None and transport_workers < 1:
+                raise ValueError("transport_workers must be >= 1 (or None for auto)")
+            if async_transport is False:
+                transport = TransportSpec("sync")
+            elif async_transport is True:
+                transport = TransportSpec("worker", transport_workers)
+            else:
+                transport = TransportSpec("auto", transport_workers)
+        spec = resolve_spec(transport, overlap=self.overlap)
+        self.transport_spec = spec
+        self.async_transport = spec.backend != "sync"
+        self.transport_workers = spec.workers or 0
+        self.transport: TransportBackend = create_transport(spec, self.num_devices)
+        # Process pools spawn here, at cluster open, before any epoch
+        # state exists to drag through a fork.
+        start = getattr(self.transport, "start", None)
+        if start is not None:
+            start()
         self.timeline_keep = timeline_keep
         self._engine: FusedClusterCompute | None = None
         self._phase_static: dict[tuple[int, str, bool], tuple[np.ndarray, ...]] = {}
@@ -364,7 +384,7 @@ class Cluster:
         """Exact (un-quantized) eval-mode forward; global logits matrix."""
         devices = self.devices
         exchange = self._eval_exchange
-        transport = Transport(self.num_devices)
+        transport = SyncTransport(self.num_devices)
         for dev in devices:
             dev.model.eval()
         logits = np.zeros(
@@ -390,11 +410,14 @@ class Cluster:
         return logits
 
     def close(self) -> None:
-        """Release background transport resources (worker threads).
+        """Release background transport resources (worker threads or
+        processes, plus any shared-memory slabs).
 
         Idempotent, and safe after a failed epoch: the transport joins
         outstanding worker jobs swallowing their exceptions (the caller
-        already saw them) before shutting the pool down.
+        already saw them) before shutting the pool down; a process
+        transport additionally unlinks every shm segment (with a
+        finalizer backstop for the path where close never runs).
         """
         self.transport.close()
 

@@ -27,8 +27,8 @@ buffers while a step is in flight.
 
 **Async post paths.**  Each ``post_step`` splits into a *snapshot* half
 (gathers the outgoing rows on the calling thread) and one or more
-*encode-and-post* jobs handed to :meth:`Transport.defer` /
-:meth:`Transport.defer_many`.  On the synchronous transport the jobs run
+*encode-and-post* jobs handed to :meth:`TransportBackend.defer` /
+:meth:`TransportBackend.defer_many`.  On the synchronous transport the jobs run
 inline, byte-for-byte the old behaviour; on a
 :class:`~repro.comm.transport.WorkerTransport` they run on the worker
 pool, overlapping the caller's subsequent compute.  Because the snapshot
@@ -62,14 +62,15 @@ from typing import Protocol
 import numpy as np
 import scipy.sparse as sp
 
-from repro.comm.transport import Transport
+from repro.comm.transport import TransportAccounting, TransportBackend
 from repro.quant.fused import (
     DecodeWorkspace,
     FusedStepEncoder,
     decode_cluster_step,
     decode_step,
+    shard_descriptor,
 )
-from repro.quant.mixed import MixedPrecisionEncoder
+from repro.quant.mixed import MixedPrecisionEncoder, MixedPrecisionPayload
 from repro.quant.theory import SUPPORTED_BITS
 from repro.utils.validation import check_in_set
 
@@ -160,7 +161,7 @@ class InFlightStep:
     Returned by :meth:`HaloExchange.post_step`; every field the receive
     half needs is captured here so ``finalize_step`` takes only the handle
     (plus destination buffers).  ``tag`` doubles as the transport key the
-    pipelined executor passes to :meth:`Transport.note_overlap`.
+    pipelined executor passes to :meth:`TransportAccounting.note_overlap`.
 
     ``worker_wait_s`` is filled by :meth:`mark_done`: the seconds the
     finalize half spent blocked joining the step's deferred encode (and,
@@ -192,7 +193,7 @@ class InFlightStep:
         phase: str,
         tag: str,
         devices: list,
-        transport: Transport,
+        transport: TransportBackend,
         dim: int,
     ) -> None:
         self.layer = layer
@@ -238,7 +239,7 @@ class HaloExchange:
         layer: int,
         phase: str,
         devices: list,  # list[DeviceRuntime]; untyped to avoid cycle
-        transport: Transport,
+        transport: TransportBackend,
         values_by_dev: list[np.ndarray],
     ) -> InFlightStep:
         """Stage 1: snapshot, encode and post this step's outgoing rows.
@@ -305,7 +306,7 @@ class HaloExchange:
         self,
         layer: int,
         devices: list,
-        transport: Transport,
+        transport: TransportBackend,
         h_by_dev: list[np.ndarray],
         out: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
@@ -326,7 +327,7 @@ class HaloExchange:
         self,
         layer: int,
         devices: list,
-        transport: Transport,
+        transport: TransportBackend,
         d_halo_by_dev: list[np.ndarray],
         d_own_by_dev: list[np.ndarray],
     ) -> None:
@@ -352,7 +353,7 @@ class HaloExchange:
     # -- policy hooks --------------------------------------------------------
     def _post(
         self,
-        transport: Transport,
+        transport: TransportBackend,
         layer: int,
         phase: str,
         src: int,
@@ -463,7 +464,7 @@ class ExactHaloExchange(HaloExchange):
         layer: int,
         phase: str,
         devices: list,
-        transport: Transport,
+        transport: TransportBackend,
         values_by_dev: list[np.ndarray],
     ) -> InFlightStep:
         check_in_set(phase, ("fwd", "bwd"), name="phase")
@@ -658,7 +659,7 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         layer: int,
         phase: str,
         devices: list,
-        transport: Transport,
+        transport: TransportBackend,
         values_by_dev: list[np.ndarray],
     ) -> InFlightStep:
         check_in_set(phase, ("fwd", "bwd"), name="phase")
@@ -714,7 +715,7 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
     # -- internals ----------------------------------------------------------
     def _encode_and_post(
         self,
-        transport: Transport,
+        transport: TransportBackend,
         layer: int,
         phase: str,
         devices: list,
@@ -744,6 +745,21 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
 
             def observe(src: int, dst: int, rows: np.ndarray) -> None:
                 tracer.observe(phase, layer, src, dst, rows)
+
+        if (
+            step is not None
+            and getattr(transport, "kind", None) == "process"
+            and self.rounding.mode == "keyed"
+        ):
+            # Process transport + keyed rounding: descriptor jobs over
+            # shared memory (closures cannot cross the process boundary).
+            # Stream rounding on a process transport falls through to the
+            # deferred-closure path below, which ProcessTransport runs
+            # inline — the bitwise sync behaviour.
+            self._post_step_process(
+                transport, plan, layer, phase, tag, step, values_by_rank, observe
+            )
+            return
 
         # Snapshot half (calling thread): gather the step's source rows
         # into plan scratch and feed the tracer (bit lookups above run
@@ -790,11 +806,11 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
 
         transport.defer_many(tag, [make_job(shard) for shard in shards])
 
-    def _defer_decodes(self, transport: Transport, step: InFlightStep) -> None:
+    def _defer_decodes(self, transport: TransportBackend, step: InFlightStep) -> None:
         """Queue one collect+decode job per receiver (worker side).
 
         Called by the step's last encode shard, so every envelope is
-        already posted; the jobs use the *base* ``Transport.collect``
+        already posted; the jobs use the *base* ``TransportAccounting.collect``
         (which sorts by source) — the subclass safety-net would try to
         join the very job set they run in.  Each receiver gets its own
         :class:`DecodeWorkspace`; the views stashed in ``step.decoded``
@@ -804,13 +820,194 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         for dev in step.devices:
 
             def decode_job(rank: int = dev.rank) -> None:
-                mailbox = Transport.collect(transport, rank, step.tag)
+                mailbox = TransportAccounting.collect(transport, rank, step.tag)
                 workspace = self._decode_ws_by_rank.get(rank)
                 if workspace is None:
                     workspace = self._decode_ws_by_rank[rank] = DecodeWorkspace()
                 step.decoded[rank] = decode_step(mailbox, workspace=workspace)
 
             transport.defer(step.tag, decode_job)
+
+    def _post_step_process(
+        self,
+        transport,
+        plan,
+        layer: int,
+        phase: str,
+        tag: str,
+        step: InFlightStep,
+        values_by_rank,
+        observe,
+    ) -> None:
+        """Post one step through a :class:`~repro.comm.process.
+        ProcessTransport`: shard descriptors out, shared memory back.
+
+        The slab layout is a pure function of the plan's group structure,
+        so it is computed here once and shipped to the workers as plain
+        offsets: input rows (cat order), then per (pair, group) the packed
+        stream + per-row zero/scale metadata, then per receiver the
+        decoded float32 output region.  Workers reproduce their shard's
+        bytes from the descriptor alone (keyed noise); the main thread's
+        ``on_done`` callbacks post shm-view payloads into the mailboxes
+        (wire accounting identical to the sync path — same streams, same
+        group structure) and, after the decode wave, stash ``step.decoded``
+        views exactly where the thread path does.
+        """
+        from repro.comm.process import ShardEncodeJob, StepDecodeJob
+
+        dim = plan.dim
+        n_total = plan.n_total
+        bounds = plan.cat_bounds
+
+        def align(offset: int) -> int:
+            return (offset + 7) & ~7
+
+        # ---- slab layout (group structure only; no payload data) --------
+        cursor = align(n_total * dim * 4)
+        pair_layouts: list[tuple] = []  # aligned with plan.pairs
+        for pair in plan.pairs:
+            groups = []
+            for g in plan.pair_groups[pair]:
+                n_g = g.stop - g.start
+                stream_nbytes = (n_g * dim * g.bits + 7) // 8
+                stream_off = cursor
+                z_off = align(stream_off + stream_nbytes)
+                s_off = z_off + n_g * 4
+                cursor = align(s_off + n_g * 4)
+                groups.append((g.bits, n_g, stream_off, stream_nbytes, z_off, s_off))
+            pair_layouts.append(tuple(groups))
+        # Decoded-output regions, grouped by receiver.  The topology walks
+        # devices (and each device's peers) in ascending order, so a fixed
+        # receiver's entries appear src-ascending — the same order
+        # ``collect`` anchors the sync path to.
+        out_layout: dict[int, list[tuple[int, int, int, int]]] = {}
+        for i, (src, dst) in enumerate(plan.pairs):
+            n_rows = int(plan.pair_counts[i])
+            out_off = cursor
+            cursor = align(out_off + n_rows * dim * 4)
+            out_layout.setdefault(dst, []).append((i, src, n_rows, out_off))
+
+        segment, base, view = transport.step_buffer(tag, cursor)
+
+        # ---- snapshot half (calling thread, directly into shm) ----------
+        in2d = view[: n_total * dim * 4].view(np.float32).reshape(n_total, dim)
+        for rank, start, stop in plan.device_blocks:
+            vals = values_by_rank[rank]
+            if vals.dtype != np.float32:
+                vals = np.asarray(vals, dtype=np.float32)
+            np.take(vals, plan.cat_idx[start:stop], axis=0, out=in2d[start:stop])
+        if observe is not None:
+            for i, pair in enumerate(plan.pairs):
+                observe(pair[0], pair[1], in2d[bounds[i] : bounds[i + 1]])
+
+        step.decoded = {dev.rank: {} for dev in step.devices}
+
+        def payload_for(i: int) -> MixedPrecisionPayload:
+            group_bits, group_rows, streams, zero_points, scales = [], [], [], [], []
+            for g, (_, n_g, so, sn, zo, sco) in zip(
+                plan.pair_groups[plan.pairs[i]], pair_layouts[i]
+            ):
+                group_bits.append(g.bits)
+                group_rows.append(g.rows)
+                streams.append(view[so : so + sn])
+                zero_points.append(view[zo : zo + n_g * 4].view(np.float32))
+                scales.append(view[sco : sco + n_g * 4].view(np.float32))
+            return MixedPrecisionPayload(
+                num_rows=int(plan.pair_counts[i]),
+                dim=dim,
+                group_bits=group_bits,
+                group_rows=group_rows,
+                streams=streams,
+                zero_points=zero_points,
+                scales=scales,
+            )
+
+        def make_posted(pair_lo: int, pair_hi: int):
+            def on_posted() -> None:
+                posts_by_rank: dict[int, list[tuple[int, object, int]]] = {}
+                for i in range(pair_lo, pair_hi):
+                    src, dst = plan.pairs[i]
+                    payload = payload_for(i)
+                    posts_by_rank.setdefault(src, []).append(
+                        (dst, payload, payload.wire_bytes)
+                    )
+                for rank, posts in posts_by_rank.items():
+                    transport.post_batch(rank, tag, posts)
+
+            return on_posted
+
+        # ---- encode wave: one descriptor job per shard ------------------
+        for shard in self.fused_encoder.shards_for(plan, max(transport.workers, 1)):
+            descriptor = shard_descriptor(
+                plan, shard, rounding=self.rounding, phase=phase, layer=layer
+            )
+            job = ShardEncodeJob(
+                descriptor=descriptor,
+                segment=segment,
+                rows_offset=base + shard.start * dim * 4,
+                n_rows=shard.stop - shard.start,
+                pair_layouts=tuple(
+                    tuple(
+                        (b, n_g, base + so, sn, base + zo, base + sco)
+                        for (b, n_g, so, sn, zo, sco) in pair_layouts[i]
+                    )
+                    for i in range(shard.pair_lo, shard.pair_hi)
+                ),
+            )
+            transport.submit(
+                tag, job, on_done=make_posted(shard.pair_lo, shard.pair_hi)
+            )
+
+        # ---- decode wave: one job per receiver, after encode drains -----
+        def make_decoded(rank: int, entries: list) -> object:
+            def on_decoded() -> None:
+                # Drain the mailbox (closing the books on the posted
+                # bytes); values are discarded — decode already ran in the
+                # worker against the same shm streams.
+                TransportAccounting.collect(transport, rank, tag)
+                decoded: dict[int, np.ndarray] = {}
+                for _, src, n_rows, out_off in entries:
+                    decoded[src] = (
+                        view[out_off : out_off + n_rows * dim * 4]
+                        .view(np.float32)
+                        .reshape(n_rows, dim)
+                    )
+                step.decoded[rank] = decoded
+
+            return on_decoded
+
+        for dev in step.devices:
+            entries = out_layout.get(dev.rank)
+            if not entries:
+                continue
+            sources = []
+            for i, src, n_rows, out_off in entries:
+                pair_groups = plan.pair_groups[plan.pairs[i]]
+                groups = tuple(
+                    (
+                        b,
+                        n_g,
+                        base + so,
+                        sn,
+                        base + zo,
+                        base + sco,
+                        None if len(pair_groups) == 1 else g.rows.tobytes(),
+                    )
+                    for g, (b, n_g, so, sn, zo, sco) in zip(
+                        pair_groups, pair_layouts[i]
+                    )
+                )
+                sources.append((src, n_rows, base + out_off, groups))
+            decode_job = StepDecodeJob(
+                segment=segment,
+                tag=tag,
+                rank=dev.rank,
+                dim=dim,
+                sources=tuple(sources),
+            )
+            transport.submit_followup(
+                tag, decode_job, on_done=make_decoded(dev.rank, entries)
+            )
 
     def _topology_for(self, phase: str, devices: list) -> tuple:
         """Static step topology: pair order, row counts, gather indices."""

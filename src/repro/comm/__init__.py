@@ -13,11 +13,18 @@ Ethernet between machines — is modelled by:
   uses (slower than ring all2all, as the paper observes);
 * :mod:`repro.comm.allreduce` — exact gradient averaging plus the ring
   allreduce time model;
-* :class:`Transport` — the in-memory mailbox that routes *real* message
-  payloads between simulated devices and counts every byte;
-* :class:`WorkerTransport` — the same mailbox with a background worker
-  that runs deferred encode/post jobs concurrently with the main
-  thread's compute (the async half of the split-phase pipeline).
+* the **transport backends** — the in-memory mailbox that routes *real*
+  message payloads between simulated devices and counts every byte, in
+  three config-selectable flavours behind one
+  :class:`~repro.comm.transport.TransportBackend` API:
+  :class:`SyncTransport` (inline), :class:`WorkerTransport` (thread
+  pool), and :class:`~repro.comm.process.ProcessTransport` (worker
+  processes over shared memory).  :mod:`repro.comm.transports` holds the
+  registry and the ``"worker:4"``-style selection specs.
+
+``ProcessTransport`` is re-exported lazily (importing it pulls in
+``multiprocessing``); the deprecated ``Transport`` alias of
+``SyncTransport`` lives on for one release.
 """
 
 from repro.comm.topology import ClusterTopology, parse_topology
@@ -25,7 +32,21 @@ from repro.comm.costmodel import LinkCostModel, fit_linear_cost
 from repro.comm.ring import ring_all2all_time, ring_rounds
 from repro.comm.broadcast import sequential_broadcast_time
 from repro.comm.allreduce import allreduce_mean, ring_allreduce_time
-from repro.comm.transport import Transport, WorkerTransport, host_has_spare_core
+from repro.comm.transport import (
+    SyncTransport,
+    TransportAccounting,
+    TransportBackend,
+    WorkerTransport,
+    host_has_spare_core,
+)
+from repro.comm.transports import (
+    TransportSpec,
+    available_backends,
+    create_transport,
+    parse_transport_spec,
+    register,
+    resolve_spec,
+)
 
 __all__ = [
     "ClusterTopology",
@@ -37,7 +58,30 @@ __all__ = [
     "sequential_broadcast_time",
     "allreduce_mean",
     "ring_allreduce_time",
-    "Transport",
+    "TransportBackend",
+    "TransportAccounting",
+    "SyncTransport",
     "WorkerTransport",
+    "ProcessTransport",
+    "Transport",
     "host_has_spare_core",
+    "TransportSpec",
+    "available_backends",
+    "create_transport",
+    "parse_transport_spec",
+    "register",
+    "resolve_spec",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ProcessTransport":
+        from repro.comm.process import ProcessTransport
+
+        return ProcessTransport
+    if name == "Transport":
+        # Deprecated alias; the warning comes from repro.comm.transport.
+        from repro.comm.transport import Transport
+
+        return Transport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -6,10 +6,23 @@ a per-tag byte matrix.  Those matrices are exactly what the schedule
 simulators consume — the simulated clock is driven by *measured* byte
 counts, not estimates (DESIGN.md §4.1).
 
-Two transports share the mailbox/accounting core:
+The transport API splits in two:
 
-* :class:`Transport` executes everything on the calling thread — posts are
-  visible the moment ``post``/``post_batch`` returns;
+* :class:`TransportBackend` — the formal backend ABC.  Its wire ops
+  (``post``/``post_batch``/``collect``/``defer``/``complete``/``close``)
+  are everything an exchange touches, so a backend is swappable without
+  the exchanges noticing; backends self-register with
+  :func:`repro.comm.transports.register` and are selected by spec
+  (``"sync"``, ``"worker:4"``, ``"process:2"``).
+* :class:`TransportAccounting` — the backend-agnostic mailbox +
+  byte-accounting/overlap mixin (``pending_bytes``/``note_overlap``/
+  ``bytes_matrix``…).  Every in-process backend shares it, so the
+  simulated clock sees identical accounting whatever executes the jobs.
+
+Two backends live here:
+
+* :class:`SyncTransport` executes everything on the calling thread —
+  posts are visible the moment ``post``/``post_batch`` returns;
 * :class:`WorkerTransport` additionally runs *deferred jobs* (the
   exchanges' quantize/pack/post closures, and their collect/decode
   followups) on a pool of background worker threads, so the posters'
@@ -19,26 +32,39 @@ Two transports share the mailbox/accounting core:
   (including jobs a running job deferred after it) — the split-phase
   executor's finalize half always joins before collecting.
 
+(:class:`~repro.comm.process.ProcessTransport`, the process-pool backend
+over shared memory, lives in :mod:`repro.comm.process`.)
+
 Worker counts are a *transport* property: exchanges consult
 ``transport.workers`` to decide how many encode shards to emit.  Whether
 that is safe is the exchange's call — keyed rounding makes shards
 order-independent; stream rounding pins every exchange to one job per
 step regardless of the pool size.
+
+``Transport`` remains as a deprecated alias of :class:`SyncTransport` for
+one release; importing it warns.
 """
 
 from __future__ import annotations
 
+import abc
 import os
 import threading
 import time
+import warnings
 from collections import defaultdict
 from concurrent.futures import Future, ThreadPoolExecutor
 
 import numpy as np
 
+from repro.comm.transports import register
+
 __all__ = [
-    "Transport",
+    "TransportBackend",
+    "TransportAccounting",
+    "SyncTransport",
     "WorkerTransport",
+    "Transport",  # deprecated alias (module __getattr__)
     "detected_cores",
     "host_spare_cores",
     "host_has_spare_core",
@@ -68,14 +94,77 @@ def host_has_spare_core() -> bool:
 
     On a single-CPU host the worker and the main thread timeshare one
     core, so deferring encode work buys nothing and pays context-switch
-    tax — callers that auto-select the transport (``async_transport=None``)
+    tax — callers that auto-select the transport (``transport="auto"``)
     use this to fall back to the synchronous one there.
     """
     return host_spare_cores() >= 1
 
 
-class Transport:
-    """Mailbox-based message router for ``num_devices`` simulated devices.
+class TransportBackend(abc.ABC):
+    """The wire-operation API every transport backend implements.
+
+    Exchanges program against exactly these six operations (plus the
+    ``defer_many`` convenience); anything else a concrete backend offers
+    — accounting, shm arenas, worker pools — is backend detail.  Class
+    attributes ``kind``/``is_async``/``workers`` describe the execution
+    shape so exchanges can pick a job decomposition.
+    """
+
+    #: registry name of the backend ("sync", "worker", "process", …)
+    kind = "?"
+    #: whether deferred jobs really run on a background worker
+    is_async = False
+    #: background workers available for deferred jobs (0 = inline only)
+    workers = 0
+
+    @abc.abstractmethod
+    def post(self, src: int, dst: int, tag: str, payload: object, nbytes: int) -> None:
+        """Queue ``payload`` from ``src`` to ``dst`` under ``tag``."""
+
+    @abc.abstractmethod
+    def post_batch(
+        self, src: int, tag: str, posts: list[tuple[int, object, int]]
+    ) -> None:
+        """Post one envelope per ``(dst, payload, nbytes)`` in a single call."""
+
+    @abc.abstractmethod
+    def collect(self, dst: int, tag: str) -> dict[int, object]:
+        """Drain ``dst``'s mailbox for ``tag``; ``{src: payload}``, src ascending."""
+
+    @abc.abstractmethod
+    def defer(self, tag: str, job) -> None:
+        """Run ``job`` (an encode-and-post closure) for ``tag``.
+
+        Synchronous backends execute it inline, so ``post_step`` behaves
+        exactly as before; async backends hand the job to their worker
+        pool.  A tag may carry several jobs (encode shards plus their
+        decode followups); :meth:`complete` joins them all.
+        """
+
+    @abc.abstractmethod
+    def complete(self, tag: str) -> float:
+        """Join ``tag``'s deferred jobs; returns seconds spent waiting.
+
+        No-op (0.0) on synchronous backends — everything already ran
+        inside :meth:`defer`.  Worker exceptions re-raise here.
+        """
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release background resources; idempotent, never raises job errors."""
+
+    def defer_many(self, tag: str, jobs) -> None:
+        """Defer every job in ``jobs`` under ``tag`` (in order)."""
+        for job in jobs:
+            self.defer(tag, job)
+
+
+class TransportAccounting:
+    """Mailboxes plus byte/overlap accounting for ``num_devices`` devices.
+
+    Backend-agnostic: every in-process backend mixes this in, so the byte
+    matrices and the progress model are identical whichever execution
+    shape ran the jobs.
 
     Tags namespace independent exchanges (e.g. ``"fwd/layer0"`` vs
     ``"bwd/layer2"``); within a tag each (src, dst) pair may post at most
@@ -94,23 +183,18 @@ class Transport:
     :meth:`note_overlap` marks all bytes currently pending under a tag as
     having been in flight during an overlapped compute window — the
     pipelined executor calls it right before running the central sub-step
-    — and *opens* that window: bytes posted while it is open (the async
-    transport's worker posts land mid-window) count as overlapped too.
+    — and *opens* that window: bytes posted while it is open (an async
+    backend's worker posts land mid-window) count as overlapped too.
     The window closes at the first :meth:`collect` under the tag, so
     :meth:`overlapped_bytes` measures how much of a step's traffic was in
     flight before any receiver drained it (not how much a cost model
     predicts could be hidden).
 
-    All accounting mutations take a lock so a :class:`WorkerTransport`
-    worker can post while the main thread reads progress counters; on the
+    All accounting mutations take a lock so an async backend's worker can
+    post while the main thread reads progress counters; on the
     synchronous transport the uncontended acquisition is noise next to a
     single envelope's dict traffic.
     """
-
-    #: whether deferred jobs really run on a background worker
-    is_async = False
-    #: background workers available for deferred jobs (0 = inline only)
-    workers = 0
 
     def __init__(self, num_devices: int) -> None:
         if num_devices < 1:
@@ -222,36 +306,6 @@ class Transport:
         return {src: box[src] for src in sorted(box)} if len(box) > 1 else box
 
     # ------------------------------------------------------------------
-    # Deferred posting (async hooks; the synchronous transport runs inline)
-    # ------------------------------------------------------------------
-    def defer(self, tag: str, job) -> None:
-        """Run ``job`` (an encode-and-post closure) for ``tag``.
-
-        The synchronous transport executes it inline, so ``post_step``
-        behaves exactly as before; :class:`WorkerTransport` overrides this
-        to hand the job to its worker pool.  A tag may carry several jobs
-        (encode shards plus their decode followups); ``complete`` joins
-        them all.
-        """
-        job()
-
-    def defer_many(self, tag: str, jobs) -> None:
-        """Defer every job in ``jobs`` under ``tag`` (inline: run in order)."""
-        for job in jobs:
-            self.defer(tag, job)
-
-    def complete(self, tag: str) -> float:
-        """Join ``tag``'s deferred jobs; returns seconds spent waiting.
-
-        No-op (0.0) on the synchronous transport — everything already ran
-        inside :meth:`defer`.  Worker exceptions re-raise here.
-        """
-        return 0.0
-
-    def close(self) -> None:
-        """Release background resources; idempotent (no-op here)."""
-
-    # ------------------------------------------------------------------
     # Progress model
     # ------------------------------------------------------------------
     def pending_bytes(self, tag: str) -> int:
@@ -310,12 +364,37 @@ class Transport:
             raise ValueError(f"device {device} out of range [0, {self.num_devices})")
 
 
-class WorkerTransport(Transport):
+@register("sync")
+class SyncTransport(TransportAccounting, TransportBackend):
+    """Inline mailbox transport: everything runs on the calling thread.
+
+    Deferred jobs execute immediately inside :meth:`defer`, so posts are
+    visible the moment ``post_step`` returns — the reference execution
+    shape every async backend must match bitwise.
+    """
+
+    kind = "sync"
+
+    # ------------------------------------------------------------------
+    # Deferred posting (async hooks; the synchronous transport runs inline)
+    # ------------------------------------------------------------------
+    def defer(self, tag: str, job) -> None:
+        job()
+
+    def complete(self, tag: str) -> float:
+        return 0.0
+
+    def close(self) -> None:
+        """Release background resources; idempotent (no-op here)."""
+
+
+@register("worker")
+class WorkerTransport(SyncTransport):
     """Thread-pool-backed transport: deferred encode/post (and decode)
     jobs run on background workers, concurrently with the main thread —
     and, at ``workers > 1``, with each other.
 
-    Threading model (see README "async worker transport"):
+    Threading model (see README "transport backends"):
 
     * ``defer``/``defer_many`` submit the exchange's quantize/pack/post
       closures to the pool and return immediately; the main thread goes on
@@ -337,14 +416,16 @@ class WorkerTransport(Transport):
       as :class:`~repro.cluster.records.StepTimeline` ``worker_wait_s``;
     * :meth:`collect` auto-joins as a safety net, so a collector can never
       observe a half-posted step.  (Worker-side decode jobs use the base
-      :meth:`Transport.collect` directly — they run *inside* the tag's job
-      set, after every post of the step, and must not join themselves.)
+      :meth:`TransportAccounting.collect` directly — they run *inside* the
+      tag's job set, after every post of the step, and must not join
+      themselves.)
     * workers produce (encode + post) and pre-decode; the main thread
       alone scatters and accumulates, in fixed device order over
       source-sorted mailboxes — which is what keeps the async path
       bitwise-reproducible at any worker count.
     """
 
+    kind = "worker"
     is_async = True
 
     def __init__(self, num_devices: int, *, workers: int = 1) -> None:
@@ -434,3 +515,15 @@ class WorkerTransport(Transport):
         for future in orphans:
             if future.done():
                 future.exception()  # retrieve, so nothing warns at gc time
+
+
+def __getattr__(name: str):
+    if name == "Transport":
+        warnings.warn(
+            "repro.comm.transport.Transport is deprecated; use SyncTransport, "
+            "or select a backend through repro.comm.transports",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SyncTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,189 @@
+"""Transport backend registry and selection specs.
+
+One training run picks its transport through a single spec — ``"auto"``,
+``"sync"``, ``"worker:4"``, ``"process:2"`` — instead of the legacy
+``async_transport``/``transport_workers`` knob pair.  The registry makes
+``SyncTransport``, ``WorkerTransport`` and ``ProcessTransport``
+config-selectable peers behind the :class:`~repro.comm.transport.
+TransportBackend` API; a future multi-host backend (sockets/MPI) plugs in
+through :func:`register` without touching cluster or config code.
+
+Spec grammar::
+
+    auto            resolve at cluster construction: worker when the run
+                    overlaps and the host has a spare core, sync otherwise
+    auto:N          same, but pin the worker count if async is chosen
+    sync            inline mailbox transport (no worker count)
+    worker[:N]      thread-pool transport with N workers (default: spare cores)
+    process[:N]     process-pool transport over shared memory
+
+The async backends only pay off inside the split-phase pipeline's central
+window, so :func:`resolve_spec` degrades them to ``sync`` for
+non-overlapped runs — exactly the legacy ``async_transport=True``
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+
+__all__ = [
+    "TransportSpec",
+    "available_backends",
+    "create_transport",
+    "get_backend",
+    "parse_transport_spec",
+    "register",
+    "resolve_spec",
+]
+
+_REGISTRY: dict[str, type] = {}
+
+#: Built-in backends, imported on first lookup: the registry stays free of
+#: module-level imports of the backend modules (they import ``register``
+#: from here), so registration cannot cycle.
+_BUILTIN_MODULES = {
+    "sync": "repro.comm.transport",
+    "worker": "repro.comm.transport",
+    "process": "repro.comm.process",
+}
+
+
+def register(name: str):
+    """Class decorator: make a transport backend selectable as ``name``.
+
+    >>> from repro.comm.transports import register, get_backend
+    >>> from repro.comm.transport import SyncTransport
+    >>> get_backend("sync") is SyncTransport
+    True
+    """
+
+    def decorate(cls: type) -> type:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"transport backend {name!r} already registered")
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_backend(name: str) -> type:
+    """The backend class registered as ``name`` (builtins import lazily)."""
+    cls = _REGISTRY.get(name)
+    if cls is None and name in _BUILTIN_MODULES:
+        import_module(_BUILTIN_MODULES[name])
+        cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown transport backend {name!r} "
+            f"(available: {', '.join(available_backends())})"
+        )
+    return cls
+
+
+def available_backends() -> list[str]:
+    """Every registered backend name, builtins included."""
+    for module in set(_BUILTIN_MODULES.values()):
+        import_module(module)
+    return sorted(_REGISTRY)
+
+
+def _known_backends() -> set[str]:
+    # Parse-time validation must not import the backend modules (config
+    # objects are built long before any transport), so junk is rejected
+    # against the name set rather than the loaded registry.
+    return {"auto"} | set(_BUILTIN_MODULES) | set(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """One parsed transport selection: ``backend[:workers]``.
+
+    ``workers=None`` means "backend default" (resolved to the host's spare
+    cores for the async backends).  ``sync`` takes no worker count.
+    """
+
+    backend: str = "auto"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in _known_backends():
+            raise ValueError(
+                f"unknown transport backend {self.backend!r} "
+                f"(expected one of: {', '.join(sorted(_known_backends()))})"
+            )
+        if self.workers is not None:
+            if self.backend == "sync":
+                raise ValueError("the sync transport takes no worker count")
+            if int(self.workers) < 1:
+                raise ValueError("transport workers must be >= 1 (or None for auto)")
+            object.__setattr__(self, "workers", int(self.workers))
+
+    @classmethod
+    def parse(cls, spec: "TransportSpec | str") -> "TransportSpec":
+        """Parse ``"backend[:N]"`` (a ready spec passes through).
+
+        >>> TransportSpec.parse("worker:4")
+        TransportSpec(backend='worker', workers=4)
+        """
+        if isinstance(spec, TransportSpec):
+            return spec
+        if not isinstance(spec, str):
+            raise TypeError(f"transport spec must be a str or TransportSpec: {spec!r}")
+        name, sep, count = spec.strip().partition(":")
+        workers = None
+        if sep:
+            try:
+                workers = int(count)
+            except ValueError:
+                raise ValueError(
+                    f"bad worker count in transport spec {spec!r}"
+                ) from None
+        return cls(name, workers)
+
+    def __str__(self) -> str:
+        return self.backend if self.workers is None else f"{self.backend}:{self.workers}"
+
+
+def parse_transport_spec(spec: TransportSpec | str) -> TransportSpec:
+    """Module-level alias of :meth:`TransportSpec.parse`."""
+    return TransportSpec.parse(spec)
+
+
+def resolve_spec(spec: TransportSpec | str, *, overlap: bool = True) -> TransportSpec:
+    """Resolve ``auto`` and default worker counts into a concrete spec.
+
+    ``overlap`` is whether the run executes the split-phase pipeline: the
+    async backends exist to hide encode/decode under its central window,
+    so without it every spec resolves to ``sync`` (the legacy
+    ``async_transport=True`` gating, preserved).
+    """
+    from repro.comm.transport import host_has_spare_core, host_spare_cores
+
+    spec = TransportSpec.parse(spec)
+    backend = spec.backend
+    if backend == "auto":
+        if not (overlap and host_has_spare_core()):
+            return TransportSpec("sync")
+        backend = "worker"
+    if backend == "sync" or not overlap:
+        return TransportSpec("sync")
+    workers = spec.workers if spec.workers is not None else max(1, host_spare_cores())
+    return TransportSpec(backend, workers)
+
+
+def create_transport(spec: TransportSpec | str, num_devices: int):
+    """Instantiate the backend a concrete spec names.
+
+    ``auto`` must be resolved first (:func:`resolve_spec`) — only the
+    caller knows whether the run overlaps.
+    """
+    spec = TransportSpec.parse(spec)
+    if spec.backend == "auto":
+        raise ValueError("resolve 'auto' with resolve_spec() before creating")
+    cls = get_backend(spec.backend)
+    if spec.workers is None:
+        return cls(num_devices)
+    return cls(num_devices, workers=spec.workers)

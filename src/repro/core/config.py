@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
+from repro.comm.transports import TransportSpec
 from repro.gnn.model import MODEL_KINDS
 from repro.quant.theory import SUPPORTED_BITS
 from repro.utils.validation import check_in_set, check_probability
@@ -56,23 +58,28 @@ class RunConfig:
     # the systems whose schedule overlaps (the adaqp variants and
     # vanilla-overlap); requires fused_compute.
     overlap: bool = True
-    # async_transport: run each step's quantize/pack/post (and decode)
-    # jobs on background worker threads (WorkerTransport) so they execute
-    # concurrently with the central sub-step's GIL-releasing BLAS/spmv —
-    # the recorded overlap becomes wall-clock speedup.  None (default)
-    # auto-selects: on for overlapped runs when the host has a spare core
-    # for the worker, off otherwise (single-core hosts would pay switch
-    # tax for no parallelism).  True forces it for overlapped runs; every
-    # choice is bit-identical to the synchronous transport under the same
-    # seed.
+    # transport: which transport backend runs each step's quantize/pack/
+    # post (and decode) jobs, as a spec string "backend[:workers]":
+    #   "auto"      (default) worker backend when the run overlaps and
+    #               the host has a spare core, sync otherwise;
+    #   "sync"      inline mailbox transport;
+    #   "worker:4"  thread pool — overlaps the central sub-step's
+    #               GIL-releasing BLAS/spmv;
+    #   "process:4" worker processes over shared memory — scales
+    #               quantize-heavy steps past the thread pool's GIL
+    #               ceiling (requires rng_mode="keyed" for the sharded
+    #               path; stream-mode runs degrade to inline execution).
+    # Every backend is bit-identical to sync under the same seed.  With
+    # rng_mode="keyed" the fused engine shards each step's encode across
+    # the pool and decodes per receiver on it, so results are identical
+    # at ANY worker count; with rng_mode="stream" exchanges submit one
+    # job per step regardless (the stream contract is order-dependent).
+    transport: str = "auto"
+    # Deprecated pair (one release): the pre-PR-6 transport knobs.  Both
+    # still parse — with a DeprecationWarning — and map onto the spec
+    # they always meant: False -> "sync", True -> "worker[:N]",
+    # None + workers -> "auto:N".  Mutually exclusive with transport=.
     async_transport: bool | None = None
-    # transport_workers: size of the async transport's worker pool.  None
-    # (default) auto-selects the host's spare cores (cores - 1, at least
-    # 1).  With rng_mode="keyed" the fused engine shards each step's
-    # encode/pack across the pool and decodes per receiver on it, so
-    # results are bitwise-identical at ANY worker count; with
-    # rng_mode="stream" exchanges submit one job per step regardless
-    # (extra workers sit idle — the stream contract is order-dependent).
     transport_workers: int | None = None
     # rng_mode: where stochastic-rounding noise comes from.  "keyed" (the
     # default) derives each message block's noise from a counter-based
@@ -107,8 +114,38 @@ class RunConfig:
             check_in_set(b, SUPPORTED_BITS, name="bit_choices entry")
         check_in_set(self.fixed_bits, SUPPORTED_BITS, name="fixed_bits")
         check_in_set(self.rng_mode, ("keyed", "stream"), name="rng_mode")
-        if self.transport_workers is not None and self.transport_workers < 1:
-            raise ValueError("transport_workers must be >= 1 (or None for auto)")
+        transport = self.transport
+        if isinstance(transport, TransportSpec):
+            transport = str(transport)
+        if self.async_transport is not None or self.transport_workers is not None:
+            if self.transport_workers is not None and self.transport_workers < 1:
+                raise ValueError("transport_workers must be >= 1 (or None for auto)")
+            if transport != "auto":
+                raise ValueError(
+                    "pass either transport= or the legacy "
+                    "async_transport/transport_workers pair, not both"
+                )
+            if self.async_transport is False:
+                mapped = TransportSpec("sync")
+            elif self.async_transport is True:
+                mapped = TransportSpec("worker", self.transport_workers)
+            else:
+                mapped = TransportSpec("auto", self.transport_workers)
+            warnings.warn(
+                "async_transport/transport_workers are deprecated; use "
+                f"transport={str(mapped)!r} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            transport = str(mapped)
+            # Null the legacy fields once mapped, so functional updates
+            # (with_overrides -> replace) don't re-map or re-warn.
+            object.__setattr__(self, "async_transport", None)
+            object.__setattr__(self, "transport_workers", None)
+        # Validates backend name and worker count (rejects junk early,
+        # without importing any backend module).
+        TransportSpec.parse(transport)
+        object.__setattr__(self, "transport", transport)
         if self.timeline_history < 0:
             raise ValueError("timeline_history must be >= 0")
 

@@ -277,8 +277,7 @@ def train(
         seed=config.seed,
         fused_compute=config.fused_compute,
         overlap=config.overlap and system in OVERLAP_SYSTEMS,
-        async_transport=config.async_transport,
-        transport_workers=config.transport_workers,
+        transport=config.transport,
     )
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]

@@ -78,6 +78,7 @@ __all__ = [
     "bench_epoch_overlap_async",
     "bench_exchange_split_phase",
     "bench_worker_scaling",
+    "bench_process_scaling",
     "run_bench",
     "compare_to_baseline",
     "render_report",
@@ -146,6 +147,11 @@ _GATED_METRICS = (
     # skips it when the current report says multi_core=false — thread
     # fan-out on a starved host measures the scheduler, not the engine).
     ("worker_scaling", "speedup"),
+    # Process-backed transport: the same step at 4 worker processes vs 1,
+    # payloads over shared-memory rings.  Gated only on multi-core runners
+    # (same rule as worker_scaling — process fan-out on a starved host
+    # measures the scheduler, not the GIL escape).
+    ("process_scaling", "speedup"),
 )
 
 
@@ -856,6 +862,86 @@ def bench_worker_scaling(
     }
 
 
+def bench_process_scaling(
+    *,
+    workload: dict | None = None,
+    reps: int = 20,
+    workers: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Process-backed encode/decode fan-out: 1 worker process vs ``workers``.
+
+    The :func:`bench_worker_scaling` experiment re-run on
+    :class:`~repro.comm.process.ProcessTransport`: each shard's
+    quantize/pack — and each receiver's decode — executes in a separate
+    *process*, with float inputs and packed payloads crossing over
+    shared-memory ring segments instead of the heap.  Threads share one
+    GIL, so the worker pool only scales while the kernels are in
+    GIL-releasing NumPy; processes do not, which is the whole point of
+    the backend — quantize-heavy steps whose Python-side dispatch starves
+    the thread pool keep scaling here.
+
+    Same gating contract as worker_scaling: ``speedup`` is held to the CI
+    floor only on multi-core runners, ``wire_bytes_match`` always (worker
+    count must never change the keyed-rounding wire bytes).
+    """
+    from repro.comm.process import ProcessTransport
+    from repro.comm.transport import detected_cores
+    from repro.quant.stochastic import KeyedRounding
+
+    wl = dict(DEFAULT_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    ds, book = _load_workload(wl, seed)
+    cluster = _workload_cluster(ds, book, wl, seed, True)
+    devices = cluster.devices
+    h_by_dev = [dev.features for dev in devices]
+    rows_out = sum(
+        len(rows) for dev in devices for rows in dev.part.send_map.values()
+    )
+    payload_mb = rows_out * ds.num_features * 4 / 1e6
+
+    def run(n_workers: int) -> tuple[float, int]:
+        transport = ProcessTransport(cluster.num_devices, workers=n_workers)
+        exchange = FusedQuantizedHaloExchange(
+            FixedBitProvider(2), KeyedRounding(seed)
+        )
+
+        def step():
+            in_flight = exchange.post_step(0, "fwd", devices, transport, h_by_dev)
+            exchange.finalize_step(in_flight)
+
+        try:
+            # One unmeasured step beyond _median_time's warmup: the first
+            # step pays process spawn + shm ring creation, and on slow
+            # hosts that cost can survive a short warmup window.
+            step()
+            transport.reset_accounting()
+            elapsed = _median_time(step, reps)
+            total = transport.total_bytes()
+        finally:
+            transport.close()
+        return elapsed, total
+
+    t_one, bytes_one = run(1)
+    t_many, bytes_many = run(workers)
+    cores = detected_cores()
+    return {
+        "workload": wl,
+        "workers": workers,
+        "cores": cores,
+        "multi_core": cores >= workers,
+        "unfused_ms": t_one * 1e3,  # == one_proc_ms
+        "fused_ms": t_many * 1e3,  # == pool_ms
+        "one_proc_ms": t_one * 1e3,
+        "pool_ms": t_many * 1e3,
+        "unfused_mbps": payload_mb / t_one,
+        "fused_mbps": payload_mb / t_many,
+        "speedup": t_one / t_many,
+        "wire_bytes_match": bytes_one == bytes_many,
+    }
+
+
 def bench_epoch_overlap(
     *,
     system: str = "adaqp-fixed",
@@ -1113,7 +1199,7 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
 
     report: dict = {
         "bench": "fused-engines",
-        "schema": 4,
+        "schema": 5,
         "quick": quick,
         "seed": seed,
         "encode": bench_encode(reps=micro_reps, seed=seed),
@@ -1126,6 +1212,9 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
         "epoch_vanilla": bench_epoch_vanilla(epochs=epochs, warmup=warmup, seed=seed),
         "exchange_split_phase": bench_exchange_split_phase(reps=micro_reps, seed=seed),
         "worker_scaling": bench_worker_scaling(reps=micro_reps // 2, seed=seed),
+        "process_scaling": bench_process_scaling(
+            reps=max(micro_reps // 4, 5), seed=seed
+        ),
         "epoch_overlap": bench_epoch_overlap(epochs=epochs, warmup=warmup, seed=seed),
         "epoch_overlap_async": bench_epoch_overlap_async(
             epochs=epochs, warmup=warmup, seed=seed
@@ -1150,13 +1239,13 @@ def compare_to_baseline(
     problems: list[str] = []
     for section, metric in _GATED_METRICS:
         if (
-            section == "worker_scaling"
+            section in ("worker_scaling", "process_scaling")
             and section in current
             and not current[section].get("multi_core", False)
         ):
-            # Thread fan-out on a core-starved runner measures the OS
-            # scheduler; the ratio is reported but not held to the floor.
-            # (A *missing* section still falls through to the
+            # Thread/process fan-out on a core-starved runner measures
+            # the OS scheduler; the ratio is reported but not held to the
+            # floor.  (A *missing* section still falls through to the
             # missing-metric check below — skipping is for measured-but-
             # ungateable runs only.)
             continue
@@ -1182,11 +1271,12 @@ def compare_to_baseline(
             "epoch_vanilla.losses_close is False: batched exact exchange "
             "diverged from the per-pair baseline"
         )
-    if not current.get("worker_scaling", {}).get("wire_bytes_match", True):
-        problems.append(
-            "worker_scaling.wire_bytes_match is False: worker count "
-            "changed the wire bytes under keyed rounding"
-        )
+    for section in ("worker_scaling", "process_scaling"):
+        if not current.get(section, {}).get("wire_bytes_match", True):
+            problems.append(
+                f"{section}.wire_bytes_match is False: worker count "
+                "changed the wire bytes under keyed rounding"
+            )
     return problems
 
 
@@ -1198,7 +1288,7 @@ def render_report(report: dict) -> str:
     for section in (
         "encode", "decode", "pack_kernel", "unpack_kernel",
         "compute_spmv", "compute_gemm", "exchange_split_phase",
-        "worker_scaling",
+        "worker_scaling", "process_scaling",
     ):
         if section not in report:
             continue
@@ -1254,13 +1344,14 @@ def render_report(report: dict) -> str:
             f"concurrency_speedup={r['concurrency_speedup']:.2f}x "
             f"worker_wait_share={r['worker_wait_share']:.2f}"
         )
-    if "worker_scaling" in report:
-        r = report["worker_scaling"]
-        checks.append(
-            f"worker_scaling: {r['workers']} workers on {r['cores']} cores "
-            f"(gated={r['multi_core']}) "
-            f"wire_bytes_match={r['wire_bytes_match']}"
-        )
+    for section in ("worker_scaling", "process_scaling"):
+        if section in report:
+            r = report[section]
+            checks.append(
+                f"{section}: {r['workers']} workers on {r['cores']} cores "
+                f"(gated={r['multi_core']}) "
+                f"wire_bytes_match={r['wire_bytes_match']}"
+            )
     wl = report["epoch"]["workload"]
     head = (
         f"workload: {wl['dataset']}-{wl['scale']}, {wl['parts']} partitions "

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines.pipegcn import StaleHaloExchange
 from repro.cluster.cluster import Cluster
-from repro.comm.transport import Transport
+from repro.comm.transport import SyncTransport as Transport
 from repro.graph.partition.api import partition_graph
 
 

@@ -19,7 +19,7 @@ from repro.cluster.exchange import (
     QuantizedHaloExchange,
 )
 from repro.cluster.runtime import DeviceRuntime
-from repro.comm.transport import Transport
+from repro.comm.transport import SyncTransport as Transport
 from repro.gnn.coefficients import build_aggregation
 from repro.gnn.model import DistGNN
 from repro.utils.seed import RngPool

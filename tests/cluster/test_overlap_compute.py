@@ -16,7 +16,7 @@ import pytest
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.compute import restrict_rows
-from repro.comm.transport import Transport
+from repro.comm.transport import SyncTransport as Transport
 from repro.cluster.exchange import (
     ExactHaloExchange,
     FixedBitProvider,
@@ -56,22 +56,37 @@ def _make_exchange(name, rng_mode="stream"):
 def _run_epochs(
     dataset, book, *, model_kind, overlap, exchange_name, epochs=3,
     async_transport=False, timeline_keep=None, transport_workers=None,
-    rng_mode="stream", transport_cls=None,
+    rng_mode="stream", transport_cls=None, transport=None,
 ):
-    cluster = Cluster(
-        dataset,
-        book,
-        model_kind=model_kind,
-        hidden_dim=8,
-        num_layers=3,
-        dropout=0.5,
-        seed=7,
-        fused_compute=True,
-        overlap=overlap,
-        async_transport=async_transport,
-        transport_workers=transport_workers,
-        timeline_keep=timeline_keep,
-    )
+    if transport is not None:
+        cluster = Cluster(
+            dataset,
+            book,
+            model_kind=model_kind,
+            hidden_dim=8,
+            num_layers=3,
+            dropout=0.5,
+            seed=7,
+            fused_compute=True,
+            overlap=overlap,
+            transport=transport,
+            timeline_keep=timeline_keep,
+        )
+    else:
+        cluster = Cluster(
+            dataset,
+            book,
+            model_kind=model_kind,
+            hidden_dim=8,
+            num_layers=3,
+            dropout=0.5,
+            seed=7,
+            fused_compute=True,
+            overlap=overlap,
+            async_transport=async_transport,
+            transport_workers=transport_workers,
+            timeline_keep=timeline_keep,
+        )
     if transport_cls is not None:
         cluster.transport = transport_cls(cluster.num_devices)
     exchange = _make_exchange(exchange_name, rng_mode)
@@ -202,6 +217,108 @@ def test_keyed_rng_order_independent_across_worker_counts(
         assert np.array_equal(ga, gb), "reduced gradients diverged"
     assert arm[2] == baseline[2], "wire bytes diverged"
     assert arm[3] == baseline[3], "eval metrics diverged"
+
+
+@pytest.mark.parametrize(
+    "exchange_name", ["exact", "quantized", "stale", "broadcast"]
+)
+@pytest.mark.parametrize("spec", ["process:2", "process:4"])
+def test_keyed_rng_process_transport_matches_sync(
+    tiny_dataset, exchange_name, spec
+):
+    """ISSUE 6's acceptance property: the process-backed transport — encode
+    shards and per-receiver decodes in worker *processes*, payloads over
+    shared-memory rings — is bitwise-identical to the synchronous path for
+    every exchange policy under rng_mode="keyed", at any process count.
+    The keyed RNG is what makes this legal: a worker process reproduces
+    its shard from coordinates alone, and collect's sort-by-source anchor
+    fixes the reduction order regardless of which process finished first."""
+    book = _book(tiny_dataset, 4)
+    kwargs = dict(
+        model_kind="gcn", overlap=True, exchange_name=exchange_name,
+        rng_mode="keyed",
+    )
+    baseline = _run_epochs(tiny_dataset, book, transport="sync", **kwargs)
+    arm = _run_epochs(tiny_dataset, book, transport=spec, **kwargs)
+    assert arm[0] == baseline[0], "losses diverged"
+    for ga, gb in zip(arm[1], baseline[1]):
+        assert np.array_equal(ga, gb), "reduced gradients diverged"
+    assert arm[2] == baseline[2], "wire bytes diverged"
+    assert arm[3] == baseline[3], "eval metrics diverged"
+
+
+def test_process_transport_keeps_overlap_accounting(tiny_dataset):
+    """The process path posts payload views from main-thread callbacks
+    inside an open overlap window — every halo byte must still classify
+    as hidden, exactly like the worker transport."""
+    book = _book(tiny_dataset, 4)
+    record = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", overlap=True,
+        exchange_name="quantized", rng_mode="keyed", transport="process:3",
+    )[4]
+    assert record.hidden_byte_fraction() == 1.0
+    assert all(t.overlapped_bytes == t.total_bytes for t in record.timelines)
+
+
+def test_cluster_transport_spec_selection(tiny_dataset, tiny_book):
+    """transport= accepts spec strings and TransportSpec objects, resolves
+    "auto" at open, and refuses to combine with the legacy pair."""
+    from repro.comm.process import ProcessTransport
+    from repro.comm.transports import TransportSpec
+
+    with Cluster(
+        tiny_dataset, tiny_book, overlap=True, transport="process:2"
+    ) as cluster:
+        assert isinstance(cluster.transport, ProcessTransport)
+        assert cluster.transport_spec == TransportSpec("process", 2)
+        # Legacy mirrors stay coherent for old call sites.
+        assert cluster.async_transport is True
+        assert cluster.transport_workers == 2
+    with Cluster(
+        tiny_dataset, tiny_book, transport=TransportSpec("sync")
+    ) as cluster:
+        assert type(cluster.transport) is Transport  # SyncTransport
+        assert cluster.transport_workers == 0
+    # Async backends degrade to sync for non-overlapped runs (the legacy
+    # async_transport gating, preserved by resolve_spec).
+    with Cluster(tiny_dataset, tiny_book, transport="process:2") as cluster:
+        assert cluster.transport_spec == TransportSpec("sync")
+    # "auto" resolves to a concrete backend at cluster open.
+    with Cluster(
+        tiny_dataset, tiny_book, overlap=True, transport="auto"
+    ) as cluster:
+        assert cluster.transport_spec.backend in ("sync", "worker")
+    with pytest.raises(ValueError, match="not both"):
+        Cluster(
+            tiny_dataset, tiny_book, transport="sync", async_transport=True
+        )
+    with pytest.raises(ValueError, match="unknown transport backend"):
+        Cluster(tiny_dataset, tiny_book, transport="bogus:2")
+
+
+def test_runconfig_legacy_transport_fields_deprecated():
+    """The pre-PR-6 RunConfig knobs still parse — with a
+    DeprecationWarning — and map onto the spec they always meant."""
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        cfg = RunConfig(async_transport=True, transport_workers=4)
+    assert cfg.transport == "worker:4"
+    assert cfg.async_transport is None and cfg.transport_workers is None
+    with pytest.warns(DeprecationWarning):
+        assert RunConfig(async_transport=False).transport == "sync"
+    with pytest.warns(DeprecationWarning):
+        assert RunConfig(transport_workers=3).transport == "auto:3"
+    # Functional updates of an already-mapped config do not re-warn.
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        assert cfg.with_overrides(epochs=2).transport == "worker:4"
+    with pytest.raises(ValueError, match="not both"):
+        RunConfig(transport="process:2", async_transport=True)
+    with pytest.raises(ValueError, match="transport_workers"):
+        RunConfig(transport_workers=0)
+    with pytest.raises(ValueError, match="unknown transport backend"):
+        RunConfig(transport="bogus")
 
 
 @pytest.mark.parametrize("exchange_name", ["exact", "quantized"])

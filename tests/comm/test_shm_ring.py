@@ -1,0 +1,90 @@
+"""ShmRing: the FIFO ring allocator behind the process transport's slabs.
+
+The contract :meth:`ProcessTransport.step_buffer` relies on: records are
+contiguous (never straddling the segment end), wraparound charges the
+skipped tail bytes to the wrapped record (released when it retires),
+``alloc`` on a full ring raises rather than overwriting live payloads,
+and views are live windows — bytes written through one view are visible
+through any other mapping of the span.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.process import ShmRing
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing(100)
+    yield r
+    r.close()
+    r.unlink()
+
+
+def test_alloc_retire_fifo_and_free_accounting(ring):
+    a = ring.alloc(30)
+    b = ring.alloc(20)
+    assert (a, b) == (0, 30)
+    assert len(ring) == 2
+    assert ring.free_bytes == 50
+    assert ring.retire() == (0, 30)  # oldest first
+    assert ring.retire() == (30, 20)
+    assert ring.free_bytes == 100
+    assert len(ring) == 0
+    with pytest.raises(RuntimeError, match="no live records"):
+        ring.retire()
+
+
+def test_wraparound_charges_waste_to_wrapped_record(ring):
+    ring.alloc(60)
+    ring.retire()  # head stays at 60; the tail gap is 40 bytes
+    assert ring.alloc(60) == 0  # too big for the gap: wraps to offset 0
+    assert ring.free_bytes == 0  # 60 allocated + 40 tail waste
+    ring.retire()  # releases the record AND its waste
+    assert ring.free_bytes == 100
+
+
+def test_alloc_raises_when_full(ring):
+    ring.alloc(60)
+    with pytest.raises(MemoryError, match="ring full"):
+        ring.alloc(60)  # wrap needs 60 + 40 waste, only 40 free
+    assert ring.alloc(40) == 60  # the exact tail gap still fits
+
+
+def test_record_size_bounds(ring):
+    for bad in (0, -1, 101):
+        with pytest.raises(ValueError, match="record size"):
+            ring.alloc(bad)
+    assert ring.alloc(100) == 0  # a full-capacity record is legal
+
+
+def test_data_survives_wraparound(ring):
+    first = ring.alloc(60)
+    ring.view(first, 60)[:] = 1
+    ring.retire()
+    second = ring.alloc(60)  # wraps onto the first record's span
+    ring.view(second, 60)[:] = 2
+    assert second == 0
+    np.testing.assert_array_equal(ring.view(second, 60), np.full(60, 2, np.uint8))
+
+
+def test_view_is_a_live_window(ring):
+    off = ring.alloc(16)
+    ring.view(off, 16)[:] = np.arange(16, dtype=np.uint8)
+    again = ring.view(off, 16)
+    np.testing.assert_array_equal(again, np.arange(16, dtype=np.uint8))
+    again[0] = 99
+    assert ring.view(off, 16)[0] == 99
+
+
+def test_steady_state_alternation_never_grows(ring):
+    """The step_buffer pattern: retire-then-alloc of a fixed-size record
+    on a 2x ring alternates between two offsets forever."""
+    offsets = []
+    for _ in range(8):
+        if len(ring):
+            ring.retire()
+        offsets.append(ring.alloc(50))
+    assert offsets == [0, 50, 0, 50, 0, 50, 0, 50]
+    assert ring.free_bytes == 50

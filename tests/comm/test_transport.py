@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm.transport import Transport
+from repro.comm.transport import SyncTransport as Transport
 
 
 def test_post_and_collect():

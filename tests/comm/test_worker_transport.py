@@ -13,7 +13,11 @@ import time
 import numpy as np
 import pytest
 
-from repro.comm.transport import Transport, WorkerTransport, host_has_spare_core
+from repro.comm.transport import (
+    SyncTransport as Transport,
+    WorkerTransport,
+    host_has_spare_core,
+)
 
 
 def test_defer_runs_job_and_complete_joins():
