@@ -53,7 +53,11 @@ class StaleHaloExchange(HaloExchange):
         devices: list,
         transport: Transport,
         values_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> InFlightStep:
+        # ``out`` is accepted for API parity (the pipelined executor names
+        # halo destinations at post time); the stale policy always
+        # scatters in finalize, where the cache decides what lands.
         tag = f"{phase}/L{layer}"
         staged: list[tuple[int, int, np.ndarray]] = []
         for dev in devices:

@@ -74,7 +74,10 @@ class BroadcastSkipExchange(HaloExchange):
         devices: list,
         transport: Transport,
         values_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> InFlightStep:
+        # ``out`` is accepted for API parity; the broadcast-skip policy
+        # scatters from its historical cache in finalize.
         if phase == "fwd":
             broadcast = self._broadcast_now()
             staged: list[tuple[int, list[int], np.ndarray]] = []

@@ -103,14 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
              "past the GIL); every backend is bit-identical to sync "
              "under the same seed")
     p_train.add_argument(
-        "--no-async-transport", action="store_true",
-        help="deprecated: use --transport sync (keeps each step's "
-             "quantize/pack/post on the main thread)")
-    p_train.add_argument(
-        "--transport-workers", type=int, default=None, metavar="N",
-        help="deprecated: use --transport worker:N / process:N (worker "
-             "count of the async transport's pool; default auto = the "
-             "host's spare cores)")
+        "--pipeline-depth", type=int, default=None, choices=(1, 2),
+        metavar="D",
+        help="split-phase pipeline depth: 2 (default) keeps two exchange "
+             "steps in flight via cross-step lookahead; 1 restores the "
+             "one-tag-deep Fig. 7 pipeline (bit-identical, exposes the "
+             "encode tail on multi-core hosts)")
     p_train.add_argument(
         "--rng-mode", default="keyed", choices=("keyed", "stream"),
         help="stochastic-rounding noise source: 'keyed' (default) derives "
@@ -187,24 +185,40 @@ def _cmd_info() -> int:
     return 0
 
 
+def _overlap_rows(result) -> list[list[str]]:
+    """Measured-overlap table rows, derived from the full-run summary.
+
+    The aggregate ``TimelineSummary`` covers every executed step, so the
+    numbers stay accurate even when ``timeline_history`` has capped the
+    retained ``recent_timelines`` list.
+    """
+    summary = result.timeline_summary
+    if not summary.steps:
+        return []
+    stage_total = (
+        summary.quantize_s + summary.central_s
+        + summary.dequantize_s + summary.marginal_s
+    )
+    wait_share = summary.worker_wait_s / max(stage_total, 1e-12)
+    depth = max((t.pipeline_depth for t in result.recent_timelines), default=1)
+    return [
+        [
+            "measured overlap",
+            f"{100 * summary.hidden_byte_fraction:.0f}% of halo bytes in "
+            f"flight during central windows (pipeline depth {depth})",
+        ],
+        [
+            "worker wait",
+            f"{format_seconds(summary.worker_wait_s)} total "
+            f"({100 * wait_share:.1f}% of step time)",
+        ],
+    ]
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.comm.topology import parse_topology
     from repro.comm.transports import parse_transport_spec
 
-    legacy_flags = args.no_async_transport or args.transport_workers is not None
-    if args.transport is not None and legacy_flags:
-        print(
-            "error: --transport conflicts with the deprecated "
-            "--no-async-transport/--transport-workers flags",
-            file=sys.stderr,
-        )
-        return 2
-    if legacy_flags:
-        print(
-            "warning: --no-async-transport/--transport-workers are "
-            "deprecated; use --transport sync|worker:N|process:N",
-            file=sys.stderr,
-        )
     if args.transport is not None:
         try:
             parse_transport_spec(args.transport)
@@ -229,10 +243,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         fused_compute=not args.no_fused_compute,
         overlap=not args.no_overlap,
         transport=args.transport if args.transport is not None else "auto",
-        async_transport=False if args.no_async_transport else None,
-        transport_workers=args.transport_workers,
         rng_mode=args.rng_mode,
     )
+    if args.pipeline_depth is not None:
+        cfg = cfg.with_overrides(pipeline_depth=args.pipeline_depth)
     print(f"training {args.system} / {args.model} on {args.dataset}-{args.scale} "
           f"({topology.name}, {args.epochs} epochs)...")
     result = train(args.system, ds, book, topology, cfg)
@@ -254,16 +268,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 ["wire bytes / epoch",
                  f"{result.wire_bytes_total / max(result.epochs, 1) / 1e6:.2f} MB"],
             ]
-            + (
-                [[
-                    "measured overlap",
-                    f"{100 * result.timeline_summary.hidden_byte_fraction:.0f}% "
-                    "of halo bytes in flight during central windows "
-                    f"(worker wait {format_seconds(result.timeline_summary.worker_wait_s)})",
-                ]]
-                if result.timeline_summary.steps
-                else []
-            ),
+            + _overlap_rows(result),
         )
     )
     if result.bit_histogram:

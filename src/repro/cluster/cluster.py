@@ -89,35 +89,19 @@ class Cluster:
         happens here, once: ``cluster.transport_spec`` is the concrete
         spec, and a process pool spawns at construction (before epoch
         state exists to drag through a fork) and drains + unlinks its
-        shared memory at :meth:`close`.  Mutually exclusive with the
-        legacy pair below.
-    async_transport:
-        Legacy knob (use ``transport=``).  Route each step's
-        encode/pack/post job through a
-        :class:`~repro.comm.transport.WorkerTransport` worker thread, so
-        it runs concurrently with the central sub-step's GIL-releasing
-        BLAS/spmv — the recorded overlap becomes wall-clock speedup.
-        ``None`` (default) means "on when the pipeline executes and the
-        host has a spare core for the worker"; ``True`` forces it for
-        overlapped runs (it still degrades to off without ``overlap``,
-        where there is no central window to hide work under).
-        Bit-identical to the synchronous transport under the same seed:
-        stream-rounding exchanges serialize their step jobs (preserving
-        the RNG stream), keyed-rounding exchanges are order-independent
-        by construction, and only the main thread scatters and
-        accumulates, in device order over source-sorted mailboxes.
-    transport_workers:
-        Legacy knob (use ``transport="worker:N"``).  Worker threads in
-        the :class:`~repro.comm.transport.
-        WorkerTransport` pool (ignored when the transport resolves to
-        synchronous).  ``None`` (default) auto-selects the host's spare
-        cores (``host_spare_cores()``, at least 1): the main thread keeps
-        one core, the workers saturate the rest.  Exchanges decide how
-        much parallelism they can actually use — keyed-rounding engines
-        shard each step's encode/decode across the pool; stream-rounding
-        engines submit one job per step regardless (their bitwise
-        contract is order-dependent), making extra workers harmless but
-        idle.
+        shared memory at :meth:`close`.  ``cluster.async_transport`` /
+        ``cluster.transport_workers`` remain as read-only mirrors derived
+        from the resolved spec.
+    pipeline_depth:
+        How many (layer, phase) exchange steps the split-phase executor
+        keeps in flight (1 or 2; default 2).  Depth 2 adds cross-step
+        lookahead: forward layers post layer L+1's boundary rows from
+        inside layer L's marginal sub-step (the moment its owned outputs
+        land), and backward layers defer their parameter-partial GEMMs to
+        run inside the next step's in-flight window.  Bitwise-identical
+        to depth 1 — posts stay strictly ordered (each lookahead fires
+        after the previous finalize) and deferred partials touch only
+        per-layer accumulators.  Degrades to 1 when ``overlap`` is off.
     timeline_keep:
         Cap on the per-step :class:`~repro.cluster.records.StepTimeline`
         entries retained in each epoch record (``None`` keeps all — one
@@ -139,8 +123,7 @@ class Cluster:
         fused_compute: bool = True,
         overlap: bool = False,
         transport: str | TransportSpec | None = None,
-        async_transport: bool | None = None,
-        transport_workers: int | None = None,
+        pipeline_depth: int = 2,
         timeline_keep: int | None = None,
     ) -> None:
         check_in_set(model_kind, MODEL_KINDS, name="model_kind")
@@ -214,29 +197,13 @@ class Cluster:
         # degrades to off rather than erroring (the legacy loop remains a
         # pure escape hatch).
         self.overlap = bool(overlap) and self.fused_compute
-        # Backend selection goes through one TransportSpec.  The legacy
-        # async_transport/transport_workers pair maps onto the spec it
-        # always meant — False is "sync", True forces "worker" (still
-        # gated on overlap: without the pipeline there is no central
-        # window to hide work under), None is "auto" (worker when the
-        # pipeline executes and the host has a spare core) — so existing
-        # callers resolve to exactly the backends they got before.
-        if transport is not None and (
-            async_transport is not None or transport_workers is not None
-        ):
-            raise ValueError(
-                "pass either transport= or the legacy "
-                "async_transport/transport_workers pair, not both"
-            )
+        if pipeline_depth not in (1, 2):
+            raise ValueError("pipeline_depth must be 1 or 2")
+        # Cross-step lookahead is an execution shape of the split-phase
+        # pipeline; without overlap there is no step to look ahead from.
+        self.pipeline_depth = int(pipeline_depth) if self.overlap else 1
         if transport is None:
-            if transport_workers is not None and transport_workers < 1:
-                raise ValueError("transport_workers must be >= 1 (or None for auto)")
-            if async_transport is False:
-                transport = TransportSpec("sync")
-            elif async_transport is True:
-                transport = TransportSpec("worker", transport_workers)
-            else:
-                transport = TransportSpec("auto", transport_workers)
+            transport = TransportSpec("auto")
         spec = resolve_spec(transport, overlap=self.overlap)
         self.transport_spec = spec
         self.async_transport = spec.backend != "sync"
@@ -285,11 +252,19 @@ class Cluster:
         if self.fused_compute:
             engine = self._compute_engine()
             engine.begin_epoch()
+            depth2 = self.overlap and self.pipeline_depth >= 2
             for layer in range(num_layers):
                 if self.overlap:
+                    # Depth 2: every layer but the last posts its successor's
+                    # boundary rows from inside its marginal sub-step, so the
+                    # next step's encode overlaps this step's epilogue.
                     record.add_timeline(
                         engine.forward_layer_overlap(
-                            layer, exchange, self.transport, training=True
+                            layer,
+                            exchange,
+                            self.transport,
+                            training=True,
+                            lookahead=depth2 and layer + 1 < num_layers,
                         ),
                         keep_last=self.timeline_keep,
                     )
@@ -303,8 +278,17 @@ class Cluster:
             record.loss = engine.epoch_loss(self._loss)
             for layer in reversed(range(num_layers)):
                 if self.overlap:
+                    # Depth 2 (backward mirror): defer this layer's
+                    # parameter-partial GEMMs into the next step's central
+                    # window, after its post dispatch — layer 0 has no next
+                    # step, so its partials stay inline.
                     record.add_timeline(
-                        engine.backward_layer_overlap(layer, exchange, self.transport),
+                        engine.backward_layer_overlap(
+                            layer,
+                            exchange,
+                            self.transport,
+                            defer_partials=depth2 and layer > 0,
+                        ),
                         keep_last=self.timeline_keep,
                     )
                 else:

@@ -58,6 +58,26 @@ bit).  The persistent stacked buffers keep their original row order —
 permuting them would reorder reductions (loss sums, ``xᵀ·d`` weight
 gradients) and break the bitwise contract.  Each overlapped step emits a
 measured :class:`~repro.cluster.records.StepTimeline`.
+
+**Two-deep cross-step lookahead** (``pipeline_depth=2``): the forward
+pass posts layer L+1's marginal messages from *inside* layer L's
+marginal sub-step — the moment its owned outputs land, before the
+backward-cache scatters — so L+1's step begins with its messages
+already in flight and its post stage collapses to a pending-step pop.
+The backward pass mirrors it on the dependency axis (L-1's post needs
+L's finalized gradient, so it cannot move earlier): each layer's
+parameter-partial GEMMs are deferred into a closure flushed at the
+start of the *next* step's central window, right after that step's
+post, so the post dispatches sooner and the partials fill its in-flight
+window.  Bitwise equivalence needs no rounding-mode gate: a lookahead
+post fires only after the previous step's finalize has joined its tag,
+so posts stay strictly ordered and at most one tag ever has outstanding
+encode jobs — even the order-dependent stream-rounding contract is
+preserved.  Deferred partials read only per-layer buffers (``_z``/
+``_x``/``_x_hat``, LayerNorm's freshly-allocated input gradient, and
+the *previous* frontier buffer), none of which the interposed step
+touches, and per-accumulator addend order is unchanged because each
+closure owns its layer's parameters exclusively.
 """
 
 from __future__ import annotations
@@ -347,6 +367,13 @@ class FusedClusterCompute:
         # Gradient of the current backward frontier (set by epoch_loss).
         self._d: np.ndarray | None = None
 
+        # Cross-step lookahead state (pipeline_depth=2): the forward
+        # pass's posted-but-not-yet-consumed next step as
+        # ``(layer, InFlightStep, dispatch_seconds)``, and the backward
+        # pass's deferred parameter-partial closure.
+        self._pending_fwd: tuple[int, object, float] | None = None
+        self._deferred_partials = None
+
     # ------------------------------------------------------------------
     def _own_slice(self, k: int) -> slice:
         return slice(int(self.own_off[k]), int(self.own_off[k + 1]))
@@ -361,6 +388,12 @@ class FusedClusterCompute:
         for acc in self._acc:
             acc.fill(0.0)
         self._d = None
+        # A completed epoch always consumes both (the last forward layer
+        # never posts ahead; backward layer 0 flushes layer 1's partials
+        # and runs its own inline) — clearing here only matters after an
+        # aborted epoch.
+        self._pending_fwd = None
+        self._deferred_partials = None
 
     def forward_layer(self, layer, exchange, transport, *, training: bool) -> None:
         """Exchange halos, aggregate, and run layer ``layer``'s dense step."""
@@ -475,7 +508,9 @@ class FusedClusterCompute:
         else:
             self._drop_active[layer] = False
 
-    def _forward_substep(self, layer: int, rows: np.ndarray) -> None:
+    def _forward_substep(
+        self, layer: int, rows: np.ndarray, after_out=None
+    ) -> None:
         """Dense half of layer ``layer`` for one row set (central or marginal).
 
         Gathers the rows into a contiguous block, runs the same GEMM /
@@ -483,8 +518,17 @@ class FusedClusterCompute:
         scatters results (plus the backward caches) into the persistent
         buffers.  Every operation is row-local or row-deterministic, so
         the scattered rows are bit-identical to the full-step values.
+
+        ``after_out`` (if given) fires the moment ``out_own[rows]`` has
+        been written — before the backward-cache scatters — on every
+        path, including empty row sets.  The cross-step lookahead hooks
+        its next-layer post here: the next layer's input is complete at
+        that point, and the cache scatters are pure writes the callback
+        cannot observe, so firing early is free latency.
         """
         if rows.size == 0:
+            if after_out is not None:
+                after_out()
             return
         mod = self.devices[0].model.layers[layer]
         conv = mod.conv
@@ -507,10 +551,27 @@ class FusedClusterCompute:
             h += neigh
         if not mod.has_post_stage:
             out_own[rows] = h
+            if after_out is not None:
+                after_out()
             return
 
         x_hat = self._scratch("fwd_xhat", n, d_out)
         inv_std = mod.norm.forward_into(h, x_hat)
+
+        relu_mask = self._scratch("fwd_relu", n, d_out, dtype=bool)
+        np.greater(h, 0, out=relu_mask)
+        h *= relu_mask
+
+        if self._drop_active[layer]:
+            dm = self._scratch("fwd_dm", n, d_out)
+            np.take(self._drop_mask[layer], rows, axis=0, out=dm)
+            h *= dm
+        out_own[rows] = h
+        if after_out is not None:
+            after_out()
+
+        # Backward caches; pure scatters of already-final values, so they
+        # can land after the callback has posted the next layer.
         self._x_hat[layer][rows] = x_hat
         buf = self._inv_std_buf[layer]
         if buf is None or buf.dtype != inv_std.dtype:
@@ -518,20 +579,10 @@ class FusedClusterCompute:
             self._inv_std_buf[layer] = buf
         buf[rows] = inv_std
         self._inv_std[layer] = buf
-
-        relu_mask = self._scratch("fwd_relu", n, d_out, dtype=bool)
-        np.greater(h, 0, out=relu_mask)
-        h *= relu_mask
         self._relu_mask[layer][rows] = relu_mask
 
-        if self._drop_active[layer]:
-            dm = self._scratch("fwd_dm", n, d_out)
-            np.take(self._drop_mask[layer], rows, axis=0, out=dm)
-            h *= dm
-        out_own[rows] = h
-
     def forward_layer_overlap(
-        self, layer, exchange, transport, *, training: bool
+        self, layer, exchange, transport, *, training: bool, lookahead: bool = False
     ) -> StepTimeline:
         """One forward layer as the paper's pipeline; returns its timeline.
 
@@ -539,21 +590,52 @@ class FusedClusterCompute:
         central sub-step runs while those messages are in flight; stage 3
         finalizes the halos (collect + de-quantize + scatter in place)
         and runs the marginal sub-step.
+
+        With ``lookahead=True`` (pipeline_depth=2) the marginal sub-step
+        additionally posts layer ``layer + 1``'s messages the moment its
+        owned outputs land — before the backward-cache scatters — and the
+        next call finds that step pending and skips its own post stage;
+        its ``quantize_s``/``lookahead_post_s`` then report the dispatch
+        seconds paid inside this step's marginal window.
         """
         plan = self.overlap_plan()
         mod = self.devices[0].model.layers[layer]
         t0 = time.perf_counter()
-        # Open the overlap window *before* posting: async workers may post
-        # (and, with worker-side decode, even collect) the step's traffic
-        # before this thread runs again, and bytes only count as hidden if
-        # the window is already open when they land.  For the synchronous
-        # transport the accounting is unchanged — everything posts into
-        # the open window instead of being pending at note_overlap time.
-        transport.note_overlap(step_tag("fwd", layer))
-        step = exchange.post_step(
-            layer, "fwd", self.devices, transport, self._own_views[layer]
-        )
+        pending = self._pending_fwd
+        was_pending = pending is not None and pending[0] == layer
+        if was_pending:
+            # Posted by the previous layer's marginal sub-step; its tag's
+            # overlap window has been open since then, so every byte of
+            # this step was in flight before the central window below.
+            self._pending_fwd = None
+            step = pending[1]
+            lookahead_post_s = float(pending[2])
+            post_s = lookahead_post_s
+        else:
+            # Open the overlap window *before* posting: async workers may
+            # post (and, with worker-side decode, even collect) the step's
+            # traffic before this thread runs again, and bytes only count
+            # as hidden if the window is already open when they land.  For
+            # the synchronous transport the accounting is unchanged —
+            # everything posts into the open window instead of being
+            # pending at note_overlap time.
+            transport.note_overlap(step_tag("fwd", layer))
+            # Naming the halo destinations at post time lets async fused
+            # exchanges scatter on their workers; finalize below passes
+            # the same list and becomes join-only on that path.
+            step = exchange.post_step(
+                layer,
+                "fwd",
+                self.devices,
+                transport,
+                self._own_views[layer],
+                out=self._halo_views[layer],
+            )
+            lookahead_post_s = 0.0
+            post_s = None
         t1 = time.perf_counter()
+        if post_s is None:
+            post_s = t1 - t0
 
         # Central window: aggregation + dense update of central rows only.
         z = self._z[layer]
@@ -567,8 +649,29 @@ class FusedClusterCompute:
         exchange.finalize_step(step, out=self._halo_views[layer])
         t3 = time.perf_counter()
 
+        nxt = layer + 1
+        after_out = None
+        if lookahead and nxt < self.num_layers:
+            # Fires inside the marginal sub-step, right after the next
+            # layer's owned input rows are complete.  Posting here is safe
+            # for stream rounding too: this step's finalize (above) joined
+            # every job of tag L, so the next tag's encode jobs are the
+            # only ones outstanding and posts stay strictly ordered.
+            def after_out() -> None:
+                tp = time.perf_counter()
+                transport.note_overlap(step_tag("fwd", nxt))
+                step_next = exchange.post_step(
+                    nxt,
+                    "fwd",
+                    self.devices,
+                    transport,
+                    self._own_views[nxt],
+                    out=self._halo_views[nxt],
+                )
+                self._pending_fwd = (nxt, step_next, time.perf_counter() - tp)
+
         _spmv_accumulate(plan.matrix_marginal, self._x[layer], z)
-        self._forward_substep(layer, plan.rows_marginal)
+        self._forward_substep(layer, plan.rows_marginal, after_out=after_out)
         t4 = time.perf_counter()
         # Overlapped bytes are read after finalize: under the async
         # transport the worker's posts land mid-window, and they count as
@@ -576,7 +679,7 @@ class FusedClusterCompute:
         return StepTimeline(
             layer=layer,
             phase="fwd",
-            quantize_s=t1 - t0,
+            quantize_s=post_s,
             comm_s=0.0,
             central_s=t2 - t1,
             dequantize_s=t3 - t2,
@@ -586,6 +689,8 @@ class FusedClusterCompute:
             total_bytes=int(transport.bytes_matrix(step.tag).sum()),
             measured=True,
             worker_wait_s=step.worker_wait_s,
+            pipeline_depth=2 if (was_pending or after_out is not None) else 1,
+            lookahead_post_s=lookahead_post_s,
         )
 
     def _input_grad_rows(
@@ -605,7 +710,9 @@ class FusedClusterCompute:
         row_matmul(a, weight_t, out=o)
         target[rows] = o
 
-    def backward_layer_overlap(self, layer, exchange, transport) -> StepTimeline:
+    def backward_layer_overlap(
+        self, layer, exchange, transport, *, defer_partials: bool = False
+    ) -> StepTimeline:
         """One backward layer as the pipeline, dependency-first.
 
         The marginal sub-step runs *before* the post: outgoing halo
@@ -615,6 +722,16 @@ class FusedClusterCompute:
         parameter partial (same per-accumulator order as the
         non-overlapped engine) and routes owned-row gradients; finalize
         then adds the received gradients in place.
+
+        With ``defer_partials=True`` (pipeline_depth=2) this layer's
+        parameter-partial GEMMs are captured in a closure instead of
+        running here; the *next* (shallower) step flushes it at the start
+        of its central window, right after its own post — so each post
+        dispatches as early as its data dependencies allow and the
+        deferred GEMMs land inside the in-flight window they help hide.
+        The closure reads only per-layer buffers the interposed step never
+        touches, and each parameter's addend order is unchanged, so
+        gradients stay bitwise-identical.
         """
         d_out = self._d
         if d_out is None:
@@ -659,31 +776,48 @@ class FusedClusterCompute:
         )
         t2 = time.perf_counter()
 
+        # Flush the previous (deeper) layer's deferred partials now that
+        # this step's messages are dispatched: the GEMMs land inside this
+        # step's in-flight window instead of delaying the post above.
+        flush = self._deferred_partials
+        if flush is not None:
+            self._deferred_partials = None
+            flush()
+
         # Central window: remaining input-grad rows, parameter partials,
         # owned-row gradient routing.
         self._input_grad_rows(d_out, plan.rows_central, weight_t, dz)
-        if mod.has_post_stage:
-            assert d_out_pre is not None
-            prod = d_out_pre * self._x_hat[layer]
-            for k in range(len(self.devices)):
-                sl = self._own_slice(k)
-                self._acc_add(mod.norm.gamma, prod[sl].sum(axis=0))
-                self._acc_add(mod.norm.beta, d_out_pre[sl].sum(axis=0))
         z = self._z[layer]
+
+        def partials(d_out=d_out, d_out_pre=d_out_pre) -> None:
+            if mod.has_post_stage:
+                assert d_out_pre is not None
+                prod = d_out_pre * self._x_hat[layer]
+                for k in range(len(self.devices)):
+                    sl = self._own_slice(k)
+                    self._acc_add(mod.norm.gamma, prod[sl].sum(axis=0))
+                    self._acc_add(mod.norm.beta, d_out_pre[sl].sum(axis=0))
+            if self.model_kind == "gcn":
+                for k in range(len(self.devices)):
+                    sl = self._own_slice(k)
+                    self._acc_add(conv.linear.weight, z[sl].T @ d_out[sl])
+                    self._acc_add(conv.linear.bias, d_out[sl].sum(axis=0))
+            else:
+                x_own = self._x[layer][: self.total_own]
+                for k in range(len(self.devices)):
+                    sl = self._own_slice(k)
+                    self._acc_add(conv.root.weight, x_own[sl].T @ d_out[sl])
+                    self._acc_add(conv.root.bias, d_out[sl].sum(axis=0))
+                    self._acc_add(conv.neigh.weight, z[sl].T @ d_out[sl])
+
+        if defer_partials:
+            self._deferred_partials = partials
+        else:
+            partials()
         if self.model_kind == "gcn":
-            for k in range(len(self.devices)):
-                sl = self._own_slice(k)
-                self._acc_add(conv.linear.weight, z[sl].T @ d_out[sl])
-                self._acc_add(conv.linear.bias, d_out[sl].sum(axis=0))
             _spmv_into(plan.matrix_t_own, dz, dx[: self.total_own])
             d_next = dx[: self.total_own]
         else:
-            x_own = self._x[layer][: self.total_own]
-            for k in range(len(self.devices)):
-                sl = self._own_slice(k)
-                self._acc_add(conv.root.weight, x_own[sl].T @ d_out[sl])
-                self._acc_add(conv.root.bias, d_out[sl].sum(axis=0))
-                self._acc_add(conv.neigh.weight, z[sl].T @ d_out[sl])
             d_next = row_matmul(d_out, conv.root.weight.data.T, out=self._d_own[layer])
             _spmv_into(plan.matrix_t_own, dz, dx[: self.total_own])
             d_next += dx[: self.total_own]
@@ -706,6 +840,7 @@ class FusedClusterCompute:
             total_bytes=int(transport.bytes_matrix(step.tag).sum()),
             measured=True,
             worker_wait_s=step.worker_wait_s,
+            pipeline_depth=2 if (defer_partials or flush is not None) else 1,
         )
 
     # ------------------------------------------------------------------

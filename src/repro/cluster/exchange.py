@@ -51,7 +51,22 @@ bit for bit).  Thread placement of the per-pair engines' ``_post`` hook
 single deferred job, i.e. on a worker under an async transport.  That is
 safe only because exactly one such job runs at a time and finalize joins
 before any consumer reads the tracer or RNG; code adding mid-window
-readers of either must not rely on the main thread owning them.
+readers of either must not rely on the main thread owning them.  The
+one-at-a-time property survives the two-deep pipeline (PR 8): a
+cross-step lookahead post fires only after the previous step's finalize
+has joined its tag, so even with two tags alive on the transport at
+once, at most one tag ever has outstanding encode jobs.
+
+**Worker-side decode scatter.**  Forward callers that already know the
+destination halo buffers may pass them to ``post_step(..., out=...)``:
+on async thread-backed transports the fused engine's per-receiver decode
+jobs then scatter straight into them (each receiver's halo region is a
+disjoint, contiguous row range of the stacked buffer, so the writes are
+race-free shards), and ``finalize_step`` with the *same* ``out`` object
+becomes join-only.  Backward steps never take this path (their
+accumulate is float-order-sensitive), nor does the process transport
+(the halo buffer is not in shared memory); both keep the main-thread
+scatter/accumulate.
 """
 
 from __future__ import annotations
@@ -173,6 +188,16 @@ class InFlightStep:
     matrices produced by worker-side decode jobs, complete once
     :meth:`mark_done` returns; ``None`` whenever decode happens in
     ``finalize_step`` itself (synchronous transports, non-fused policies).
+
+    ``scatter_out``/``scattered`` carry the worker-side scatter contract:
+    ``scatter_out`` is the per-device halo-destination list the caller
+    supplied at post time (if any), and ``scattered`` is set by the fused
+    engine once its decode jobs have been queued to write those buffers
+    directly — ``finalize_step`` passed the *same* ``out`` object then
+    skips the scatter entirely.  ``ws_parity`` selects which of the A/B
+    :class:`~repro.quant.fused.DecodeWorkspace` pair this step's decodes
+    use, so a lookahead step's decode never reuses buffers whose views
+    the previous step's finalize has not yet consumed.
     """
 
     __slots__ = (
@@ -185,6 +210,9 @@ class InFlightStep:
         "done",
         "worker_wait_s",
         "decoded",
+        "scatter_out",
+        "scattered",
+        "ws_parity",
     )
 
     def __init__(
@@ -205,6 +233,9 @@ class InFlightStep:
         self.done = False
         self.worker_wait_s = 0.0
         self.decoded: dict[int, dict[int, np.ndarray]] | None = None
+        self.scatter_out: list[np.ndarray] | None = None
+        self.scattered = False
+        self.ws_parity = 0
 
     def mark_done(self) -> None:
         if self.done:
@@ -241,6 +272,7 @@ class HaloExchange:
         devices: list,  # list[DeviceRuntime]; untyped to avoid cycle
         transport: TransportBackend,
         values_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> InFlightStep:
         """Stage 1: snapshot, encode and post this step's outgoing rows.
 
@@ -249,6 +281,12 @@ class HaloExchange:
         handle for :meth:`finalize_step`; payload values are copied out of
         ``values_by_dev`` before returning (the gathers below), while the
         per-pair encode/post loop runs as one deferred transport job.
+
+        ``out`` (forward only) optionally names the per-device halo
+        destinations up front so a policy that can scatter on its workers
+        does (see the module docstring); policies without that fast path
+        simply record it on the handle.  Finalize's own ``out`` argument
+        stays authoritative either way.
         """
         check_in_set(phase, ("fwd", "bwd"), name="phase")
         tag = step_tag(phase, layer)
@@ -271,7 +309,9 @@ class HaloExchange:
 
             transport.defer(tag, job)
         dim = int(values_by_dev[devices[0].rank].shape[1])
-        return InFlightStep(layer, phase, tag, devices, transport, dim)
+        step = InFlightStep(layer, phase, tag, devices, transport, dim)
+        step.scatter_out = out if phase == "fwd" else None
+        return step
 
     def finalize_step(
         self, step: InFlightStep, out: list[np.ndarray] | None = None
@@ -466,6 +506,7 @@ class ExactHaloExchange(HaloExchange):
         devices: list,
         transport: TransportBackend,
         values_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> InFlightStep:
         check_in_set(phase, ("fwd", "bwd"), name="phase")
         tag = step_tag(phase, layer)
@@ -504,7 +545,9 @@ class ExactHaloExchange(HaloExchange):
 
                 transport.defer(tag, job)
         dim = int(values_by_dev[devices[0].rank].shape[1])
-        return InFlightStep(layer, phase, tag, devices, transport, dim)
+        step = InFlightStep(layer, phase, tag, devices, transport, dim)
+        step.scatter_out = out if phase == "fwd" else None
+        return step
 
     def finalize_step(
         self, step: InFlightStep, out: list[np.ndarray] | None = None
@@ -645,11 +688,15 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         # same coordinate-determined noise by construction.
         self.fused_encoder = FusedStepEncoder(self.rounding)
         self._decode_ws = DecodeWorkspace()
-        # Worker-side decode scratch, one workspace per receiving rank:
-        # per-receiver decode jobs run concurrently on the pool, so they
-        # must never share buffers (the finalize half consumes each
-        # receiver's views before its next step decodes).
-        self._decode_ws_by_rank: dict[int, DecodeWorkspace] = {}
+        # Worker-side decode scratch, an A/B workspace pair per receiving
+        # rank, keyed ``(rank, parity)``: per-receiver decode jobs run
+        # concurrently on the pool, so ranks must never share buffers —
+        # and with cross-step lookahead two *steps* can be alive at once,
+        # so consecutive steps alternate parity (``_ws_parity``) to keep a
+        # pending step's decode from recycling buffers whose views the
+        # previous step's finalize has not yet consumed.
+        self._decode_ws_by_rank: dict[tuple[int, int], DecodeWorkspace] = {}
+        self._ws_parity = 0
         self._topologies: dict[str, tuple] = {}
         self._halo_bufs: dict[tuple[int, int], np.ndarray] = {}
 
@@ -661,11 +708,29 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         devices: list,
         transport: TransportBackend,
         values_by_dev: list[np.ndarray],
+        out: list[np.ndarray] | None = None,
     ) -> InFlightStep:
         check_in_set(phase, ("fwd", "bwd"), name="phase")
         tag = step_tag(phase, layer)
         dim = int(values_by_dev[devices[0].rank].shape[1])
         step = InFlightStep(layer, phase, tag, devices, transport, dim)
+        # Alternate the decode-workspace parity per posted step; with two
+        # steps in flight the lookahead one lands on the other half of the
+        # A/B pair (see _defer_decodes).
+        self._ws_parity ^= 1
+        step.ws_parity = self._ws_parity
+        if out is not None and phase == "fwd":
+            # Validate destination shapes on the calling thread, so the
+            # worker-side scatter can assume them.
+            for dev in devices:
+                buf = out[dev.rank]
+                expected = (dev.part.n_halo, dim)
+                if buf.shape != expected:
+                    raise ValueError(
+                        f"out[{dev.rank}] has shape {buf.shape}, "
+                        f"expected {expected}"
+                    )
+            step.scatter_out = out
         self._encode_and_post(
             transport, layer, phase, devices, tag, values_by_dev, step=step
         )
@@ -675,6 +740,11 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         self, step: InFlightStep, out: list[np.ndarray] | None = None
     ) -> list[np.ndarray] | None:
         step.mark_done()
+        if step.scattered and out is not None and out is step.scatter_out:
+            # Worker-side scatter already landed every receiver's rows in
+            # the buffers named at post time (mark_done joined the jobs);
+            # finalize is join-only.
+            return [out[dev.rank] for dev in step.devices]
         if step.decoded is not None:
             # Async transport: worker jobs already collected and decoded
             # every receiver's mailbox (mark_done joined them); only the
@@ -813,18 +883,37 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         already posted; the jobs use the *base* ``TransportAccounting.collect``
         (which sorts by source) — the subclass safety-net would try to
         join the very job set they run in.  Each receiver gets its own
-        :class:`DecodeWorkspace`; the views stashed in ``step.decoded``
-        stay valid until that receiver's next decode, one whole step away,
-        by which time finalize has consumed them.
+        :class:`DecodeWorkspace` from the ``(rank, parity)`` A/B pair; the
+        views stashed in ``step.decoded`` stay valid until that receiver's
+        next *same-parity* decode, two whole steps away, so they survive
+        even when a lookahead step's decode runs before this step's
+        finalize has consumed them.
+
+        When the step carries ``scatter_out`` (forward halo destinations
+        named at post time), each decode job also scatters its receiver's
+        rows straight into that buffer — receivers own disjoint buffers,
+        so the writes are race-free — and flags the step ``scattered`` so
+        finalize is join-only.  The zero-fill-then-assign matches
+        ``_halo_out``'s semantics exactly.
         """
+        scatter = step.phase == "fwd" and step.scatter_out is not None
+        if scatter:
+            step.scattered = True
         for dev in step.devices:
 
-            def decode_job(rank: int = dev.rank) -> None:
+            def decode_job(rank: int = dev.rank, part=dev.part) -> None:
                 mailbox = TransportAccounting.collect(transport, rank, step.tag)
-                workspace = self._decode_ws_by_rank.get(rank)
+                key = (rank, step.ws_parity)
+                workspace = self._decode_ws_by_rank.get(key)
                 if workspace is None:
-                    workspace = self._decode_ws_by_rank[rank] = DecodeWorkspace()
-                step.decoded[rank] = decode_step(mailbox, workspace=workspace)
+                    workspace = self._decode_ws_by_rank[key] = DecodeWorkspace()
+                decoded = decode_step(mailbox, workspace=workspace)
+                step.decoded[rank] = decoded
+                if scatter:
+                    halo = step.scatter_out[rank]
+                    halo.fill(0.0)
+                    for p, mat in decoded.items():
+                        halo[part.recv_map[p]] = mat
 
             transport.defer(step.tag, decode_job)
 

@@ -23,8 +23,7 @@ Ethernet between machines — is modelled by:
   registry and the ``"worker:4"``-style selection specs.
 
 ``ProcessTransport`` is re-exported lazily (importing it pulls in
-``multiprocessing``); the deprecated ``Transport`` alias of
-``SyncTransport`` lives on for one release.
+``multiprocessing``).
 """
 
 from repro.comm.topology import ClusterTopology, parse_topology
@@ -63,7 +62,6 @@ __all__ = [
     "SyncTransport",
     "WorkerTransport",
     "ProcessTransport",
-    "Transport",
     "host_has_spare_core",
     "TransportSpec",
     "available_backends",
@@ -79,9 +77,4 @@ def __getattr__(name: str):
         from repro.comm.process import ProcessTransport
 
         return ProcessTransport
-    if name == "Transport":
-        # Deprecated alias; the warning comes from repro.comm.transport.
-        from repro.comm.transport import Transport
-
-        return Transport
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

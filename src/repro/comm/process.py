@@ -356,6 +356,11 @@ class ProcessTransport(SyncTransport):
         self._errors: dict[str, list[str]] = {}
         self._rings: dict[str, ShmRing] = {}
         self._retired_rings: list[ShmRing] = []
+        #: Ring replacements after first allocation (grown byte budgets).
+        #: Steady-state epochs at a constant budget must keep this at 0 —
+        #: re-slab churn would serialize the depth-2 pipeline on shm
+        #: setup; tests pin the invariant through this counter.
+        self.reslab_count = 0
         self._closed = False
         # The finalizer holds only the (mutable) name list — it must not
         # keep the transport alive, and it must unlink slabs even when
@@ -398,7 +403,13 @@ class ProcessTransport(SyncTransport):
         happens before the next same-tag post); the previous record is
         retired here, so steady-state allocation walks the ring and
         wraps — the fixed slab is reused for the whole run instead of
-        growing.  A changed byte budget (bit reassignment) re-slabs.
+        growing.  The two-record capacity is exactly what depth-2
+        pipelining needs: with two tags in flight the rings are distinct
+        per tag, and within a tag the lookahead post of epoch ``e+1``
+        never lands before epoch ``e``'s finalize consumed its record, so
+        a constant byte budget must never re-slab mid-epoch
+        (``reslab_count`` observes this).  Only a *grown* byte budget
+        (bit reassignment) re-slabs.
         """
         if self._closed:
             raise RuntimeError("transport is closed")
@@ -412,6 +423,7 @@ class ProcessTransport(SyncTransport):
                 while len(ring):
                     ring.retire()
                 self._retired_rings.append(ring)
+                self.reslab_count += 1
             ring = self._rings[tag] = ShmRing(2 * nbytes)
             self._segment_names.append(ring.name)
         if len(ring):

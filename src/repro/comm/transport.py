@@ -40,9 +40,6 @@ Worker counts are a *transport* property: exchanges consult
 that is safe is the exchange's call — keyed rounding makes shards
 order-independent; stream rounding pins every exchange to one job per
 step regardless of the pool size.
-
-``Transport`` remains as a deprecated alias of :class:`SyncTransport` for
-one release; importing it warns.
 """
 
 from __future__ import annotations
@@ -51,7 +48,6 @@ import abc
 import os
 import threading
 import time
-import warnings
 from collections import defaultdict
 from concurrent.futures import Future, ThreadPoolExecutor
 
@@ -64,7 +60,6 @@ __all__ = [
     "TransportAccounting",
     "SyncTransport",
     "WorkerTransport",
-    "Transport",  # deprecated alias (module __getattr__)
     "detected_cores",
     "host_spare_cores",
     "host_has_spare_core",
@@ -82,9 +77,9 @@ def detected_cores() -> int:
 def host_spare_cores() -> int:
     """Cores left over for transport workers once the main thread has one.
 
-    The auto worker count (``transport_workers=None``) resolves to this,
-    so a K-core host runs the main thread plus K-1 workers — saturating
-    the hardware without oversubscribing it.
+    A spec with no explicit worker count (``"worker"``, ``"process"``)
+    resolves to this, so a K-core host runs the main thread plus K-1
+    workers — saturating the hardware without oversubscribing it.
     """
     return max(0, detected_cores() - 1)
 
@@ -515,15 +510,3 @@ class WorkerTransport(SyncTransport):
         for future in orphans:
             if future.done():
                 future.exception()  # retrieve, so nothing warns at gc time
-
-
-def __getattr__(name: str):
-    if name == "Transport":
-        warnings.warn(
-            "repro.comm.transport.Transport is deprecated; use SyncTransport, "
-            "or select a backend through repro.comm.transports",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return SyncTransport
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

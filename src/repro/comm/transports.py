@@ -1,8 +1,7 @@
 """Transport backend registry and selection specs.
 
 One training run picks its transport through a single spec — ``"auto"``,
-``"sync"``, ``"worker:4"``, ``"process:2"`` — instead of the legacy
-``async_transport``/``transport_workers`` knob pair.  The registry makes
+``"sync"``, ``"worker:4"``, ``"process:2"``.  The registry makes
 ``SyncTransport``, ``WorkerTransport`` and ``ProcessTransport``
 config-selectable peers behind the :class:`~repro.comm.transport.
 TransportBackend` API; a future multi-host backend (sockets/MPI) plugs in
@@ -19,8 +18,7 @@ Spec grammar::
 
 The async backends only pay off inside the split-phase pipeline's central
 window, so :func:`resolve_spec` degrades them to ``sync`` for
-non-overlapped runs — exactly the legacy ``async_transport=True``
-semantics.
+non-overlapped runs.
 """
 
 from __future__ import annotations
@@ -157,8 +155,7 @@ def resolve_spec(spec: TransportSpec | str, *, overlap: bool = True) -> Transpor
 
     ``overlap`` is whether the run executes the split-phase pipeline: the
     async backends exist to hide encode/decode under its central window,
-    so without it every spec resolves to ``sync`` (the legacy
-    ``async_transport=True`` gating, preserved).
+    so without it every spec resolves to ``sync``.
     """
     from repro.comm.transport import host_has_spare_core, host_spare_cores
 

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.comm.transports import TransportSpec
 from repro.gnn.model import MODEL_KINDS
@@ -75,12 +74,19 @@ class RunConfig:
     # at ANY worker count; with rng_mode="stream" exchanges submit one
     # job per step regardless (the stream contract is order-dependent).
     transport: str = "auto"
-    # Deprecated pair (one release): the pre-PR-6 transport knobs.  Both
-    # still parse — with a DeprecationWarning — and map onto the spec
-    # they always meant: False -> "sync", True -> "worker[:N]",
-    # None + workers -> "auto:N".  Mutually exclusive with transport=.
-    async_transport: bool | None = None
-    transport_workers: int | None = None
+    # pipeline_depth: how many (layer, phase) exchange steps the split-
+    # phase executor keeps in flight.  1 is the classic Fig. 7 pipeline
+    # (post -> central -> finalize -> marginal, one tag at a time); 2 (the
+    # default) adds cross-step lookahead: the forward pass posts layer
+    # L+1's marginal messages from inside layer L's marginal sub-step (the
+    # moment its owned outputs land, before the backward-cache scatters),
+    # and the backward pass defers each layer's parameter-partial GEMMs to
+    # run after the next step's post is dispatched.  Both depths are
+    # bitwise-identical by construction — posts stay strictly ordered and
+    # every deferred block reads only per-layer buffers — so the knob
+    # trades nothing but execution shape.  Ignored (treated as 1) when
+    # overlap is off.
+    pipeline_depth: int = 2
     # rng_mode: where stochastic-rounding noise comes from.  "keyed" (the
     # default) derives each message block's noise from a counter-based
     # Philox generator keyed on (run_seed, epoch, phase, layer, src, dst)
@@ -117,35 +123,12 @@ class RunConfig:
         transport = self.transport
         if isinstance(transport, TransportSpec):
             transport = str(transport)
-        if self.async_transport is not None or self.transport_workers is not None:
-            if self.transport_workers is not None and self.transport_workers < 1:
-                raise ValueError("transport_workers must be >= 1 (or None for auto)")
-            if transport != "auto":
-                raise ValueError(
-                    "pass either transport= or the legacy "
-                    "async_transport/transport_workers pair, not both"
-                )
-            if self.async_transport is False:
-                mapped = TransportSpec("sync")
-            elif self.async_transport is True:
-                mapped = TransportSpec("worker", self.transport_workers)
-            else:
-                mapped = TransportSpec("auto", self.transport_workers)
-            warnings.warn(
-                "async_transport/transport_workers are deprecated; use "
-                f"transport={str(mapped)!r} instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            transport = str(mapped)
-            # Null the legacy fields once mapped, so functional updates
-            # (with_overrides -> replace) don't re-map or re-warn.
-            object.__setattr__(self, "async_transport", None)
-            object.__setattr__(self, "transport_workers", None)
         # Validates backend name and worker count (rejects junk early,
         # without importing any backend module).
         TransportSpec.parse(transport)
         object.__setattr__(self, "transport", transport)
+        if self.pipeline_depth not in (1, 2):
+            raise ValueError("pipeline_depth must be 1 or 2")
         if self.timeline_history < 0:
             raise ValueError("timeline_history must be >= 0")
 

@@ -278,6 +278,7 @@ def train(
         fused_compute=config.fused_compute,
         overlap=config.overlap and system in OVERLAP_SYSTEMS,
         transport=config.transport,
+        pipeline_depth=config.pipeline_depth,
     )
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]

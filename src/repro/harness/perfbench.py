@@ -79,6 +79,8 @@ __all__ = [
     "bench_exchange_split_phase",
     "bench_worker_scaling",
     "bench_process_scaling",
+    "bench_decode_scatter",
+    "bench_pipeline_depth",
     "run_bench",
     "compare_to_baseline",
     "render_report",
@@ -152,6 +154,19 @@ _GATED_METRICS = (
     # (same rule as worker_scaling — process fan-out on a starved host
     # measures the scheduler, not the GIL escape).
     ("process_scaling", "speedup"),
+    # PR 8: worker-side decode scatter under the central window vs the
+    # main-thread scatter after it (multi-core only — no window to hide
+    # under when the pool timeshares the main thread's core).
+    ("decode_scatter", "speedup"),
+    # PR 8: two-deep cross-step pipelining vs the classic depth-1
+    # pipeline, full epochs on the worker transport (multi-core only).
+    ("pipeline_depth", "speedup"),
+)
+
+#: Sections whose speedup floor applies only on multi-core runners (their
+#: ratio measures the OS scheduler, not the engine, on a starved host).
+_MULTI_CORE_SECTIONS = frozenset(
+    {"worker_scaling", "process_scaling", "decode_scatter", "pipeline_depth"}
 )
 
 
@@ -988,12 +1003,14 @@ def bench_epoch_overlap(
             reassign_period=4,
             seed=seed,
             overlap=overlap,
-            async_transport=False,
+            transport="sync",
+            pipeline_depth=1,
         )
-        # async_transport pinned off: this bench isolates the split-phase
-        # executor itself; letting the auto default pick the worker would
-        # make the ratio depend on the runner's core count (the transport
-        # comparison lives in bench_epoch_overlap_async).
+        # Transport pinned to sync and depth pinned to 1: this bench
+        # isolates the split-phase executor itself; the auto transport
+        # would make the ratio depend on the runner's core count (the
+        # transport comparison lives in bench_epoch_overlap_async, the
+        # depth comparison in bench_pipeline_depth).
         cluster = Cluster(
             ds,
             book,
@@ -1004,7 +1021,8 @@ def bench_epoch_overlap(
             seed=seed,
             fused_compute=True,
             overlap=overlap,
-            async_transport=False,
+            transport="sync",
+            pipeline_depth=1,
         )
         setup = build_system(system, cluster, cost_model, cfg)
         times: list[float] = []
@@ -1088,7 +1106,7 @@ def bench_epoch_overlap_async(
     ds, book = _load_workload(wl, seed)
     cost_model = LinkCostModel.for_topology(parse_topology(wl["setting"]))
 
-    def run(async_transport, pr3_kernels: bool = False):
+    def run(transport, pr3_kernels: bool = False):
         cfg = RunConfig(
             epochs=epochs,
             hidden_dim=wl["hidden_dim"],
@@ -1096,7 +1114,7 @@ def bench_epoch_overlap_async(
             reassign_period=4,
             seed=seed,
             overlap=True,
-            async_transport=async_transport,
+            transport=transport,
         )
         cluster = Cluster(
             ds,
@@ -1108,7 +1126,7 @@ def bench_epoch_overlap_async(
             seed=seed,
             fused_compute=True,
             overlap=True,
-            async_transport=async_transport,
+            transport=transport,
         )
         setup = build_system(system, cluster, cost_model, cfg)
         with contextlib.ExitStack() as stack:
@@ -1149,10 +1167,10 @@ def bench_epoch_overlap_async(
         was_async = cluster.async_transport
         return float(np.min(times[warmup:])), losses, wire, record, was_async
 
-    t_default, losses_d, bytes_d, _, default_async = run(None)
-    t_async, losses_a, bytes_a, rec_a, _ = run(True)
-    t_sync, losses_s, bytes_s, _, _ = run(False)
-    t_pr3, losses_p, bytes_p, _, _ = run(False, pr3_kernels=True)
+    t_default, losses_d, bytes_d, _, default_async = run("auto")
+    t_async, losses_a, bytes_a, rec_a, _ = run("worker")
+    t_sync, losses_s, bytes_s, _, _ = run("sync")
+    t_pr3, losses_p, bytes_p, _, _ = run("sync", pr3_kernels=True)
 
     import os
 
@@ -1187,6 +1205,205 @@ def bench_epoch_overlap_async(
     }
 
 
+def bench_decode_scatter(
+    *,
+    workload: dict | None = None,
+    reps: int = 20,
+    workers: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Worker-side decode scatter vs the main-thread scatter it replaced.
+
+    One real fused quantized exchange step on the worker transport, with a
+    central-window stand-in (a GIL-releasing GEMM) between post and
+    finalize — the shape of the pipelined executor's forward step.  Two
+    arms, identical numerics:
+
+    * ``unfused`` — post without ``out=``: workers decode, finalize runs
+      the per-receiver permutation scatter on the main thread, *after*
+      the central window closed (the pre-PR-8 exposed cost);
+    * ``fused`` — post with ``out=`` halo buffers named at post time:
+      each receiver's decode job scatters its contiguous halo shard on
+      the pool, under the GEMM, and finalize is join-only.
+
+    The ratio is the exposed-scatter time the sharding hides.  Gated only
+    on multi-core runners: with the pool timesharing the main thread's
+    core there is no window to hide under.
+    """
+    from repro.comm.transport import WorkerTransport, detected_cores
+    from repro.quant.stochastic import KeyedRounding
+
+    wl = dict(DEFAULT_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    ds, book = _load_workload(wl, seed)
+    cluster = _workload_cluster(ds, book, wl, seed, True)
+    devices = cluster.devices
+    h_by_dev = [dev.features for dev in devices]
+    dim = int(h_by_dev[0].shape[1])
+    halo_rows = sum(dev.part.n_halo for dev in devices)
+    payload_mb = halo_rows * dim * 4 / 1e6
+    # The central-window stand-in: sized so one GEMM takes the same order
+    # of magnitude as the scatter — the regime where hiding it matters.
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((2048, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 256)).astype(np.float32)
+    gemm_out = np.empty((2048, 256), dtype=np.float32)
+
+    def run(scatter_out: bool) -> tuple[float, list[np.ndarray]]:
+        transport = WorkerTransport(cluster.num_devices, workers=workers)
+        exchange = FusedQuantizedHaloExchange(
+            FixedBitProvider(2), KeyedRounding(seed)
+        )
+        halos = [
+            np.zeros((dev.part.n_halo, dim), dtype=np.float32)
+            for dev in devices
+        ]
+
+        def step():
+            in_flight = exchange.post_step(
+                0, "fwd", devices, transport, h_by_dev,
+                out=halos if scatter_out else None,
+            )
+            np.matmul(a, b, out=gemm_out)  # the central window
+            exchange.finalize_step(in_flight, out=halos)
+
+        try:
+            elapsed = _median_time(step, reps)
+        finally:
+            transport.close()
+        return elapsed, halos
+
+    t_main, halos_main = run(False)
+    t_sharded, halos_sharded = run(True)
+    cores = detected_cores()
+    return {
+        "workload": wl,
+        "workers": workers,
+        "cores": cores,
+        "multi_core": cores >= workers,
+        "unfused_ms": t_main * 1e3,  # main-thread scatter after the window
+        "fused_ms": t_sharded * 1e3,  # worker-side scatter under the window
+        "unfused_mbps": payload_mb / t_main,
+        "fused_mbps": payload_mb / t_sharded,
+        "speedup": t_main / t_sharded,
+        "scatter_match": all(
+            np.array_equal(m, s) for m, s in zip(halos_main, halos_sharded)
+        ),
+    }
+
+
+def bench_pipeline_depth(
+    *,
+    system: str = "adaqp-fixed",
+    workload: dict | None = None,
+    epochs: int = 8,
+    warmup: int = 2,
+    seed: int = 0,
+) -> dict:
+    """PR 8's headline: two-deep cross-step pipelining vs depth 1.
+
+    Full adaqp epochs on the overlap workload with the worker transport,
+    ``pipeline_depth=2`` vs ``pipeline_depth=1`` — bitwise-identical by
+    construction (asserted on losses and wire bytes); the ratio is what
+    moving each step's post dispatch into the previous marginal window
+    (and deferring the backward parameter partials past the next post)
+    buys in wall-clock.  Also reported:
+
+    * ``worker_wait_share`` — depth-2 exposed join wait over total stage
+      time (the acceptance target is ~0: the lookahead gives every encode
+      a whole extra marginal window to finish under);
+    * ``modeled_speedup`` and ``modeled_hidden_lookahead_s`` — the
+      extended Fig. 10 simulator (``schedule_adaqp(pipeline_depth=2)``)
+      re-timing the *same* depth-2 record, cross-checked against the
+      measured ``lookahead_post_s`` the StepTimelines carry.
+
+    Gated on multi-core runners only: depth 2 trades main-thread dispatch
+    for pool concurrency, which a single-core host cannot cash in.
+    """
+    from repro.comm.transport import detected_cores
+    from repro.core.scheduler import schedule_adaqp
+
+    wl = dict(OVERLAP_WORKLOAD)
+    if workload:
+        wl.update(workload)
+    topology = parse_topology(wl["setting"])
+    ds, book = _load_workload(wl, seed)
+    cost_model = LinkCostModel.for_topology(topology)
+    perf_model = PerfModel()
+
+    def run(depth: int):
+        cfg = RunConfig(
+            epochs=epochs,
+            hidden_dim=wl["hidden_dim"],
+            num_layers=wl["num_layers"],
+            reassign_period=4,
+            seed=seed,
+            overlap=True,
+            transport="worker",
+            pipeline_depth=depth,
+        )
+        cluster = Cluster(
+            ds,
+            book,
+            model_kind="gcn",
+            hidden_dim=wl["hidden_dim"],
+            num_layers=wl["num_layers"],
+            dropout=0.5,
+            seed=seed,
+            fused_compute=True,
+            overlap=True,
+            transport="worker",
+            pipeline_depth=depth,
+        )
+        setup = build_system(system, cluster, cost_model, cfg)
+        times: list[float] = []
+        losses: list[float] = []
+        wire = 0
+        record = None
+        try:
+            for epoch in range(epochs):
+                t0 = time.perf_counter()
+                record = cluster.train_epoch(setup.exchange, epoch)
+                times.append(time.perf_counter() - t0)
+                losses.append(record.loss)
+                wire += record.total_wire_bytes()
+        finally:
+            cluster.close()
+        return float(np.min(times[warmup:])), losses, wire, record
+
+    t_deep, losses_2, bytes_2, rec_2 = run(2)
+    t_shallow, losses_1, bytes_1, _ = run(1)
+
+    summary = rec_2.timeline_summary
+    stage_total = (
+        summary.quantize_s
+        + summary.central_s
+        + summary.dequantize_s
+        + summary.marginal_s
+    )
+    modeled_1 = schedule_adaqp(rec_2, cost_model, perf_model, pipeline_depth=1)
+    modeled_2 = schedule_adaqp(rec_2, cost_model, perf_model, pipeline_depth=2)
+    cores = detected_cores()
+    return {
+        "system": system,
+        "workload": wl,
+        "epochs": epochs,
+        "cores": cores,
+        "multi_core": cores >= 2,
+        "unfused_ms": t_shallow * 1e3,  # pipeline_depth=1
+        "fused_ms": t_deep * 1e3,  # pipeline_depth=2
+        "speedup": t_shallow / t_deep,
+        "worker_wait_share": summary.worker_wait_s / max(stage_total, 1e-12),
+        "measured_lookahead_post_s": summary.lookahead_post_s,
+        "modeled_speedup": modeled_1.epoch_time / modeled_2.epoch_time,
+        "modeled_hidden_lookahead_s": modeled_2.detail["hidden_lookahead"],
+        "depth_reported": all(t.pipeline_depth == 2 for t in rec_2.timelines),
+        "losses_match": losses_2 == losses_1,
+        "wire_bytes_match": bytes_2 == bytes_1,
+    }
+
+
 def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
     """Run the full perf suite; returns the ``BENCH_perf.json`` payload."""
     micro_reps = 20 if quick else 40
@@ -1199,7 +1416,7 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
 
     report: dict = {
         "bench": "fused-engines",
-        "schema": 5,
+        "schema": 6,
         "quick": quick,
         "seed": seed,
         "encode": bench_encode(reps=micro_reps, seed=seed),
@@ -1217,6 +1434,10 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
         ),
         "epoch_overlap": bench_epoch_overlap(epochs=epochs, warmup=warmup, seed=seed),
         "epoch_overlap_async": bench_epoch_overlap_async(
+            epochs=epochs, warmup=warmup, seed=seed
+        ),
+        "decode_scatter": bench_decode_scatter(reps=micro_reps // 2, seed=seed),
+        "pipeline_depth": bench_pipeline_depth(
             epochs=epochs, warmup=warmup, seed=seed
         ),
     }
@@ -1239,7 +1460,7 @@ def compare_to_baseline(
     problems: list[str] = []
     for section, metric in _GATED_METRICS:
         if (
-            section in ("worker_scaling", "process_scaling")
+            section in _MULTI_CORE_SECTIONS
             and section in current
             and not current[section].get("multi_core", False)
         ):
@@ -1260,12 +1481,20 @@ def compare_to_baseline(
                 f"{section}.{metric} regressed: {cur:.2f}x < "
                 f"{floor:.2f}x (baseline {base:.2f}x - {max_regression:.0%})"
             )
-    for section in ("epoch", "epoch_vanilla", "epoch_overlap", "epoch_overlap_async"):
+    for section in (
+        "epoch", "epoch_vanilla", "epoch_overlap", "epoch_overlap_async",
+        "pipeline_depth",
+    ):
         for key in ("wire_bytes_match", "losses_match"):
             if not current.get(section, {}).get(key, False):
                 problems.append(
                     f"{section}.{key} is False: fused path is not equivalent"
                 )
+    if not current.get("decode_scatter", {}).get("scatter_match", True):
+        problems.append(
+            "decode_scatter.scatter_match is False: worker-side scatter "
+            "diverged from the main-thread scatter"
+        )
     if not current.get("epoch_vanilla", {}).get("losses_close", True):
         problems.append(
             "epoch_vanilla.losses_close is False: batched exact exchange "
@@ -1288,7 +1517,7 @@ def render_report(report: dict) -> str:
     for section in (
         "encode", "decode", "pack_kernel", "unpack_kernel",
         "compute_spmv", "compute_gemm", "exchange_split_phase",
-        "worker_scaling", "process_scaling",
+        "worker_scaling", "process_scaling", "decode_scatter",
     ):
         if section not in report:
             continue
@@ -1302,7 +1531,7 @@ def render_report(report: dict) -> str:
             ]
         )
     for key, r in report.items():
-        if not key.startswith("epoch"):
+        if not key.startswith("epoch") and key != "pipeline_depth":
             continue
         parts = r["workload"]["parts"]
         label = f"{key} [{r['system']}/{parts}p]"
@@ -1352,6 +1581,21 @@ def render_report(report: dict) -> str:
                 f"(gated={r['multi_core']}) "
                 f"wire_bytes_match={r['wire_bytes_match']}"
             )
+    if "decode_scatter" in report:
+        r = report["decode_scatter"]
+        checks.append(
+            f"decode_scatter: {r['workers']} workers on {r['cores']} cores "
+            f"(gated={r['multi_core']}) scatter_match={r['scatter_match']}"
+        )
+    if "pipeline_depth" in report:
+        r = report["pipeline_depth"]
+        checks.append(
+            f"pipeline_depth: depth2 vs depth1 {r['speedup']:.2f}x "
+            f"(gated={r['multi_core']}) "
+            f"worker_wait_share={r['worker_wait_share']:.3f} "
+            f"modeled_speedup={r['modeled_speedup']:.2f}x "
+            f"losses_match={r['losses_match']}"
+        )
     wl = report["epoch"]["workload"]
     head = (
         f"workload: {wl['dataset']}-{wl['scale']}, {wl['parts']} partitions "

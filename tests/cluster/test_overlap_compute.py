@@ -55,38 +55,23 @@ def _make_exchange(name, rng_mode="stream"):
 
 def _run_epochs(
     dataset, book, *, model_kind, overlap, exchange_name, epochs=3,
-    async_transport=False, timeline_keep=None, transport_workers=None,
-    rng_mode="stream", transport_cls=None, transport=None,
+    transport="sync", pipeline_depth=2, timeline_keep=None,
+    rng_mode="stream", transport_cls=None,
 ):
-    if transport is not None:
-        cluster = Cluster(
-            dataset,
-            book,
-            model_kind=model_kind,
-            hidden_dim=8,
-            num_layers=3,
-            dropout=0.5,
-            seed=7,
-            fused_compute=True,
-            overlap=overlap,
-            transport=transport,
-            timeline_keep=timeline_keep,
-        )
-    else:
-        cluster = Cluster(
-            dataset,
-            book,
-            model_kind=model_kind,
-            hidden_dim=8,
-            num_layers=3,
-            dropout=0.5,
-            seed=7,
-            fused_compute=True,
-            overlap=overlap,
-            async_transport=async_transport,
-            transport_workers=transport_workers,
-            timeline_keep=timeline_keep,
-        )
+    cluster = Cluster(
+        dataset,
+        book,
+        model_kind=model_kind,
+        hidden_dim=8,
+        num_layers=3,
+        dropout=0.5,
+        seed=7,
+        fused_compute=True,
+        overlap=overlap,
+        transport=transport,
+        pipeline_depth=pipeline_depth,
+        timeline_keep=timeline_keep,
+    )
     if transport_cls is not None:
         cluster.transport = transport_cls(cluster.num_devices)
     exchange = _make_exchange(exchange_name, rng_mode)
@@ -141,8 +126,8 @@ def test_async_transport_bitwise_identical_to_sync(
     collects and accumulates in device order)."""
     book = _book(tiny_dataset, parts)
     kwargs = dict(model_kind=model_kind, overlap=True, exchange_name=exchange_name)
-    asy = _run_epochs(tiny_dataset, book, async_transport=True, **kwargs)
-    syn = _run_epochs(tiny_dataset, book, async_transport=False, **kwargs)
+    asy = _run_epochs(tiny_dataset, book, transport="worker", **kwargs)
+    syn = _run_epochs(tiny_dataset, book, transport="sync", **kwargs)
     assert asy[0] == syn[0], "losses diverged"
     for ga, gs in zip(asy[1], syn[1]):
         assert np.array_equal(ga, gs), "reduced gradients diverged"
@@ -198,19 +183,18 @@ def test_keyed_rng_order_independent_across_worker_counts(
 ):
     """ISSUE 5's acceptance property: with rng_mode="keyed", losses,
     reduced gradients, wire bytes and eval metrics are bitwise-identical
-    across transport_workers in {sync, 1, 2, 4} for every exchange
-    policy — determinism is a property of data coordinates, not of which
-    thread encoded a block or when it retired.  (The synchronous
-    transport is the baseline arm of every comparison.)"""
+    across worker counts in {sync, worker:1, worker:2, worker:4} for
+    every exchange policy — determinism is a property of data
+    coordinates, not of which thread encoded a block or when it retired.
+    (The synchronous transport is the baseline arm of every comparison.)"""
     book = _book(tiny_dataset, 4)
     kwargs = dict(
         model_kind="gcn", overlap=True, exchange_name=exchange_name,
         rng_mode="keyed",
     )
-    baseline = _run_epochs(tiny_dataset, book, async_transport=False, **kwargs)
+    baseline = _run_epochs(tiny_dataset, book, transport="sync", **kwargs)
     arm = _run_epochs(
-        tiny_dataset, book, async_transport=True,
-        transport_workers=workers, **kwargs,
+        tiny_dataset, book, transport=f"worker:{workers}", **kwargs,
     )
     assert arm[0] == baseline[0], "losses diverged"
     for ga, gb in zip(arm[1], baseline[1]):
@@ -261,8 +245,8 @@ def test_process_transport_keeps_overlap_accounting(tiny_dataset):
 
 
 def test_cluster_transport_spec_selection(tiny_dataset, tiny_book):
-    """transport= accepts spec strings and TransportSpec objects, resolves
-    "auto" at open, and refuses to combine with the legacy pair."""
+    """transport= accepts spec strings and TransportSpec objects and
+    resolves "auto" at open."""
     from repro.comm.process import ProcessTransport
     from repro.comm.transports import TransportSpec
 
@@ -271,7 +255,7 @@ def test_cluster_transport_spec_selection(tiny_dataset, tiny_book):
     ) as cluster:
         assert isinstance(cluster.transport, ProcessTransport)
         assert cluster.transport_spec == TransportSpec("process", 2)
-        # Legacy mirrors stay coherent for old call sites.
+        # Derived mirrors stay coherent (perfbench reads them).
         assert cluster.async_transport is True
         assert cluster.transport_workers == 2
     with Cluster(
@@ -279,8 +263,8 @@ def test_cluster_transport_spec_selection(tiny_dataset, tiny_book):
     ) as cluster:
         assert type(cluster.transport) is Transport  # SyncTransport
         assert cluster.transport_workers == 0
-    # Async backends degrade to sync for non-overlapped runs (the legacy
-    # async_transport gating, preserved by resolve_spec).
+    # Async backends degrade to sync for non-overlapped runs (resolve_spec:
+    # there is no central window to hide work under).
     with Cluster(tiny_dataset, tiny_book, transport="process:2") as cluster:
         assert cluster.transport_spec == TransportSpec("sync")
     # "auto" resolves to a concrete backend at cluster open.
@@ -288,35 +272,17 @@ def test_cluster_transport_spec_selection(tiny_dataset, tiny_book):
         tiny_dataset, tiny_book, overlap=True, transport="auto"
     ) as cluster:
         assert cluster.transport_spec.backend in ("sync", "worker")
-    with pytest.raises(ValueError, match="not both"):
-        Cluster(
-            tiny_dataset, tiny_book, transport="sync", async_transport=True
-        )
     with pytest.raises(ValueError, match="unknown transport backend"):
         Cluster(tiny_dataset, tiny_book, transport="bogus:2")
 
 
-def test_runconfig_legacy_transport_fields_deprecated():
-    """The pre-PR-6 RunConfig knobs still parse — with a
-    DeprecationWarning — and map onto the spec they always meant."""
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        cfg = RunConfig(async_transport=True, transport_workers=4)
-    assert cfg.transport == "worker:4"
-    assert cfg.async_transport is None and cfg.transport_workers is None
-    with pytest.warns(DeprecationWarning):
-        assert RunConfig(async_transport=False).transport == "sync"
-    with pytest.warns(DeprecationWarning):
-        assert RunConfig(transport_workers=3).transport == "auto:3"
-    # Functional updates of an already-mapped config do not re-warn.
-    import warnings as _warnings
-
-    with _warnings.catch_warnings():
-        _warnings.simplefilter("error")
-        assert cfg.with_overrides(epochs=2).transport == "worker:4"
-    with pytest.raises(ValueError, match="not both"):
-        RunConfig(transport="process:2", async_transport=True)
-    with pytest.raises(ValueError, match="transport_workers"):
-        RunConfig(transport_workers=0)
+def test_legacy_transport_knobs_are_gone():
+    """PR 8 removed the pre-PR-6 shims for good: the spec string is the
+    only spelling, and the legacy knob pair raises instead of warning."""
+    with pytest.raises(TypeError):
+        RunConfig(async_transport=True)
+    with pytest.raises(TypeError):
+        RunConfig(transport_workers=4)
     with pytest.raises(ValueError, match="unknown transport backend"):
         RunConfig(transport="bogus")
 
@@ -331,9 +297,9 @@ def test_keyed_rng_survives_shuffled_job_retirement(tiny_dataset, exchange_name)
         model_kind="gcn", overlap=True, exchange_name=exchange_name,
         rng_mode="keyed",
     )
-    plain = _run_epochs(tiny_dataset, book, async_transport=False, **kwargs)
+    plain = _run_epochs(tiny_dataset, book, transport="sync", **kwargs)
     shuffled = _run_epochs(
-        tiny_dataset, book, async_transport=False,
+        tiny_dataset, book, transport="sync",
         transport_cls=_ShuffledTransport, **kwargs,
     )
     assert shuffled[0] == plain[0], "losses diverged"
@@ -345,6 +311,105 @@ def test_keyed_rng_survives_shuffled_job_retirement(tiny_dataset, exchange_name)
     assert shuffled[4].hidden_byte_fraction() == 1.0
 
 
+# ----------------------------------------------------------------------
+# PR 8: two-deep cross-step pipelining
+# ----------------------------------------------------------------------
+_DEPTH_BASELINES: dict = {}
+
+
+def _depth_baseline(tiny_dataset, exchange_name):
+    """Depth-1 sync run — the anchor every (depth, backend) arm must hit."""
+    if exchange_name not in _DEPTH_BASELINES:
+        book = _book(tiny_dataset, 4)
+        _DEPTH_BASELINES[exchange_name] = _run_epochs(
+            tiny_dataset, book, model_kind="gcn", overlap=True,
+            exchange_name=exchange_name, rng_mode="keyed",
+            transport="sync", pipeline_depth=1,
+        )
+    return _DEPTH_BASELINES[exchange_name]
+
+
+@pytest.mark.parametrize(
+    "exchange_name", ["exact", "quantized", "stale", "broadcast"]
+)
+@pytest.mark.parametrize("spec", ["sync", "worker:4", "process:2"])
+@pytest.mark.parametrize("depth", [1, 2])
+def test_pipeline_depth_matrix_bitwise_identical(
+    tiny_dataset, exchange_name, spec, depth
+):
+    """PR 8's acceptance matrix: pipeline_depth in {1, 2} x {sync,
+    worker:4, process:2} x every exchange policy is bitwise-identical —
+    losses, reduced gradients, wire bytes, eval metrics — to the depth-1
+    synchronous pipeline, and the interleave stays fully hidden.  Depth 2
+    changes only *when* each step's post is dispatched (inside the
+    previous step's marginal window), never what is posted: posts stay
+    strictly ordered, so keyed rounding and collect's sort-by-source
+    anchor pin the numerics."""
+    book = _book(tiny_dataset, 4)
+    baseline = _depth_baseline(tiny_dataset, exchange_name)
+    arm = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", overlap=True,
+        exchange_name=exchange_name, rng_mode="keyed",
+        transport=spec, pipeline_depth=depth,
+    )
+    assert arm[0] == baseline[0], "losses diverged"
+    for ga, gb in zip(arm[1], baseline[1]):
+        assert np.array_equal(ga, gb), "reduced gradients diverged"
+    assert arm[2] == baseline[2], "wire bytes diverged"
+    assert arm[3] == baseline[3], "eval metrics diverged"
+    record = arm[4]
+    if record.timeline_summary.total_bytes > 0:
+        assert record.hidden_byte_fraction() == 1.0
+
+
+def test_depth2_timelines_report_lookahead(tiny_dataset):
+    """Depth-2 epochs stamp every step timeline with the depth, and
+    lookahead-posted forward steps carry the dispatch seconds that ran
+    inside the previous marginal window (``quantize_s`` equals it)."""
+    book = _book(tiny_dataset, 4)
+    deep = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", overlap=True,
+        exchange_name="quantized", rng_mode="keyed", pipeline_depth=2,
+    )[4]
+    assert all(t.pipeline_depth == 2 for t in deep.timelines)
+    for t in deep.timelines:
+        if t.phase == "fwd" and t.layer > 0:
+            # Posted by the previous layer's marginal window.
+            assert t.quantize_s == t.lookahead_post_s
+        else:
+            assert t.lookahead_post_s == 0.0
+    shallow = _run_epochs(
+        tiny_dataset, book, model_kind="gcn", overlap=True,
+        exchange_name="quantized", rng_mode="keyed", pipeline_depth=1,
+    )[4]
+    assert all(t.pipeline_depth == 1 for t in shallow.timelines)
+    assert all(t.lookahead_post_s == 0.0 for t in shallow.timelines)
+
+
+def test_shuffled_retirement_across_tags():
+    """Two tags in flight, the later tag retiring first: joining and
+    collecting ``fwd/L1`` before ``fwd/L0`` must leave both tags' mailbox
+    contents and byte accounting intact (per-tag state is independent)."""
+    from repro.comm.transport import WorkerTransport
+
+    t = WorkerTransport(2, workers=2)
+    try:
+        for layer in (0, 1):
+            tag = f"fwd/L{layer}"
+
+            def job(tag=tag, layer=layer):
+                t.post(0, 1, tag, f"payload-L{layer}", 100 + layer)
+
+            t.defer(tag, job)
+        # Retire the later tag first, then the earlier one.
+        assert t.complete("fwd/L1") >= 0.0
+        assert t.collect(1, "fwd/L1") == {0: "payload-L1"}
+        assert t.complete("fwd/L0") >= 0.0
+        assert t.collect(1, "fwd/L0") == {0: "payload-L0"}
+    finally:
+        t.close()
+
+
 def test_worker_decode_keeps_overlap_accounting_at_many_workers(tiny_dataset):
     """With worker-side decode the step's mailboxes are drained on the
     pool; the window opened before the post must still classify every
@@ -352,8 +417,7 @@ def test_worker_decode_keeps_overlap_accounting_at_many_workers(tiny_dataset):
     book = _book(tiny_dataset, 4)
     record = _run_epochs(
         tiny_dataset, book, model_kind="gcn", overlap=True,
-        exchange_name="quantized", rng_mode="keyed",
-        async_transport=True, transport_workers=4,
+        exchange_name="quantized", rng_mode="keyed", transport="worker:4",
     )[4]
     assert record.hidden_byte_fraction() == 1.0
     assert all(t.overlapped_bytes == t.total_bytes for t in record.timelines)
@@ -364,7 +428,7 @@ def test_cluster_is_a_context_manager(tiny_dataset, tiny_book):
     when the body raises — and close stays idempotent afterwards."""
     with Cluster(
         tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
-        async_transport=True, transport_workers=2,
+        transport="worker:2",
     ) as cluster:
         assert cluster.transport_workers == 2
         cluster.train_epoch(_make_exchange("quantized", "keyed"), 0)
@@ -379,7 +443,7 @@ def test_cluster_is_a_context_manager(tiny_dataset, tiny_book):
     try:
         with Cluster(
             tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
-            async_transport=True,
+            transport="worker",
         ) as cluster:
             raise Boom
     except Boom:
@@ -393,24 +457,24 @@ def test_transport_worker_resolution(tiny_dataset, tiny_book):
 
     auto = Cluster(
         tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
-        async_transport=True,
+        transport="worker",
     )
     assert auto.transport_workers == max(1, host_spare_cores())
     assert auto.transport.workers == auto.transport_workers
     pinned = Cluster(
         tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
-        async_transport=True, transport_workers=3,
+        transport="worker:3",
     )
     assert pinned.transport.workers == 3
     sync = Cluster(
         tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
-        async_transport=False, transport_workers=3,
+        transport="sync",
     )
     assert sync.transport_workers == 0 and sync.transport.workers == 0
-    with pytest.raises(ValueError, match="transport_workers"):
+    with pytest.raises(ValueError, match="workers must be >= 1"):
         Cluster(
             tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
-            async_transport=True, transport_workers=0,
+            transport="worker:0",
         )
     for c in (auto, pinned, sync):
         c.close()
@@ -423,7 +487,7 @@ def test_async_transport_keeps_overlap_accounting(tiny_dataset):
     book = _book(tiny_dataset, 4)
     record = _run_epochs(
         tiny_dataset, book, model_kind="gcn", overlap=True,
-        exchange_name="quantized", async_transport=True,
+        exchange_name="quantized", transport="worker",
     )[4]
     assert record.hidden_byte_fraction() == 1.0
     assert all(t.overlapped_bytes == t.total_bytes for t in record.timelines)
@@ -442,14 +506,14 @@ def test_async_transport_auto_defaults(tiny_dataset, tiny_book):
     assert auto.async_transport == host_has_spare_core()
     forced = Cluster(
         tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=True,
-        async_transport=True,
+        transport="worker",
     )
     assert forced.async_transport
     assert isinstance(forced.transport, WorkerTransport)
     # No pipeline -> no window to hide under -> always synchronous.
     off = Cluster(
         tiny_dataset, tiny_book, hidden_dim=8, seed=0, overlap=False,
-        async_transport=True,
+        transport="worker",
     )
     assert not off.async_transport
     for c in (auto, forced, off):

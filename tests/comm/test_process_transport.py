@@ -81,7 +81,7 @@ def test_resolve_spec_auto_and_degrade_semantics():
     assert resolve_spec("auto").backend == expected.backend
     assert resolve_spec("auto", overlap=False) == TransportSpec("sync")
     # Async backends only pay off inside the overlap window: non-overlapped
-    # runs degrade to sync (the legacy async_transport gating, preserved).
+    # runs degrade to sync.
     assert resolve_spec("process:4", overlap=False) == TransportSpec("sync")
     assert resolve_spec("process:4") == TransportSpec("process", 4)
     # Pinned counts survive resolution; defaults come from spare cores.
@@ -100,14 +100,16 @@ def test_create_transport_refuses_unresolved_auto():
         t.close()
 
 
-def test_deprecated_transport_alias_warns():
+def test_transport_alias_is_gone():
+    # PR 8 removed the ``Transport`` DeprecationWarning alias: the only
+    # spellings are SyncTransport/WorkerTransport/ProcessTransport.
     import repro.comm
     import repro.comm.transport as mod
 
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        assert mod.Transport is SyncTransport
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        assert repro.comm.Transport is SyncTransport
+    with pytest.raises(AttributeError):
+        mod.Transport
+    with pytest.raises(AttributeError):
+        repro.comm.Transport
 
 
 # ----------------------------------------------------------------------

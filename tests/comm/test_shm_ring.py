@@ -88,3 +88,34 @@ def test_steady_state_alternation_never_grows(ring):
         offsets.append(ring.alloc(50))
     assert offsets == [0, 50, 0, 50, 0, 50, 0, 50]
     assert ring.free_bytes == 50
+
+
+def test_no_reslab_at_constant_byte_budget():
+    """PR 8's depth-2 sizing pin: a tag's two-record ring absorbs every
+    steady-state step at a constant byte budget — epochs of step_buffer
+    calls (two tags in flight, lookahead included) must never replace a
+    slab (``reslab_count`` stays 0) — while a *grown* budget re-slabs
+    exactly once per affected tag."""
+    from repro.comm.process import ProcessTransport
+
+    t = ProcessTransport(2, workers=1)
+    try:
+        segments = set()
+        # Three "epochs" over two concurrent tags at a constant budget.
+        for _ in range(3):
+            for layer in (0, 1, 2):
+                seg, _, _ = t.step_buffer(f"fwd/L{layer}", 4096)
+                segments.add(seg)
+        assert t.reslab_count == 0
+        assert len(segments) == 3  # one slab per tag, reused across epochs
+        # Bit reassignment grows one tag's budget: exactly one re-slab.
+        seg, _, view = t.step_buffer("fwd/L0", 16384)
+        assert t.reslab_count == 1
+        assert seg not in segments
+        assert view.nbytes >= 16384
+        # Back to steady state at the new budget: no further churn.
+        for _ in range(4):
+            t.step_buffer("fwd/L0", 16384)
+        assert t.reslab_count == 1
+    finally:
+        t.close()

@@ -33,13 +33,21 @@ def test_train_transport_and_rng_flags(capsys):
         [
             "train", "--system", "adaqp-fixed", "--dataset", "yelp",
             "--setting", "2M-2D", "--epochs", "2", "--hidden", "8",
-            "--transport-workers", "2", "--rng-mode", "keyed",
+            "--transport", "worker:2", "--rng-mode", "keyed",
+            "--pipeline-depth", "2",
         ]
     )
     assert code == 0
-    assert "throughput" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "pipeline depth 2" in out
     with pytest.raises(SystemExit):
         build_parser().parse_args(["train", "--rng-mode", "chaotic"])
+    # The PR-6 legacy knobs are gone, not silently ignored.
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["train", "--transport-workers", "2"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["train", "--no-async-transport"])
 
 
 def test_partition_command(capsys):
