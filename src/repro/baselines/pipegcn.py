@@ -46,6 +46,42 @@ class StaleHaloExchange(HaloExchange):
         self._epoch = epoch
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The one-epoch-stale payload caches (bitwise resume): a resumed
+        epoch must consume exactly the payloads the interrupted run's
+        previous epoch posted."""
+
+        def copy_cache(cache):
+            return {
+                layer: {
+                    dst: {src: rows.copy() for src, rows in box.items()}
+                    for dst, box in by_dst.items()
+                }
+                for layer, by_dst in cache.items()
+            }
+
+        return {
+            "fwd_cache": copy_cache(self._fwd_cache),
+            "bwd_cache": copy_cache(self._bwd_cache),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        def coerce(cache):
+            return {
+                int(layer): {
+                    int(dst): {
+                        int(src): np.asarray(rows, dtype=np.float32)
+                        for src, rows in box.items()
+                    }
+                    for dst, box in by_dst.items()
+                }
+                for layer, by_dst in cache.items()
+            }
+
+        self._fwd_cache = coerce(state["fwd_cache"])
+        self._bwd_cache = coerce(state["bwd_cache"])
+
+    # ------------------------------------------------------------------
     def post_step(
         self,
         layer: int,

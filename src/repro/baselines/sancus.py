@@ -67,6 +67,30 @@ class BroadcastSkipExchange(HaloExchange):
     def _broadcast_now(self) -> bool:
         return self._epoch % self.staleness_bound == 0
 
+    def state_dict(self) -> dict:
+        """Historical embedding blocks + skip counters (bitwise resume):
+        skipped-broadcast epochs after a restore must serve exactly the
+        blocks the interrupted run last broadcast."""
+        return {
+            "historical": {
+                key: {src: block.copy() for src, block in hist.items()}
+                for key, hist in self._historical.items()
+            },
+            "broadcasts_sent": int(self.broadcasts_sent),
+            "broadcasts_skipped": int(self.broadcasts_skipped),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._historical = {
+            tuple(key): {
+                int(src): np.asarray(block, dtype=np.float32)
+                for src, block in hist.items()
+            }
+            for key, hist in state["historical"].items()
+        }
+        self.broadcasts_sent = int(state["broadcasts_sent"])
+        self.broadcasts_skipped = int(state["broadcasts_skipped"])
+
     def post_step(
         self,
         layer: int,

@@ -23,7 +23,11 @@ Commands
 from __future__ import annotations
 
 import argparse
+import getpass
+import json
 import sys
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -116,6 +120,33 @@ def build_parser() -> argparse.ArgumentParser:
              "coordinates, so results are independent of execution order "
              "and worker count; 'stream' restores the legacy shared "
              "sequential generator (the pre-PR-5 bitwise contract)")
+    p_train.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="save an epoch-boundary checkpoint under DIR (model, "
+             "optimizer, RNG positions, exchange carry-over); with "
+             "--rng-mode keyed a killed-and-resumed run is bitwise "
+             "identical to the uninterrupted one")
+    p_train.add_argument(
+        "--resume", action="store_true",
+        help="restore from the newest checkpoint in --checkpoint-dir "
+             "before training (fresh start when the directory is empty)")
+    p_train.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint cadence in epochs (default 1; the final epoch "
+             "always saves)")
+    p_train.add_argument(
+        "--transport-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-tag completion deadline for async transports — a "
+             "stalled tag raises TransportError naming its outstanding "
+             "shards instead of hanging (default: RunConfig's 120s)")
+    p_train.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        dest="inject_faults",
+        help="inject a transport fault, repeatable; SPEC is "
+             "'kind[:tag[@epoch]][:key=value,...]' with kinds "
+             "drop, duplicate, stall, error, kill_worker, poison — e.g. "
+             "'drop:fwd/L1@2:src=0,dst=1' or 'kill_worker:*@3' "
+             "(fault-tolerance testing; recovery is exercised live)")
 
     p_part = sub.add_parser("partition", help="partition a dataset, report quality")
     p_part.add_argument("--dataset", default="ogbn-products",
@@ -147,6 +178,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
 
     return parser
+
+
+def _health_file() -> Path:
+    """Where ``repro train`` drops its last-run transport-health report
+    (and ``repro info`` picks it up)."""
+    try:
+        user = getpass.getuser()
+    except (KeyError, OSError):
+        user = "user"
+    return Path(tempfile.gettempdir()) / f"repro-{user}-transport-health.json"
+
+
+def _write_health_report(result) -> None:
+    payload = {
+        "system": result.system,
+        "dataset": result.dataset,
+        "start_epoch": result.start_epoch,
+        "epochs_run": result.epochs,
+        "health": result.transport_health,
+    }
+    try:
+        _health_file().write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        pass  # a read-only tempdir must not fail the run
 
 
 def _cmd_info() -> int:
@@ -182,6 +239,34 @@ def _cmd_info() -> int:
           f"overlapped runs resolve to '{resolved}', i.e. {async_default}")
     print("          (override: --transport sync|worker[:N]|process[:N], "
           "--rng-mode, --no-overlap)")
+
+    # Last-run transport health (written by `repro train`): worker exit
+    # codes, pool respawns and fault-recovery counters.
+    health_path = _health_file()
+    if health_path.is_file():
+        try:
+            report = json.loads(health_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            report = None
+        if report:
+            health = report.get("health", {}) or {}
+            abnormal = health.get("abnormal_exits", [])
+            respawns = health.get("respawns", 0)
+            faults = {
+                k: v for k, v in (health.get("fault_stats") or {}).items() if v
+            }
+            verdict = (
+                f"{len(abnormal)} abnormal worker exit(s)"
+                if abnormal
+                else "all workers exited cleanly"
+            )
+            print(
+                f"last run: {report.get('system')} on {report.get('dataset')} — "
+                f"transport {health.get('kind', '?')}; {verdict}"
+                + (f"; {respawns} pool respawn(s)" if respawns else "")
+            )
+            if faults:
+                print(f"          fault counters: {faults}")
     return 0
 
 
@@ -216,7 +301,9 @@ def _overlap_rows(result) -> list[list[str]]:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.comm.faults import FaultPlan
     from repro.comm.topology import parse_topology
+    from repro.comm.transport import TransportError
     from repro.comm.transports import parse_transport_spec
 
     if args.transport is not None:
@@ -225,6 +312,18 @@ def _cmd_train(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    fault_plan = None
+    if args.inject_faults:
+        try:
+            fault_plan = FaultPlan.parse(args.inject_faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
 
     topology = parse_topology(args.setting)
     ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -244,12 +343,29 @@ def _cmd_train(args: argparse.Namespace) -> int:
         overlap=not args.no_overlap,
         transport=args.transport if args.transport is not None else "auto",
         rng_mode=args.rng_mode,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=max(1, args.checkpoint_every),
+        resume=args.resume,
     )
     if args.pipeline_depth is not None:
         cfg = cfg.with_overrides(pipeline_depth=args.pipeline_depth)
+    if args.transport_timeout is not None:
+        cfg = cfg.with_overrides(transport_timeout_s=args.transport_timeout)
     print(f"training {args.system} / {args.model} on {args.dataset}-{args.scale} "
           f"({topology.name}, {args.epochs} epochs)...")
-    result = train(args.system, ds, book, topology, cfg)
+    try:
+        result = train(args.system, ds, book, topology, cfg, fault_plan=fault_plan)
+    except TransportError as exc:
+        print(f"error: transport failure: {exc}", file=sys.stderr)
+        return 1
+    _write_health_report(result)
+    if result.start_epoch:
+        print(f"resumed from checkpoint at epoch {result.start_epoch}")
+        if result.start_epoch >= cfg.epochs:
+            print(
+                "checkpoint already covers all requested epochs; "
+                "nothing left to train (accuracy shows as nan)"
+            )
     bd = result.breakdown()
     print(
         render_table(
@@ -273,6 +389,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     if result.bit_histogram:
         print("bit-width histogram:", result.bit_histogram)
+    health = result.transport_health
+    faults = {k: v for k, v in (health.get("fault_stats") or {}).items() if v}
+    abnormal = health.get("abnormal_exits") or []
+    if abnormal or faults or health.get("respawns"):
+        print(
+            f"transport health: {len(abnormal)} abnormal worker exit(s), "
+            f"{health.get('respawns', 0)} pool respawn(s); "
+            f"fault counters: {faults or '{}'}"
+        )
     return 0
 
 

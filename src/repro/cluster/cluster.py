@@ -108,6 +108,16 @@ class Cluster:
         per layer per direction); dropped steps stay counted in
         ``record.timeline_summary``, so long-running jobs keep bounded
         records without losing the measured overlap accounting.
+    transport_timeout_s:
+        Per-tag completion deadline applied to async transports: a tag
+        whose jobs have not finished within this many seconds raises a
+        :class:`~repro.comm.transport.TransportError` naming the tag and
+        its outstanding shards instead of hanging.  ``None`` (default)
+        waits forever, matching the pre-deadline behaviour.
+    fault_plan:
+        A :class:`~repro.comm.faults.FaultPlan` of injected transport
+        faults (drops, duplicates, stalls, worker kills, slab poison) for
+        the fault-tolerance tests; ``None`` disables injection entirely.
     """
 
     def __init__(
@@ -125,6 +135,8 @@ class Cluster:
         transport: str | TransportSpec | None = None,
         pipeline_depth: int = 2,
         timeline_keep: int | None = None,
+        transport_timeout_s: float | None = None,
+        fault_plan=None,
     ) -> None:
         check_in_set(model_kind, MODEL_KINDS, name="model_kind")
         if num_layers < 1:
@@ -133,8 +145,25 @@ class Cluster:
         self.book = book
         self.model_kind = model_kind
         self.num_devices = book.num_parts
+        self.seed = int(seed)
         self.pool = RngPool(seed).fork("cluster")
         self.global_train_count = int(dataset.train_mask.sum())
+        # Everything repartition() needs to rebuild this cluster around a
+        # new PartitionBook (the dataset and book are passed fresh).
+        self._ctor = dict(
+            model_kind=model_kind,
+            hidden_dim=hidden_dim,
+            num_layers=num_layers,
+            dropout=dropout,
+            seed=seed,
+            fused_compute=fused_compute,
+            overlap=overlap,
+            transport=transport,
+            pipeline_depth=pipeline_depth,
+            timeline_keep=timeline_keep,
+            transport_timeout_s=transport_timeout_s,
+            fault_plan=fault_plan,
+        )
 
         dims = [dataset.num_features] + [hidden_dim] * (num_layers - 1) + [
             dataset.num_classes
@@ -209,6 +238,10 @@ class Cluster:
         self.async_transport = spec.backend != "sync"
         self.transport_workers = spec.workers or 0
         self.transport: TransportBackend = create_transport(spec, self.num_devices)
+        if transport_timeout_s is not None:
+            self.transport.timeout_s = float(transport_timeout_s)
+        if fault_plan is not None:
+            self.transport.fault_plan = fault_plan
         # Process pools spawn here, at cluster open, before any epoch
         # state exists to drag through a fork.
         start = getattr(self.transport, "start", None)
@@ -236,6 +269,10 @@ class Cluster:
         """
         devices = self.devices
         exchange.on_epoch_start(epoch)
+        plan = getattr(self.transport, "fault_plan", None)
+        if plan is not None:
+            # Epoch-scoped fault specs (``kind:tag@epoch``) arm here.
+            plan.set_epoch(epoch)
         for dev in devices:
             if not dev.model.training:
                 dev.model.train()
@@ -392,6 +429,34 @@ class Cluster:
         for dev in devices:
             dev.model.train()
         return logits
+
+    # ------------------------------------------------------------------
+    # Elastic repartition
+    # ------------------------------------------------------------------
+    def repartition(self, book: PartitionBook, *, transport=None) -> "Cluster":
+        """Rebuild this cluster around a new partition assignment.
+
+        Returns a *new* cluster with ``book.num_parts`` devices, each
+        replica carrying this cluster's trained parameters (replicas are
+        bit-identical, so device 0's state seeds every new device).  Only
+        valid at an epoch boundary — mid-epoch transport state does not
+        carry across.  This cluster stays open; the caller closes it once
+        the handover is complete (typically via separate ``with`` blocks
+        or an explicit :meth:`close`).
+
+        Optimizer slots, exchange caches and RNG positions live outside
+        the cluster; the trainer re-attaches them through
+        :func:`repro.cluster.checkpoint.restore_state`, whose elastic rule
+        starts partition-bound state fresh when the device count changed.
+        """
+        kwargs = dict(self._ctor)
+        if transport is not None:
+            kwargs["transport"] = transport
+        resized = Cluster(self.dataset, book, **kwargs)
+        state = self.devices[0].model.state_dict()
+        for dev in resized.devices:
+            dev.model.load_state_dict(state)
+        return resized
 
     def close(self) -> None:
         """Release background transport resources (worker threads or

@@ -72,17 +72,23 @@ scatter/accumulate.
 from __future__ import annotations
 
 import threading
+import zlib
 from typing import Protocol
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.comm.transport import TransportAccounting, TransportBackend
+from repro.comm.transport import (
+    TransportAccounting,
+    TransportBackend,
+    TransportError,
+)
 from repro.quant.fused import (
     DecodeWorkspace,
     FusedStepEncoder,
     decode_cluster_step,
     decode_step,
+    pair_shard,
     shard_descriptor,
 )
 from repro.quant.mixed import MixedPrecisionEncoder, MixedPrecisionPayload
@@ -169,6 +175,22 @@ class UniformRandomBitProvider:
             self._cache[key] = cached
         return cached
 
+    def state_dict(self) -> dict:
+        """Generator position + live assignments (bitwise resume)."""
+        return {
+            "bit_generator": self.rng.bit_generator.state,
+            "epoch": int(self._epoch),
+            "cache": {key: arr.copy() for key, arr in self._cache.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["bit_generator"]
+        self._epoch = int(state["epoch"])
+        self._cache = {
+            tuple(key): np.asarray(arr, dtype=np.int64)
+            for key, arr in state["cache"].items()
+        }
+
 
 class InFlightStep:
     """Handle for one posted-but-not-finalized exchange step.
@@ -213,6 +235,8 @@ class InFlightStep:
         "scatter_out",
         "scattered",
         "ws_parity",
+        "plan",
+        "replayable",
     )
 
     def __init__(
@@ -236,6 +260,12 @@ class InFlightStep:
         self.scatter_out: list[np.ndarray] | None = None
         self.scattered = False
         self.ws_parity = 0
+        # Keyed-replay recovery handles: the fused engine stashes the
+        # step's encode plan here and flags whether a dropped envelope can
+        # be regenerated from it (keyed rounding + plan scratch staged on
+        # this side of the process boundary).
+        self.plan = None
+        self.replayable = False
 
     def mark_done(self) -> None:
         if self.done:
@@ -263,6 +293,43 @@ class HaloExchange:
 
     def on_epoch_start(self, epoch: int) -> None:
         """Hook for per-epoch state (bit re-sampling, staleness caches)."""
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cross-epoch state a bitwise resume must restore.
+
+        The base policies are stateless across epochs (plans and scratch
+        are caches, rebuilt identically); policies with numeric carry-over
+        — stream-rounding positions, adaptive traces, staleness caches —
+        override both hooks.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(f"unexpected exchange state keys: {sorted(state)}")
+
+    # -- delivery audit ------------------------------------------------------
+    @staticmethod
+    def _check_delivery(dev, phase: str, tag: str, received) -> None:
+        """Fail fast when a step's mailbox is missing expected envelopes.
+
+        Every peer in the partition's recv map (forward) / send map
+        (backward) posts exactly one envelope per step, so a shortfall
+        means an envelope was lost in transit.  Policies with a recovery
+        path (the fused keyed engine's replay) handle the shortfall
+        before scattering; everyone else must raise — zero-filled halo
+        rows or missing gradient contributions are silent corruption.
+        """
+        part = dev.part
+        expected = part.recv_map if phase == "fwd" else part.send_map
+        if len(received) != len(expected):
+            missing = sorted(set(expected) - set(received))
+            raise TransportError(
+                f"device {dev.rank} is missing envelope(s) from source(s)"
+                f" {missing} under tag {tag!r} — dropped in transit, and this"
+                " exchange has no replay path"
+            )
 
     # -- split-phase halves --------------------------------------------------
     def post_step(
@@ -329,7 +396,9 @@ class HaloExchange:
             for dev in step.devices:
                 part = dev.part
                 halo = self._halo_out(out, dev.rank, part.n_halo, step.dim)
-                for p, payload in step.transport.collect(dev.rank, step.tag).items():
+                received = step.transport.collect(dev.rank, step.tag)
+                self._check_delivery(dev, step.phase, step.tag, received)
+                for p, payload in received.items():
                     halo[part.recv_map[p]] = self._decode(payload)
                 halo_by_dev.append(halo)
             return halo_by_dev
@@ -337,7 +406,9 @@ class HaloExchange:
             raise ValueError("backward finalize_step requires out= buffers")
         for dev in step.devices:
             part = dev.part
-            for p, payload in step.transport.collect(dev.rank, step.tag).items():
+            received = step.transport.collect(dev.rank, step.tag)
+            self._check_delivery(dev, step.phase, step.tag, received)
+            for p, payload in received.items():
                 out[dev.rank][part.send_map[p]] += self._decode(payload)
         return None
 
@@ -559,6 +630,7 @@ class ExactHaloExchange(HaloExchange):
             for dev in step.devices:
                 part = dev.part
                 received = step.transport.collect(dev.rank, step.tag)
+                self._check_delivery(dev, step.phase, step.tag, received)
                 if received:
                     # The scatter permutation covers every halo slot (each
                     # is fed by exactly one peer and all peers posted), so
@@ -582,6 +654,7 @@ class ExactHaloExchange(HaloExchange):
             raise ValueError("backward finalize_step requires out= buffers")
         for dev in step.devices:
             received = step.transport.collect(dev.rank, step.tag)
+            self._check_delivery(dev, step.phase, step.tag, received)
             if not received:
                 continue
             recv_peers, _, reduce_op = plans[dev.rank][3:6]
@@ -639,6 +712,26 @@ class QuantizedHaloExchange(HaloExchange):
         # Keyed rounding takes the epoch as a noise coordinate (stream
         # rounding's state is its stream position; the call is a no-op).
         self.rounding.set_epoch(epoch)
+
+    def state_dict(self) -> dict:
+        """Rounding-stream position plus any stateful bit provider.
+
+        The adaptive assigner is checkpointed separately by the trainer
+        (it is shared infrastructure, not exchange-owned); only providers
+        reachable solely through the exchange land here.
+        """
+        state: dict = {"rounding": self.rounding.state_dict()}
+        provider_state = getattr(self.bit_provider, "state_dict", None)
+        if provider_state is not None and not hasattr(
+            self.bit_provider, "reassign"
+        ):
+            state["bit_provider"] = provider_state()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rounding.load_state_dict(state["rounding"])
+        if "bit_provider" in state:
+            self.bit_provider.load_state_dict(state["bit_provider"])
 
     def _post(self, transport, layer, phase, src, dst, tag, rows) -> None:
         rows = np.ascontiguousarray(rows, dtype=np.float32)
@@ -699,6 +792,14 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         self._ws_parity = 0
         self._topologies: dict[str, tuple] = {}
         self._halo_bufs: dict[tuple[int, int], np.ndarray] = {}
+        #: envelopes regenerated bitwise from plan scratch after a drop
+        self.replayed_messages = 0
+        #: shm payload spans re-encoded in-parent after checksum mismatch
+        self.slab_repairs = 0
+        # In-parent segment/plan caches for slab repairs (the repair runs
+        # the same ShardEncodeJob code path the workers do).
+        self._repair_segments: dict = {}
+        self._repair_cache: dict = {}
 
     # -- fused fast paths ---------------------------------------------------
     def post_step(
@@ -743,7 +844,17 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         if step.scattered and out is not None and out is step.scatter_out:
             # Worker-side scatter already landed every receiver's rows in
             # the buffers named at post time (mark_done joined the jobs);
-            # finalize is join-only.
+            # finalize is join-only — plus the delivery audit, which
+            # re-scatters a receiver wholesale when a dropped envelope was
+            # replayed (halo assignments are idempotent).
+            for dev in step.devices:
+                decoded = step.decoded[dev.rank]
+                if len(decoded) == len(dev.part.recv_map):
+                    continue
+                repaired = self._ensure_complete(step, dev, decoded)
+                halo = out[dev.rank]
+                for p, mat in repaired.items():
+                    halo[dev.part.recv_map[p]] = mat
             return [out[dev.rank] for dev in step.devices]
         if step.decoded is not None:
             # Async transport: worker jobs already collected and decoded
@@ -757,6 +868,10 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
                 for dev in step.devices
             }
             decoded = decode_cluster_step(collects, workspace=self._decode_ws)
+        for dev in step.devices:
+            decoded[dev.rank] = self._ensure_complete(
+                step, dev, decoded[dev.rank]
+            )
         if step.phase == "fwd":
             halo_by_dev: list[np.ndarray] = []
             for dev in step.devices:
@@ -781,6 +896,54 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
             for p, mat in decoded[dev.rank].items():
                 out[dev.rank][part.send_map[p]] += mat
         return None
+
+    # -- fault detection and keyed-replay recovery --------------------------
+    def _ensure_complete(
+        self, step: InFlightStep, dev, decoded: dict[int, np.ndarray]
+    ) -> dict[int, np.ndarray]:
+        """Audit one receiver's decoded set; keyed-replay any missing peer.
+
+        Every peer in the step plan posts exactly one envelope, so a
+        shortfall means an envelope was dropped in transit.  When the
+        step is replayable (keyed rounding, plan scratch staged on this
+        side of any process boundary) the missing pair's payload is
+        regenerated *bitwise* — noise is a pure function of coordinates,
+        and payload bytes are independent of the shard decomposition —
+        and the dict is re-sorted src-ascending so the backward float
+        accumulation order is unchanged.  Otherwise a typed
+        :class:`TransportError` escalates to the trainer's
+        checkpoint-restore path.
+        """
+        part = dev.part
+        expected = part.recv_map if step.phase == "fwd" else part.send_map
+        if len(decoded) == len(expected):
+            return decoded
+        missing = sorted(set(expected) - set(decoded))
+        plan = step.plan
+        if not (step.replayable and plan is not None):
+            raise TransportError(
+                f"device {dev.rank} is missing envelope(s) from source(s)"
+                f" {missing} under tag {step.tag!r} and the step is not"
+                " keyed-replayable"
+            )
+        pair_index = {pair: i for i, pair in enumerate(plan.pairs)}
+        stats = getattr(step.transport, "fault_stats", None)
+        for p in missing:
+            i = pair_index.get((p, dev.rank))
+            if i is None:
+                raise TransportError(
+                    f"pair ({p}, {dev.rank}) of tag {step.tag!r} is not in"
+                    " the step plan; cannot replay the dropped envelope"
+                )
+            shard = pair_shard(plan, i)
+            payloads = self.fused_encoder.quantize_pack_shard(
+                plan, shard, coords=(step.phase, step.layer)
+            )
+            decoded[p] = payloads[(p, dev.rank)].decode()
+            self.replayed_messages += 1
+            if stats is not None:
+                stats["replays"] += 1
+        return {src: decoded[src] for src in sorted(decoded)}
 
     # -- internals ----------------------------------------------------------
     def _encode_and_post(
@@ -809,6 +972,8 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         plan = self.fused_encoder.plan_for(
             (phase, layer), pairs, pair_counts, device_blocks, cat_idx, bits_cat, dim
         )
+        if step is not None:
+            step.plan = plan
         observe = None
         if self.tracer is not None:
             tracer = self.tracer
@@ -836,6 +1001,15 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
         # here too — providers and tracers never see worker threads).
         encoder = self.fused_encoder
         encoder.gather_step(plan, values_by_rank, observe)
+        if step is not None and self.rounding.mode == "keyed":
+            # The step's source rows now sit in plan scratch on this side
+            # of any process boundary, and keyed noise is a pure function
+            # of coordinates: a dropped envelope can be regenerated
+            # bitwise via pair_shard + quantize_pack_shard.  (Stream
+            # rounding cannot replay — a re-encode would advance the
+            # shared stream; the process path never needs to — its data
+            # plane is the shm slab, not the mailbox.)
+            step.replayable = True
 
         # Quantize/pack/post half: one deferred job per encode shard.
         # Keyed rounding gives every pair coordinate-determined noise, so
@@ -1026,6 +1200,14 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
             return on_posted
 
         # ---- encode wave: one descriptor job per shard ------------------
+        # Slab verification: workers return per-pair stream checksums and
+        # a main-side wave check re-reads the slab between the encode wave
+        # and the decode followups — the window where corruption (or a
+        # scripted poison fault) would otherwise flow silently into every
+        # receiver.  On by default in fault runs; opt-in elsewhere.
+        verify = transport.fault_plan is not None or bool(
+            getattr(transport, "verify_slabs", False)
+        )
         for shard in self.fused_encoder.shards_for(plan, max(transport.workers, 1)):
             descriptor = shard_descriptor(
                 plan, shard, rounding=self.rounding, phase=phase, layer=layer
@@ -1042,10 +1224,39 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
                     )
                     for i in range(shard.pair_lo, shard.pair_hi)
                 ),
+                checksum=verify,
             )
             transport.submit(
                 tag, job, on_done=make_posted(shard.pair_lo, shard.pair_hi)
             )
+
+        if verify:
+
+            def slab_check(crcs: dict) -> None:
+                fplan = transport.fault_plan
+                spec = (
+                    fplan.take("poison", tag) if fplan is not None else None
+                )
+                if spec is not None:
+                    # Scripted slab corruption: scribble a stream span of
+                    # the (src, dst)-matching pair after the encode wave
+                    # landed, before any decode reads it.
+                    idx = 0
+                    for i, (s, d) in enumerate(plan.pairs):
+                        if (spec.src is None or spec.src == s) and (
+                            spec.dst is None or spec.dst == d
+                        ):
+                            idx = i
+                            break
+                    _, _, so, sn, _, _ = pair_layouts[idx][0]
+                    view[so : so + max(1, min(sn, 64))] ^= 0xFF
+                    transport.fault_stats["slabs_poisoned"] += 1
+                self._verify_slab(
+                    transport, plan, pair_layouts, view, base, segment,
+                    phase, layer, tag, crcs,
+                )
+
+            transport.submit_wave_check(tag, slab_check)
 
         # ---- decode wave: one job per receiver, after encode drains -----
         def make_decoded(rank: int, entries: list) -> object:
@@ -1097,6 +1308,73 @@ class FusedQuantizedHaloExchange(QuantizedHaloExchange):
             transport.submit_followup(
                 tag, decode_job, on_done=make_decoded(dev.rank, entries)
             )
+
+    def _verify_slab(
+        self,
+        transport,
+        plan,
+        pair_layouts,
+        view,
+        base,
+        segment,
+        phase,
+        layer,
+        tag,
+        crcs: dict,
+    ) -> None:
+        """CRC-verify every pair's stream bytes against the encode wave's
+        worker-computed checksums; re-encode mismatching pairs in-parent.
+
+        The repair runs the *same* :class:`ShardEncodeJob` code path the
+        worker did — a single-pair shard over the (uncorrupted) input
+        rows, keyed noise — so repaired bytes are bitwise the originals.
+        A pair that still mismatches after re-encoding means the
+        corruption reaches beyond the payload spans (or the reference
+        checksum itself is untrustworthy): fail fast.
+        """
+        from repro.comm.process import ShardEncodeJob
+
+        for i, pair in enumerate(plan.pairs):
+            expect = crcs.get(pair)
+            if expect is None:
+                continue
+            if self._pair_crc(view, pair_layouts[i]) == expect:
+                continue
+            shard = pair_shard(plan, i)
+            job = ShardEncodeJob(
+                descriptor=shard_descriptor(
+                    plan, shard, rounding=self.rounding, phase=phase, layer=layer
+                ),
+                segment=segment,
+                rows_offset=base + shard.start * plan.dim * 4,
+                n_rows=shard.stop - shard.start,
+                pair_layouts=(
+                    tuple(
+                        (b, n_g, base + so, sn, base + zo, base + sco)
+                        for (b, n_g, so, sn, zo, sco) in pair_layouts[i]
+                    ),
+                ),
+                checksum=True,
+            )
+            repaired = job.run(self._repair_segments, self._repair_cache)
+            if repaired[pair] != expect or self._pair_crc(
+                view, pair_layouts[i]
+            ) != expect:
+                raise TransportError(
+                    f"slab corruption on tag {tag!r} pair {pair} could not"
+                    " be repaired (re-encoded checksum still mismatches)"
+                )
+            self.slab_repairs += 1
+            transport.fault_stats["slab_repairs"] += 1
+
+    @staticmethod
+    def _pair_crc(view: np.ndarray, groups: tuple) -> int:
+        """CRC32 over one pair's stream spans, in group order (the same
+        accumulation :class:`ShardEncodeJob` computes worker-side)."""
+        crc = 0
+        for _, _, so, sn, _, _ in groups:
+            crc = zlib.crc32(view[so : so + sn], crc)
+        return crc
 
     def _topology_for(self, phase: str, devices: list) -> tuple:
         """Static step topology: pair order, row counts, gather indices."""

@@ -37,18 +37,22 @@ worker, join with a timeout, terminate survivors, then unlink.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
+import os
 import queue
+import signal
 import time
 import traceback
 import weakref
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.comm.transport import SyncTransport
+from repro.comm.transport import SyncTransport, TransportError
 from repro.comm.transports import register
 from repro.quant.fused import DecodeWorkspace, ShardDescriptor, decode_step
 from repro.quant.mixed import MixedPrecisionPayload
@@ -188,8 +192,11 @@ class ShardEncodeJob:
     rows_offset: int  # float32 (n_rows, dim), cat order, shard-local
     n_rows: int
     pair_layouts: tuple
+    #: when set, the job returns ``{pair: crc32}`` over each pair's
+    #: written stream bytes — the slab-integrity check's reference values.
+    checksum: bool = False
 
-    def run(self, segments: dict, cache: dict) -> None:
+    def run(self, segments: dict, cache: dict) -> dict | None:
         seg = _attach_segment(segments, self.segment)
         desc = self.descriptor
         rows = _f32(seg, self.rows_offset, self.n_rows * desc.dim).reshape(
@@ -197,8 +204,10 @@ class ShardEncodeJob:
         )
         payloads = desc.encode(rows, cache=cache)
         buf = np.frombuffer(seg.buf, dtype=np.uint8)
+        crcs: dict | None = {} if self.checksum else None
         for pair, groups in zip(desc.pairs, self.pair_layouts):
             payload = payloads[pair]
+            crc = 0
             for layout, stream, z, s in zip(
                 groups, payload.streams, payload.zero_points, payload.scales
             ):
@@ -211,6 +220,11 @@ class ShardEncodeJob:
                 buf[stream_off : stream_off + stream_nbytes] = stream
                 _f32(seg, z_off, n)[...] = z
                 _f32(seg, s_off, n)[...] = s
+                if crcs is not None:
+                    crc = zlib.crc32(stream, crc)
+            if crcs is not None:
+                crcs[pair] = crc
+        return crcs
 
 
 @dataclass(frozen=True)
@@ -261,8 +275,35 @@ class StepDecodeJob:
             out[...] = decoded[src]
 
 
+@dataclass(frozen=True)
+class _StallJob:
+    """Fault-injection wrapper: sleep, then run the wrapped job."""
+
+    delay_s: float
+    inner: object
+
+    def run(self, segments: dict, cache: dict):
+        time.sleep(self.delay_s)
+        return self.inner.run(segments, cache)
+
+
+@dataclass(frozen=True)
+class _FailJob:
+    """Fault-injection wrapper: a job that raises instead of running."""
+
+    tag: str
+
+    def run(self, segments: dict, cache: dict):
+        raise RuntimeError(f"injected transport job fault on tag {self.tag!r}")
+
+
 def _worker_main(task_q, result_q) -> None:
-    """Worker loop: attach-on-demand segments, per-shard plan caches."""
+    """Worker loop: attach-on-demand segments, per-shard plan caches.
+
+    Results are ``(job_id, tag, error, info)`` where ``info`` is the
+    job's (small, picklable) return value — e.g. the encode shard's
+    per-pair stream checksums when slab verification is on.
+    """
     segments: dict[str, shared_memory.SharedMemory] = {}
     cache: dict = {}
     while True:
@@ -274,13 +315,13 @@ def _worker_main(task_q, result_q) -> None:
             break
         job_id, tag, job = item
         try:
-            job.run(segments, cache)
-            result_q.put((job_id, tag, None))
+            info = job.run(segments, cache)
+            result_q.put((job_id, tag, None, info))
         except KeyboardInterrupt:
             break
         except BaseException:
             try:
-                result_q.put((job_id, tag, traceback.format_exc()))
+                result_q.put((job_id, tag, traceback.format_exc(), None))
             except Exception:
                 break
     for seg in segments.values():
@@ -351,9 +392,23 @@ class ProcessTransport(SyncTransport):
         self._task_q = None
         self._result_q = None
         self._job_seq = 0
-        self._inflight: dict[str, dict[int, object]] = {}  # tag -> {job_id: on_done}
+        # tag -> {job_id: (job, on_done)}; jobs are retained while in
+        # flight so a pool respawn can resubmit them (keyed jobs write to
+        # prescribed shm offsets, so re-running them is idempotent).
+        self._inflight: dict[str, dict[int, tuple[object, object]]] = {}
         self._followups: dict[str, list[tuple[object, object]]] = {}
         self._errors: dict[str, list[str]] = {}
+        self._wave_checks: dict[str, object] = {}
+        self._wave_info: dict[str, dict] = {}
+        #: pool-respawn budget after worker deaths; exceeding it raises
+        #: :class:`TransportError` (escalate to an epoch-boundary restore).
+        self.max_respawns = 2
+        self.respawns = 0
+        self._spawn_generation = 0
+        #: per-worker exit records accumulated across respawns and close:
+        #: ``{"name", "exitcode", "expected"}`` — ``expected`` is False for
+        #: deaths the transport did not cause itself (signals, OOM kills).
+        self.exit_report: list[dict] = []
         self._rings: dict[str, ShmRing] = {}
         self._retired_rings: list[ShmRing] = []
         #: Ring replacements after first allocation (grown byte budgets).
@@ -382,15 +437,74 @@ class ProcessTransport(SyncTransport):
             return
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
+        gen = self._spawn_generation
         for i in range(self.workers):
+            name = f"repro-transport-{i}"
+            if gen:
+                name = f"{name}.g{gen}"
             proc = self._ctx.Process(
                 target=_worker_main,
                 args=(self._task_q, self._result_q),
-                name=f"repro-transport-{i}",
+                name=name,
                 daemon=True,
             )
             proc.start()
             self._procs.append(proc)
+
+    def _respawn_pool(self, dead: list) -> None:
+        """Replace a pool with dead member(s): fresh procs, fresh queues,
+        resubmitted in-flight jobs.
+
+        The old queues are abandoned wholesale — a worker SIGKILLed while
+        holding a queue's internal lock leaves it poisoned for every other
+        reader, so surviving workers are terminated and everything
+        restarts against new pipes.  In-flight jobs are resubmitted
+        verbatim: keyed encode/decode jobs write at prescribed shm offsets
+        with coordinate-keyed noise, so running a job twice (its first
+        result may have been lost with the old result queue) lands the
+        same bytes.  Past :attr:`max_respawns`, raises
+        :class:`TransportError` — the caller's cue to fall back to an
+        epoch-boundary checkpoint restore.
+        """
+        for proc in dead:
+            self.exit_report.append(
+                {"name": proc.name, "exitcode": proc.exitcode, "expected": False}
+            )
+        self.respawns += 1
+        self.fault_stats["respawns"] += 1
+        if self.respawns > self.max_respawns:
+            raise TransportError(
+                f"transport worker process(es) died ({[p.name for p in dead]});"
+                f" respawn budget ({self.max_respawns}) exhausted"
+            )
+        dead_set = set(id(p) for p in dead)
+        old_procs, self._procs = self._procs, []
+        for proc in old_procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in old_procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+            if id(proc) not in dead_set:
+                # A survivor we terminated ourselves to rebuild the pool.
+                self.exit_report.append(
+                    {"name": proc.name, "exitcode": proc.exitcode, "expected": True}
+                )
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                try:
+                    q.cancel_join_thread()
+                    q.close()
+                except Exception:
+                    pass
+        self._task_q = self._result_q = None
+        self._spawn_generation += 1
+        self.start()
+        for tag, jobs in self._inflight.items():
+            for job_id, (job, _) in jobs.items():
+                self._task_q.put((job_id, tag, job))
 
     # ------------------------------------------------------------------
     # Shared-memory arena
@@ -443,11 +557,30 @@ class ProcessTransport(SyncTransport):
         if self._closed:
             raise RuntimeError("transport is closed")
         self.start()
+        plan = self.fault_plan
+        if plan is not None:
+            if plan.take("kill_worker", tag) is not None:
+                self._kill_one_worker()
+            spec = plan.on_job(tag)
+            if spec is not None:
+                job = (
+                    _StallJob(float(spec.delay_s), job)
+                    if spec.kind == "stall"
+                    else _FailJob(tag)
+                )
         self._job_seq += 1
         job_id = self._job_seq
-        self._inflight.setdefault(tag, {})[job_id] = on_done
+        self._inflight.setdefault(tag, {})[job_id] = (job, on_done)
         self._task_q.put((job_id, tag, job))
         return job_id
+
+    def _kill_one_worker(self) -> None:
+        """Fault injection: SIGKILL one live worker process."""
+        for proc in self._procs:
+            if proc.is_alive() and proc.pid is not None:
+                os.kill(proc.pid, signal.SIGKILL)
+                self.fault_stats["workers_killed"] += 1
+                return
 
     def submit_followup(self, tag: str, job, on_done=None) -> None:
         """Queue ``job`` to dispatch after ``tag``'s current wave drains."""
@@ -455,35 +588,77 @@ class ProcessTransport(SyncTransport):
             raise RuntimeError("transport is closed")
         self._followups.setdefault(tag, []).append((job, on_done))
 
-    def _drain_one(self) -> None:
-        """Block for one result; runs its callback (any tag)."""
+    def submit_wave_check(self, tag: str, fn) -> None:
+        """Register ``fn`` to run once ``tag``'s current wave drains, before
+        its followups dispatch.
+
+        ``fn`` receives the merged job-result infos of the wave (e.g. the
+        encode shards' per-pair stream checksums) and runs on the main
+        thread — the fused exchange's slab-integrity gate.
+        """
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        self._wave_checks[tag] = fn
+
+    def _drain_one(self, tag: str, deadline: float | None) -> None:
+        """Block for one result; runs its callback (any tag).
+
+        The 0.5 s poll doubles as the worker heartbeat: a dead process is
+        noticed within one interval and triggers a pool respawn (bounded
+        by :attr:`max_respawns`).  ``deadline`` (absolute, from the
+        completing tag's ``timeout_s``) turns a wedged wave into a typed
+        :class:`TransportError` naming the tag and its outstanding shards.
+        """
         while True:
+            timeout = 0.5
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    outstanding = self._inflight.get(tag, {})
+                    jobs = ", ".join(
+                        f"#{jid}:{type(job).__name__}"
+                        for jid, (job, _) in sorted(outstanding.items())
+                    )
+                    raise TransportError(
+                        f"tag {tag!r} missed its {self.timeout_s}s completion"
+                        f" deadline with {len(outstanding)} outstanding"
+                        f" shard job(s) [{jobs}]"
+                    )
+                timeout = min(timeout, remaining)
             try:
-                job_id, tag, error = self._result_q.get(timeout=0.5)
+                job_id, rtag, error, info = self._result_q.get(timeout=timeout)
                 break
             except queue.Empty:
-                dead = [p.name for p in self._procs if not p.is_alive()]
+                dead = [p for p in self._procs if not p.is_alive()]
                 if dead:
-                    raise RuntimeError(
-                        f"transport worker process(es) died mid-step: {dead}"
-                    ) from None
-        inflight = self._inflight.get(tag)
-        on_done = inflight.pop(job_id, None) if inflight else None
+                    self._respawn_pool(dead)
+        inflight = self._inflight.get(rtag)
+        entry = inflight.pop(job_id, None) if inflight else None
         if inflight is not None and not inflight:
-            self._inflight.pop(tag, None)
+            self._inflight.pop(rtag, None)
         if error is not None:
-            self._errors.setdefault(tag, []).append(error)
-        elif on_done is not None:
-            on_done()
+            self._errors.setdefault(rtag, []).append(error)
+            return
+        if info:
+            self._wave_info.setdefault(rtag, {}).update(info)
+        if entry is not None and entry[1] is not None:
+            entry[1]()
 
     def complete(self, tag: str) -> float:
         """Drain ``tag``'s waves (dispatching followups between them)."""
         t0 = time.perf_counter()
+        deadline = None if self.timeout_s is None else t0 + float(self.timeout_s)
         waited = False
         while True:
             if self._inflight.get(tag):
                 waited = True
-                self._drain_one()
+                self._drain_one(tag, deadline)
+                continue
+            check = self._wave_checks.pop(tag, None)
+            if check is not None:
+                # The wave's integrity gate (slab checksums) runs between
+                # the encode wave and its decode followups.
+                check(self._wave_info.pop(tag, {}))
                 continue
             followups = self._followups.pop(tag, None)
             if followups:
@@ -492,9 +667,10 @@ class ProcessTransport(SyncTransport):
                     self.submit(tag, job, on_done)
                 continue
             break
+        self._wave_info.pop(tag, None)
         errors = self._errors.pop(tag, None)
         if errors:
-            raise RuntimeError(
+            raise TransportError(
                 f"transport worker job failed under tag {tag!r}:\n"
                 + "\n".join(errors)
             )
@@ -531,6 +707,17 @@ class ProcessTransport(SyncTransport):
         self.complete_all()
         return super().pending_tags()
 
+    def transport_health(self) -> dict:
+        health = super().transport_health()
+        health.update(
+            respawns=int(self.respawns),
+            exit_report=[dict(e) for e in self.exit_report],
+            abnormal_exits=[
+                dict(e) for e in self.exit_report if not e["expected"]
+            ],
+        )
+        return health
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Drain, stop workers, unlink every slab; idempotent.
@@ -552,10 +739,28 @@ class ProcessTransport(SyncTransport):
                     pass
         for proc in procs:
             proc.join(timeout=2.0)
+        terminated: set[int] = set()
         for proc in procs:
             if proc.is_alive():
+                terminated.add(id(proc))
                 proc.terminate()
                 proc.join(timeout=2.0)
+        # Exitcode audit: a worker that died on its own with a nonzero or
+        # signaled status (OOM kill, segfault) must not be silently
+        # joined.  0 is a clean sentinel exit; negative codes are signals
+        # — expected only when this close (or a respawn) sent them.
+        for proc in procs:
+            code = proc.exitcode
+            expected = code == 0 or id(proc) in terminated
+            self.exit_report.append(
+                {"name": proc.name, "exitcode": code, "expected": expected}
+            )
+        abnormal = [e for e in self.exit_report if not e["expected"]]
+        if abnormal:
+            logging.getLogger(__name__).warning(
+                "transport worker(s) exited abnormally: %s",
+                ", ".join(f"{e['name']} (exitcode {e['exitcode']})" for e in abnormal),
+            )
         for q in (self._task_q, self._result_q):
             if q is not None:
                 try:
@@ -567,6 +772,8 @@ class ProcessTransport(SyncTransport):
         self._inflight.clear()
         self._followups.clear()
         self._errors.clear()
+        self._wave_checks.clear()
+        self._wave_info.clear()
         for ring in [*self._rings.values(), *self._retired_rings]:
             ring.close()
             ring.unlink()

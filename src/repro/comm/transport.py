@@ -50,6 +50,7 @@ import threading
 import time
 from collections import defaultdict
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 
 import numpy as np
 
@@ -58,12 +59,26 @@ from repro.comm.transports import register
 __all__ = [
     "TransportBackend",
     "TransportAccounting",
+    "TransportError",
     "SyncTransport",
     "WorkerTransport",
     "detected_cores",
     "host_spare_cores",
     "host_has_spare_core",
 ]
+
+
+class TransportError(RuntimeError):
+    """A transport failure that was *detected* rather than silently absorbed.
+
+    Raised for missed ``complete()`` deadlines (naming the tag and the
+    outstanding jobs), worker-process deaths past the respawn budget,
+    unrecoverable slab corruption, and missing envelopes no recovery path
+    can regenerate.  Subclasses :class:`RuntimeError` so pre-existing
+    callers that catch broad runtime failures keep working; new callers
+    (the trainer's escalate-to-checkpoint-restore path) catch this type
+    specifically.
+    """
 
 
 def detected_cores() -> int:
@@ -111,6 +126,13 @@ class TransportBackend(abc.ABC):
     is_async = False
     #: background workers available for deferred jobs (0 = inline only)
     workers = 0
+    #: deadline (seconds) for :meth:`complete` joins; None waits forever.
+    #: Set per-instance (the cluster threads ``RunConfig.transport_timeout_s``
+    #: through); a missed deadline raises :class:`TransportError`.
+    timeout_s: float | None = None
+    #: optional :class:`~repro.comm.faults.FaultPlan` consulted on the wire
+    #: path (fault-injection tests and chaos runs); None injects nothing.
+    fault_plan = None
 
     @abc.abstractmethod
     def post(self, src: int, dst: int, tag: str, payload: object, nbytes: int) -> None:
@@ -152,6 +174,22 @@ class TransportBackend(abc.ABC):
         """Defer every job in ``jobs`` under ``tag`` (in order)."""
         for job in jobs:
             self.defer(tag, job)
+
+    def transport_health(self) -> dict:
+        """A JSON-able health summary of this transport's run.
+
+        Backends with real failure modes extend it — the process backend
+        adds worker exitcodes, respawn counts and abnormal deaths; the
+        CLI persists the summary so ``repro info`` can report the last
+        run's transport health.
+        """
+        return {
+            "kind": self.kind,
+            "workers": int(self.workers),
+            "is_async": bool(self.is_async),
+            "abnormal_exits": [],
+            "fault_stats": dict(getattr(self, "fault_stats", {}) or {}),
+        }
 
 
 class TransportAccounting:
@@ -202,6 +240,9 @@ class TransportAccounting:
         self._overlapped: dict[str, int] = defaultdict(int)
         self._window_open: set[str] = set()
         self._lock = threading.Lock()
+        #: counters of injected faults observed/handled on this transport
+        #: ("dropped", "duplicates_rejected", "respawns", "slab_repairs", …)
+        self.fault_stats: dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     def _matrix(self, tag: str) -> np.ndarray:
@@ -215,6 +256,40 @@ class TransportAccounting:
 
     def post(self, src: int, dst: int, tag: str, payload: object, nbytes: int) -> None:
         """Queue ``payload`` from ``src`` to ``dst`` under ``tag``."""
+        plan = self.fault_plan
+        if plan is not None:
+            action = plan.on_post(tag, src, dst)
+            if action == "drop":
+                # The envelope left the sender (bytes hit the wire and are
+                # accounted) but never lands in the destination mailbox.
+                self._post_one(src, dst, tag, payload, nbytes, deliver=False)
+                self.fault_stats["dropped"] += 1
+                return
+            if action == "duplicate":
+                self._post_one(src, dst, tag, payload, nbytes)
+                try:
+                    # Second arrival of the same envelope: the mailbox's
+                    # one-envelope-per-pair invariant must reject it.
+                    self._post_one(src, dst, tag, payload, nbytes)
+                except RuntimeError:
+                    self.fault_stats["duplicates_rejected"] += 1
+                    return
+                raise TransportError(
+                    f"duplicate envelope on tag {tag!r} for pair {src}->{dst}"
+                    " was accepted instead of rejected"
+                )
+        self._post_one(src, dst, tag, payload, nbytes)
+
+    def _post_one(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: object,
+        nbytes: int,
+        *,
+        deliver: bool = True,
+    ) -> None:
         self._check_device(src)
         self._check_device(dst)
         if src == dst:
@@ -228,7 +303,8 @@ class TransportAccounting:
                 raise RuntimeError(
                     f"duplicate post on tag {tag!r} for pair {src}->{dst}"
                 )
-            box[src] = payload
+            if deliver:
+                box[src] = payload
             self._matrix(tag)[src, dst] += nb
             self._pending[tag] += nb
             self._pending_by_box[(tag, dst)] += nb
@@ -248,6 +324,14 @@ class TransportAccounting:
         """
         self._check_device(src)
         if not posts:
+            return
+        plan = self.fault_plan
+        if plan is not None and plan.armed():
+            # Fault path: fall back to per-envelope posting so each entry
+            # passes through the injection hooks.  Cold by construction —
+            # plans only exist in fault-injection runs.
+            for dst, payload, nb in posts:
+                self.post(src, dst, tag, payload, nb)
             return
         # Validate the whole batch before enqueuing anything, so a bad
         # entry cannot leave phantom envelopes or byte accounting behind.
@@ -359,6 +443,35 @@ class TransportAccounting:
             raise ValueError(f"device {device} out of range [0, {self.num_devices})")
 
 
+def apply_job_faults(transport: TransportBackend, tag: str, job):
+    """Wrap ``job`` per the transport's fault plan (stall/error kinds).
+
+    Returns ``job`` unchanged when no plan is armed for the tag.  Shared
+    by every in-process backend so the injection semantics are identical
+    whichever pool runs the job.
+    """
+    plan = transport.fault_plan
+    if plan is None:
+        return job
+    spec = plan.on_job(tag)
+    if spec is None:
+        return job
+    if spec.kind == "error":
+
+        def failing() -> None:
+            raise RuntimeError(f"injected transport job fault on tag {tag!r}")
+
+        return failing
+
+    delay = float(spec.delay_s)
+
+    def stalled() -> None:
+        time.sleep(delay)
+        job()
+
+    return stalled
+
+
 @register("sync")
 class SyncTransport(TransportAccounting, TransportBackend):
     """Inline mailbox transport: everything runs on the calling thread.
@@ -374,6 +487,8 @@ class SyncTransport(TransportAccounting, TransportBackend):
     # Deferred posting (async hooks; the synchronous transport runs inline)
     # ------------------------------------------------------------------
     def defer(self, tag: str, job) -> None:
+        if self.fault_plan is not None:
+            job = apply_job_faults(self, tag, job)
         job()
 
     def complete(self, tag: str) -> float:
@@ -435,6 +550,8 @@ class WorkerTransport(SyncTransport):
 
     # ------------------------------------------------------------------
     def defer(self, tag: str, job) -> None:
+        if self.fault_plan is not None:
+            job = apply_job_faults(self, tag, job)
         with self._jobs_lock:
             if self._closed:
                 raise RuntimeError("transport is closed")
@@ -447,6 +564,7 @@ class WorkerTransport(SyncTransport):
 
     def complete(self, tag: str) -> float:
         t0 = time.perf_counter()
+        deadline = None if self.timeout_s is None else t0 + float(self.timeout_s)
         joined = 0
         while True:
             with self._jobs_lock:
@@ -459,7 +577,21 @@ class WorkerTransport(SyncTransport):
             # tag, which needs the lock); loop to pick up anything that
             # was registered while we waited.
             for future in batch:
-                future.result()
+                if deadline is None:
+                    future.result()
+                    continue
+                try:
+                    future.result(timeout=max(0.0, deadline - time.perf_counter()))
+                except _FuturesTimeout:
+                    with self._jobs_lock:
+                        outstanding = sum(
+                            1 for f in self._jobs.get(tag, []) if not f.done()
+                        )
+                    raise TransportError(
+                        f"tag {tag!r} missed its {self.timeout_s}s completion"
+                        f" deadline with {outstanding} outstanding job(s)"
+                        f" ({joined} joined)"
+                    ) from None
             joined += len(batch)
         return time.perf_counter() - t0 if joined else 0.0
 

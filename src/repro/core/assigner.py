@@ -253,6 +253,38 @@ class AdaptiveBitWidthAssigner:
         self._assignments.update(per_key)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Copies of the adaptive state a resumed run needs for bitwise
+        equivalence: assignments (what bits_for serves now), traces (what
+        the next period-boundary reassign will solve from) and the
+        reassignment counter."""
+        return {
+            "num_reassignments": int(self.num_reassignments),
+            "assignments": {
+                key: arr.copy() for key, arr in self._assignments.items()
+            },
+            "traces": {
+                key: (entry.value_range.copy(), int(entry.dim))
+                for key, entry in self._traces.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.num_reassignments = int(state["num_reassignments"])
+        self._assignments = {
+            tuple(key): np.asarray(arr, dtype=np.int64)
+            for key, arr in state["assignments"].items()
+        }
+        self._traces = {
+            tuple(key): _TraceEntry(
+                value_range=np.asarray(vr, dtype=np.float64), dim=int(dim)
+            )
+            for key, (vr, dim) in state["traces"].items()
+        }
+
+    # ------------------------------------------------------------------
     def assignment_histogram(self) -> dict[int, int]:
         """How many messages currently sit at each bit-width (diagnostics)."""
         counts: dict[int, int] = {b: 0 for b in self.bit_choices}

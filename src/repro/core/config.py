@@ -103,6 +103,25 @@ class RunConfig:
     # overlap accounting.
     timeline_history: int = 48
 
+    # Fault tolerance
+    # checkpoint_dir: where epoch-boundary checkpoints land (and, with
+    # resume=True, where the trainer looks for one).  None disables
+    # checkpointing entirely.
+    checkpoint_dir: str | None = None
+    # checkpoint_every: save cadence in epochs (a checkpoint after every
+    # N-th optimizer step; the run's final epoch always saves too so a
+    # completed run can seed an elastic restart).
+    checkpoint_every: int = 1
+    # resume: restore from the newest checkpoint in checkpoint_dir before
+    # training.  Under rng_mode="keyed" the resumed run is bitwise
+    # identical to the uninterrupted one; an empty/missing directory
+    # falls through to a fresh start.
+    resume: bool = False
+    # transport_timeout_s: per-tag completion deadline for async
+    # transports — a stalled tag raises TransportError naming its
+    # outstanding shards instead of hanging the run.  None waits forever.
+    transport_timeout_s: float | None = 120.0
+
     # Baselines
     sancus_staleness: int = 4
 
@@ -131,6 +150,12 @@ class RunConfig:
             raise ValueError("pipeline_depth must be 1 or 2")
         if self.timeline_history < 0:
             raise ValueError("timeline_history must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.transport_timeout_s is not None and self.transport_timeout_s <= 0:
+            raise ValueError("transport_timeout_s must be positive (or None)")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
 
     def with_overrides(self, **kwargs) -> "RunConfig":
         """Functional update (configs are frozen)."""

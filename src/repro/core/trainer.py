@@ -23,6 +23,12 @@ import numpy as np
 
 from repro.baselines.pipegcn import StaleHaloExchange
 from repro.baselines.sancus import BroadcastSkipExchange
+from repro.cluster.checkpoint import (
+    capture_state,
+    load_checkpoint,
+    restore_state,
+    save_checkpoint,
+)
 from repro.cluster.cluster import Cluster
 from repro.cluster.records import StepTimeline, TimelineSummary
 from repro.cluster.exchange import (
@@ -108,6 +114,11 @@ class TrainResult:
     # multi-hundred-epoch runs never accumulate unbounded stage lists.
     timeline_summary: TimelineSummary = field(default_factory=TimelineSummary)
     recent_timelines: list[StepTimeline] = field(default_factory=list)
+    # Fault tolerance: the first epoch this run actually executed (> 0
+    # when resumed from a checkpoint) and the transport's post-close
+    # health report (worker exit codes, respawns, fault counters).
+    start_epoch: int = 0
+    transport_health: dict = field(default_factory=dict)
 
     @property
     def epochs(self) -> int:
@@ -242,8 +253,15 @@ def train(
     *,
     cost_model: LinkCostModel | None = None,
     perf_model: PerfModel | None = None,
+    fault_plan=None,
 ) -> TrainResult:
     """Train ``system`` on ``dataset`` partitioned by ``book``.
+
+    ``fault_plan`` (a :class:`~repro.comm.faults.FaultPlan`) injects
+    transport faults for the fault-tolerance suite; ``None`` disables
+    injection.  ``config.checkpoint_dir``/``config.resume`` control
+    epoch-boundary checkpointing — under ``rng_mode="keyed"`` a resumed
+    run is bitwise identical to the uninterrupted one.
 
     Examples
     --------
@@ -279,6 +297,8 @@ def train(
         overlap=config.overlap and system in OVERLAP_SYSTEMS,
         transport=config.transport,
         pipeline_depth=config.pipeline_depth,
+        transport_timeout_s=config.transport_timeout_s,
+        fault_plan=fault_plan,
     )
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]
@@ -290,11 +310,42 @@ def train(
         model_kind=config.model_kind,
     )
 
+    start_epoch = 0
+    if config.resume and config.checkpoint_dir is not None:
+        state = load_checkpoint(config.checkpoint_dir)
+        if state is not None:
+            start_epoch = restore_state(
+                state, cluster, optimizers, setup.exchange, assigner=setup.assigner
+            )
+            logger.info(
+                "%s resumed from %s at epoch %d",
+                system, config.checkpoint_dir, start_epoch,
+            )
+    result.start_epoch = start_epoch
+
     try:
-        for epoch in range(config.epochs):
+        for epoch in range(start_epoch, config.epochs):
             record = cluster.train_epoch(setup.exchange, epoch)
             for opt in optimizers:
                 opt.step()
+
+            if config.checkpoint_dir is not None and (
+                (epoch + 1) % config.checkpoint_every == 0
+                or epoch == config.epochs - 1
+            ):
+                # The post-step epoch boundary: nothing is in flight, and
+                # a resume from here replays epoch+1 onward bitwise.
+                save_checkpoint(
+                    config.checkpoint_dir,
+                    capture_state(
+                        cluster,
+                        optimizers,
+                        setup.exchange,
+                        epoch=epoch + 1,
+                        assigner=setup.assigner,
+                        meta={"system": system, "dataset": dataset.spec.name},
+                    ),
+                )
 
             sched: ScheduleResult = setup.schedule(record, cost_model, perf_model)
             result.epoch_times.append(sched.epoch_time)
@@ -323,6 +374,9 @@ def train(
         # Even a failed run must release the async transport's worker
         # thread (and whatever plan scratch its pending closure captured).
         cluster.close()
+        # Health is read after close so the report includes the final
+        # worker exit-code audit (abnormal deaths surface here).
+        result.transport_health = cluster.transport.transport_health()
     result.final_val = result.curve_val[-1] if result.curve_val else float("nan")
     result.final_test = result.curve_test[-1] if result.curve_test else float("nan")
     if setup.assigner is not None:

@@ -32,6 +32,36 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copies of the optimizer's slot state (checkpointing).
+
+        Device replicas run identical updates over identical gradients, so
+        one replica's state restores every other — which is what makes a
+        checkpoint partition-count-independent (elastic restore).
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place (shape-checked)."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: {sorted(state)}")
+
+    @staticmethod
+    def _load_slots(target: list[np.ndarray], saved, name: str) -> None:
+        if len(saved) != len(target):
+            raise ValueError(
+                f"optimizer state {name!r} has {len(saved)} entries,"
+                f" expected {len(target)}"
+            )
+        for slot, arr in zip(target, saved):
+            arr = np.asarray(arr)
+            if slot.shape != arr.shape:
+                raise ValueError(
+                    f"optimizer state {name!r} shape {arr.shape} !="
+                    f" parameter shape {slot.shape}"
+                )
+            slot[...] = arr
+
 
 class SGD(Optimizer):
     """Plain (optionally momentum) stochastic gradient descent."""
@@ -59,6 +89,12 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._load_slots(self._velocity, state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -99,3 +135,15 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "step_count": int(self._step_count),
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step_count = int(state["step_count"])
+        self._load_slots(self._m, state["m"], "m")
+        self._load_slots(self._v, state["v"], "v")

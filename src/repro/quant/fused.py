@@ -63,6 +63,7 @@ __all__ = [
     "FusedStepEncoder",
     "ShardDescriptor",
     "shard_descriptor",
+    "pair_shard",
     "DecodeWorkspace",
     "decode_step",
     "decode_cluster_step",
@@ -233,41 +234,53 @@ def _build_shards(plan: FusedStepPlan, n_shards: int) -> list[_EncodeShard]:
         raw.add(int(cut))
     edges = [0, *sorted(c for c in raw if 0 < c < n_pairs), n_pairs]
 
-    shards: list[_EncodeShard] = []
-    for lo, hi in zip(edges, edges[1:]):
-        bit_slices: dict[int, list[slice]] = {}
-        bit_elems: dict[int, list[int]] = {}
-        for i in range(lo, hi):
-            for g in plan.pair_groups[plan.pairs[i]]:
-                bit_slices.setdefault(g.bits, []).append(slice(g.start, g.stop))
-                bit_elems.setdefault(g.bits, []).append((g.stop - g.start) * plan.dim)
-        distinct = sorted(bit_slices)
-        bit_rows: dict[int, np.ndarray] = {}
-        bit_gather: dict[int, np.ndarray] = {}
-        if len(distinct) > 1:
-            for b, slices in bit_slices.items():
-                if len(slices) > 1:
-                    rows = np.concatenate(
-                        [np.arange(sl.start, sl.stop, dtype=np.int64) for sl in slices]
-                    )
-                    bit_rows[b] = rows
-                    bit_gather[b] = np.empty((rows.size, plan.dim), dtype=np.uint8)
-        shards.append(
-            _EncodeShard(
-                pair_lo=lo,
-                pair_hi=hi,
-                start=int(plan.cat_bounds[lo]),
-                stop=int(plan.cat_bounds[hi]),
-                single_bits=distinct[0] if len(distinct) == 1 else None,
-                bit_slices=bit_slices,
-                bit_elems={
-                    b: np.asarray(e, dtype=np.int64) for b, e in bit_elems.items()
-                },
-                bit_rows=bit_rows,
-                bit_gather=bit_gather,
-            )
-        )
-    return shards
+    return [_make_shard(plan, lo, hi) for lo, hi in zip(edges, edges[1:])]
+
+
+def _make_shard(plan: FusedStepPlan, lo: int, hi: int) -> _EncodeShard:
+    """The shard covering the plan's contiguous pair range ``[lo, hi)``."""
+    bit_slices: dict[int, list[slice]] = {}
+    bit_elems: dict[int, list[int]] = {}
+    for i in range(lo, hi):
+        for g in plan.pair_groups[plan.pairs[i]]:
+            bit_slices.setdefault(g.bits, []).append(slice(g.start, g.stop))
+            bit_elems.setdefault(g.bits, []).append((g.stop - g.start) * plan.dim)
+    distinct = sorted(bit_slices)
+    bit_rows: dict[int, np.ndarray] = {}
+    bit_gather: dict[int, np.ndarray] = {}
+    if len(distinct) > 1:
+        for b, slices in bit_slices.items():
+            if len(slices) > 1:
+                rows = np.concatenate(
+                    [np.arange(sl.start, sl.stop, dtype=np.int64) for sl in slices]
+                )
+                bit_rows[b] = rows
+                bit_gather[b] = np.empty((rows.size, plan.dim), dtype=np.uint8)
+    return _EncodeShard(
+        pair_lo=lo,
+        pair_hi=hi,
+        start=int(plan.cat_bounds[lo]),
+        stop=int(plan.cat_bounds[hi]),
+        single_bits=distinct[0] if len(distinct) == 1 else None,
+        bit_slices=bit_slices,
+        bit_elems={b: np.asarray(e, dtype=np.int64) for b, e in bit_elems.items()},
+        bit_rows=bit_rows,
+        bit_gather=bit_gather,
+    )
+
+
+def pair_shard(plan: FusedStepPlan, i: int) -> _EncodeShard:
+    """A throwaway shard covering exactly pair ``i`` of the plan.
+
+    The keyed-replay recovery path uses it to regenerate one dropped
+    pair's payload from the plan's staged rows: pair noise is one keyed
+    draw and packing is per-group deterministic, so the single-pair shard
+    reproduces the exact bytes the original (multi-pair) shard emitted
+    for that pair — the shard-decomposition-independence contract.
+    """
+    if not 0 <= i < len(plan.pairs):
+        raise IndexError(f"pair index {i} outside [0, {len(plan.pairs)})")
+    return _make_shard(plan, i, i + 1)
 
 
 class FusedStepEncoder:

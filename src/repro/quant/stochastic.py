@@ -226,6 +226,13 @@ class StreamRounding:
     def set_epoch(self, epoch: int) -> None:
         """No-op: the stream position, not the epoch, is the state."""
 
+    def state_dict(self) -> dict:
+        """The stream position (checkpointing): the generator's full state."""
+        return {"bit_generator": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["bit_generator"]
+
 
 class KeyedRounding:
     """Counter-based rounding noise keyed on message-block coordinates.
@@ -247,6 +254,13 @@ class KeyedRounding:
 
     def set_epoch(self, epoch: int) -> None:
         self.epoch = int(epoch)
+
+    def state_dict(self) -> dict:
+        """Empty: keyed noise is stateless (epoch is re-set every epoch)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
 
     def block_generator(
         self, phase: str, layer: int, src: int, dst: int

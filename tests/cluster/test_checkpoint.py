@@ -1,0 +1,236 @@
+"""Checkpoint/restore (ISSUE 9 tentpole): bitwise keyed-replay resume.
+
+The headline contract: under ``rng_mode="keyed"`` a run that is
+interrupted and resumed from its last epoch-boundary checkpoint produces
+the **same** losses, wire bytes and final parameters as the uninterrupted
+run — not approximately, bitwise.  Everything else here pins the
+machinery that makes that true: the on-disk format's atomicity, the
+restore-time validation, and the double-restore idempotency the
+fault-tolerance story leans on (a crashed resume must be re-resumable).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster.checkpoint import (
+    ClusterState,
+    capture_state,
+    latest_checkpoint_epoch,
+    list_checkpoint_epochs,
+    load_checkpoint,
+    restore_state,
+    save_checkpoint,
+)
+from repro.comm.faults import FaultPlan
+from repro.core.config import RunConfig
+from repro.core.trainer import train
+
+
+def _cfg(**overrides):
+    base = dict(epochs=6, hidden_dim=8, eval_every=2, reassign_period=2)
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+def _final_state(ckpt_dir) -> ClusterState:
+    state = load_checkpoint(ckpt_dir)
+    assert state is not None
+    return state
+
+
+def _assert_states_bitwise_equal(a: ClusterState, b: ClusterState) -> None:
+    assert a.epoch == b.epoch
+    for name in a.model:
+        np.testing.assert_array_equal(a.model[name], b.model[name])
+    assert a.optimizer["step_count"] == b.optimizer["step_count"]
+    for slot in ("m", "v"):
+        for x, y in zip(a.optimizer[slot], b.optimizer[slot]):
+            np.testing.assert_array_equal(x, y)
+
+
+# ----------------------------------------------------------------------
+# On-disk format
+# ----------------------------------------------------------------------
+def test_checkpoint_files_and_latest_marker(tmp_path, tiny_dataset, tiny_book):
+    train(
+        "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D",
+        _cfg(epochs=3, checkpoint_dir=str(tmp_path)),
+    )
+    assert list_checkpoint_epochs(tmp_path) == [1, 2, 3]
+    assert latest_checkpoint_epoch(tmp_path) == 3
+    assert (tmp_path / "epoch-00003" / "meta.json").is_file()
+    state = load_checkpoint(tmp_path)
+    assert state.epoch == 3 and state.num_parts == 4
+    # Specific-epoch load, and a stale LATEST marker falls back to the scan.
+    assert load_checkpoint(tmp_path, epoch=1).epoch == 1
+    (tmp_path / "LATEST").write_text("99\n")
+    assert latest_checkpoint_epoch(tmp_path) == 3
+    # Unreadable future formats are a typed error, not garbage state.
+    state.version = 999
+    save_checkpoint(tmp_path, state)
+    with pytest.raises(ValueError, match="format version"):
+        load_checkpoint(tmp_path)
+
+
+def test_checkpoint_every_cadence(tmp_path, tiny_dataset, tiny_book):
+    train(
+        "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D",
+        _cfg(epochs=5, checkpoint_dir=str(tmp_path), checkpoint_every=2),
+    )
+    # Every 2nd epoch boundary, plus the final epoch unconditionally.
+    assert list_checkpoint_epochs(tmp_path) == [2, 4, 5]
+
+
+def test_load_checkpoint_empty_dir_returns_none(tmp_path):
+    assert load_checkpoint(tmp_path) is None
+    assert latest_checkpoint_epoch(tmp_path) is None
+    assert list_checkpoint_epochs(tmp_path / "missing") == []
+
+
+def test_load_checkpoint_rejects_foreign_pickle(tmp_path):
+    (tmp_path / "epoch-00001").mkdir()
+    with open(tmp_path / "epoch-00001" / "state.pkl", "wb") as fh:
+        pickle.dump({"not": "a ClusterState"}, fh)
+    with pytest.raises(ValueError, match="ClusterState"):
+        load_checkpoint(tmp_path, epoch=1)
+
+
+# ----------------------------------------------------------------------
+# Bitwise resume equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("system", ["adaqp", "pipegcn", "sancus"])
+def test_interrupted_resume_is_bitwise_identical(
+    tmp_path, tiny_dataset, tiny_book, system
+):
+    """losses + wire bytes + final model/optimizer state, byte for byte —
+    across the adaptive system (assigner + keyed rounding) and both
+    stale-cache baselines (whose caches the checkpoint must carry)."""
+    d_full, d_split = tmp_path / "full", tmp_path / "split"
+    full = train(
+        system, tiny_dataset, tiny_book, "2M-2D",
+        _cfg(checkpoint_dir=str(d_full)),
+    )
+    part1 = train(
+        system, tiny_dataset, tiny_book, "2M-2D",
+        _cfg(epochs=3, checkpoint_dir=str(d_split)),
+    )
+    part2 = train(
+        system, tiny_dataset, tiny_book, "2M-2D",
+        _cfg(checkpoint_dir=str(d_split), resume=True),
+    )
+    assert part2.start_epoch == 3
+    assert part1.curve_loss + part2.curve_loss == full.curve_loss
+    assert part1.wire_bytes_total + part2.wire_bytes_total == full.wire_bytes_total
+    # Final parameters and Adam slots carry the whole gradient history:
+    # equality here means every gradient along the way was identical too.
+    _assert_states_bitwise_equal(_final_state(d_full), _final_state(d_split))
+
+
+def test_crash_mid_run_then_resume_is_bitwise_identical(
+    tmp_path, tiny_dataset, tiny_book
+):
+    """The real interruption shape: an injected job fault crashes training
+    mid-epoch; the checkpoints already on disk restart it bitwise."""
+    d_full, d_crash = tmp_path / "full", tmp_path / "crash"
+    full = train(
+        "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D",
+        _cfg(checkpoint_dir=str(d_full)),
+    )
+    with pytest.raises(RuntimeError, match="injected transport job fault"):
+        train(
+            "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D",
+            _cfg(checkpoint_dir=str(d_crash), transport="sync"),
+            fault_plan=FaultPlan.parse(["error:fwd/L0@3"]),
+        )
+    assert latest_checkpoint_epoch(d_crash) == 3  # epochs 0..2 landed
+    resumed = train(
+        "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D",
+        _cfg(checkpoint_dir=str(d_crash), resume=True),
+    )
+    assert resumed.start_epoch == 3
+    assert resumed.curve_loss == full.curve_loss[3:]
+    _assert_states_bitwise_equal(_final_state(d_full), _final_state(d_crash))
+
+
+def test_double_restore_from_same_checkpoint_dir(
+    tmp_path, tiny_dataset, tiny_book
+):
+    """Satellite (c): restoring twice from one checkpoint set (a crashed
+    resume, re-resumed) yields identical runs — restore mutates nothing.
+    The second resume runs against a pristine copy because a completed
+    resume legitimately extends its own directory with newer epochs."""
+    import shutil
+
+    d1 = tmp_path / "a"
+    train(
+        "adaqp", tiny_dataset, tiny_book, "2M-2D",
+        _cfg(epochs=3, checkpoint_dir=str(d1)),
+    )
+    frozen = _final_state(d1)
+    d2 = tmp_path / "b"
+    shutil.copytree(d1, d2)
+    runs = [
+        train(
+            "adaqp", tiny_dataset, tiny_book, "2M-2D",
+            _cfg(checkpoint_dir=str(d), resume=True),
+        )
+        for d in (d1, d2)
+    ]
+    assert runs[0].curve_loss == runs[1].curve_loss
+    assert runs[0].start_epoch == runs[1].start_epoch == 3
+    # The epoch-3 checkpoint itself was never rewritten differently.
+    _assert_states_bitwise_equal(frozen, load_checkpoint(d1, epoch=3))
+
+
+def test_resume_from_empty_dir_is_a_fresh_start(
+    tmp_path, tiny_dataset, tiny_book
+):
+    clean = train(
+        "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D", _cfg(epochs=2)
+    )
+    resumed = train(
+        "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D",
+        _cfg(epochs=2, checkpoint_dir=str(tmp_path / "empty"), resume=True),
+    )
+    assert resumed.start_epoch == 0
+    assert resumed.curve_loss == clean.curve_loss
+
+
+# ----------------------------------------------------------------------
+# Restore-time validation
+# ----------------------------------------------------------------------
+def test_restore_rejects_mismatched_model(tmp_path, tiny_dataset, tiny_book):
+    from repro.cluster.cluster import Cluster
+    from repro.nn.optim import Adam
+
+    train(
+        "adaqp-fixed", tiny_dataset, tiny_book, "2M-2D",
+        _cfg(epochs=2, checkpoint_dir=str(tmp_path)),
+    )
+    state = _final_state(tmp_path)
+    with Cluster(tiny_dataset, tiny_book, hidden_dim=16) as cluster:
+        opts = [Adam(d.model.parameters()) for d in cluster.devices]
+        from repro.cluster.exchange import ExactHaloExchange
+
+        with pytest.raises(ValueError, match="dims"):
+            restore_state(state, cluster, opts, ExactHaloExchange())
+
+
+def test_capture_does_not_alias_live_state(tiny_dataset, tiny_book):
+    """A snapshot must stay frozen while training continues past it."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.exchange import ExactHaloExchange
+    from repro.nn.optim import Adam
+
+    with Cluster(tiny_dataset, tiny_book, hidden_dim=8) as cluster:
+        opts = [Adam(d.model.parameters()) for d in cluster.devices]
+        exchange = ExactHaloExchange()
+        state = capture_state(cluster, opts, exchange, epoch=1)
+        before = {k: v.copy() for k, v in state.model.items()}
+        cluster.train_epoch(exchange, 0)
+        for opt in opts:
+            opt.step()
+        for name in before:
+            np.testing.assert_array_equal(state.model[name], before[name])

@@ -1,0 +1,371 @@
+"""Fault injection (ISSUE 9): spec grammar, wire-path hooks, recovery.
+
+The contract under test is ROADMAP item 4's strong form: every injected
+fault either recovers to the **bitwise-identical** training result
+(keyed-replay regeneration, pool respawn, slab repair) or fails fast with
+a typed :class:`TransportError` — no hangs, no silent corruption.
+
+Layout: unit tests for the grammar and each transport-level injection
+point first, then the training-level recovery matrix (one test per fault
+kind, each comparing a faulted run against its clean twin), then the
+teardown-under-failure pins.
+"""
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.comm.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.comm.process import ProcessTransport, _attach_segment
+from repro.comm.transport import (
+    SyncTransport,
+    TransportError,
+    WorkerTransport,
+)
+from repro.core.config import RunConfig
+from repro.core.trainer import train
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+def test_fault_spec_parse_full_grammar():
+    spec = FaultSpec.parse("drop:fwd/L1@2:src=0,dst=1")
+    assert spec == FaultSpec("drop", tag="fwd/L1", epoch=2, src=0, dst=1)
+    assert FaultSpec.parse("duplicate:bwd/L0") == FaultSpec(
+        "duplicate", tag="bwd/L0"
+    )
+    assert FaultSpec.parse("stall:fwd/L0@1:delay=0.25") == FaultSpec(
+        "stall", tag="fwd/L0", epoch=1, delay_s=0.25
+    )
+    assert FaultSpec.parse("kill_worker") == FaultSpec("kill_worker")
+    assert FaultSpec.parse("poison:fwd/L0:count=3").count == 3
+    # The tag wildcard is the default, spelled "*" explicitly too.
+    assert FaultSpec.parse("error:*@4").tag == "*"
+
+
+def test_fault_spec_parse_errors():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec.parse("meteor:fwd/L0")
+    with pytest.raises(ValueError, match="unknown fault option"):
+        FaultSpec.parse("drop:fwd/L0:sev=9")
+    with pytest.raises(ValueError, match="bad fault option"):
+        FaultSpec.parse("drop:fwd/L0:src=0:oops")
+    with pytest.raises(ValueError, match="count must be >= 1"):
+        FaultSpec(kind="drop", count=0)
+    with pytest.raises(ValueError, match="empty fault spec"):
+        FaultSpec.parse("  ")
+    assert set(FAULT_KINDS) == {
+        "drop", "duplicate", "stall", "error", "kill_worker", "poison",
+    }
+
+
+def test_fault_plan_take_is_epoch_scoped_and_counted():
+    plan = FaultPlan.parse(["drop:fwd/L1@2:count=2", "stall:*"])
+    # Wrong epoch: nothing fires.
+    plan.set_epoch(0)
+    assert plan.take("drop", "fwd/L1") is None
+    # Right epoch: fires exactly count times, and the log records it.
+    plan.set_epoch(2)
+    assert plan.take("drop", "fwd/L1", 0, 1) is not None
+    assert plan.take("drop", "fwd/L1") is not None
+    assert plan.take("drop", "fwd/L1") is None
+    assert plan.log == [(2, "drop", "fwd/L1", 0, 1), (2, "drop", "fwd/L1", None, None)]
+    # The wildcard stall matches any tag in any epoch, once.
+    assert plan.on_job("bwd/L9") is not None
+    assert plan.on_job("bwd/L9") is None
+    assert plan.armed() == []
+
+
+# ----------------------------------------------------------------------
+# Transport-level injection points
+# ----------------------------------------------------------------------
+def test_drop_accounts_bytes_but_never_delivers():
+    t = SyncTransport(2)
+    t.fault_plan = FaultPlan.parse(["drop:s:src=0,dst=1"])
+    t.post(0, 1, "s", "lost", 100)
+    t.post(1, 0, "s", "kept", 100)
+    # The envelope *left* the sender: wire accounting is identical to a
+    # clean run (what keeps faulted runs byte-comparable) ...
+    np.testing.assert_array_equal(
+        t.bytes_matrix("s"), np.array([[0, 100], [100, 0]])
+    )
+    # ... but the payload never landed.
+    assert t.collect(1, "s") == {}
+    assert t.collect(0, "s") == {1: "kept"}
+    assert t.fault_stats["dropped"] == 1
+
+
+def test_duplicate_is_rejected_by_mailbox_idempotency():
+    t = SyncTransport(2)
+    t.fault_plan = FaultPlan.parse(["duplicate:s"])
+    t.post(0, 1, "s", "once", 10)
+    assert t.collect(1, "s") == {0: "once"}  # delivered exactly once
+    assert t.fault_stats["duplicates_rejected"] == 1
+
+
+def test_sync_error_fault_raises_typed():
+    t = SyncTransport(2)
+    t.fault_plan = FaultPlan.parse(["error:s"])
+    with pytest.raises(RuntimeError, match="injected transport job fault"):
+        t.defer("s", lambda: None)
+    # Disarmed after one shot: the next job runs clean.
+    ran = []
+    t.defer("s", lambda: ran.append(True))
+    assert ran == [True]
+
+
+def test_worker_stall_blows_completion_deadline():
+    t = WorkerTransport(2, workers=1)
+    t.timeout_s = 0.2
+    t.fault_plan = FaultPlan.parse(["stall:s:delay=30"])
+    try:
+        t.defer("s", lambda: None)
+        with pytest.raises(TransportError, match=r"tag 's' missed its 0.2s"):
+            t.complete("s")
+    finally:
+        t.close()
+
+
+def test_worker_complete_timeout_names_tag_and_outstanding():
+    """Satellite (a): the deadline error is actionable — it names the tag
+    and how many jobs were still outstanding."""
+    t = WorkerTransport(2, workers=1)
+    t.timeout_s = 0.1
+    try:
+        t.defer("fwd/L1", lambda: time.sleep(5))
+        t.defer("fwd/L1", lambda: None)
+        with pytest.raises(TransportError) as err:
+            t.complete("fwd/L1")
+        msg = str(err.value)
+        assert "fwd/L1" in msg and "outstanding" in msg
+    finally:
+        t.close()
+
+
+def test_worker_no_timeout_waits_for_slow_jobs():
+    t = WorkerTransport(2, workers=1)  # timeout_s defaults to None
+    try:
+        done = []
+        t.defer("s", lambda: (time.sleep(0.3), done.append(True)))
+        t.complete("s")
+        assert done == [True]
+    finally:
+        t.close()
+
+
+# ----------------------------------------------------------------------
+# ProcessTransport: kills, respawns, exit audit, teardown under failure
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _FillJob:
+    segment: str
+    offset: int
+    count: int
+    value: int
+
+    def run(self, segments, cache):
+        seg = _attach_segment(segments, self.segment)
+        buf = np.frombuffer(seg.buf, dtype=np.uint8)
+        buf[self.offset : self.offset + self.count] = self.value
+
+
+@dataclass(frozen=True)
+class _SleepJob:
+    delay_s: float
+
+    def run(self, segments, cache):
+        time.sleep(self.delay_s)
+
+
+def test_process_kill_worker_respawns_and_completes():
+    # A single worker makes the respawn structurally required: with the
+    # lone worker dead no result can ever arrive, so the heartbeat MUST
+    # notice and rebuild the pool.  (With a 2-worker pool the survivor
+    # can drain the whole wave before the result queue ever goes empty —
+    # a legitimate recovery with zero respawns — which made this assert
+    # a coin-flip on which worker held the task-queue lock at SIGKILL.)
+    t = ProcessTransport(2, workers=1)
+    t.fault_plan = FaultPlan.parse(["kill_worker:s"])
+    try:
+        t.start()
+        segment, offset, view = t.step_buffer("s", 64)
+        for i in range(4):
+            t.submit("s", _FillJob(segment, offset + i, 1, 9))
+        t.complete("s")  # the respawned pool resubmits the in-flight jobs
+        np.testing.assert_array_equal(view[:4], np.full(4, 9, np.uint8))
+        assert t.fault_stats["workers_killed"] == 1
+        assert t.respawns >= 1
+    finally:
+        t.close()
+    # Satellite (b): the SIGKILLed worker is an *abnormal* exit — close's
+    # exit audit surfaces it; the respawn-terminated replacement is not.
+    health = t.transport_health()
+    assert health["respawns"] == t.respawns
+    assert len(health["abnormal_exits"]) >= 1
+    assert any(e["exitcode"] == -signal.SIGKILL for e in health["abnormal_exits"])
+
+
+def test_process_respawn_budget_escalates_to_transport_error():
+    t = ProcessTransport(2, workers=1)
+    t.fault_plan = FaultPlan.parse(["kill_worker:s"])
+    t.max_respawns = 0
+    try:
+        t.start()
+        segment, offset, _ = t.step_buffer("s", 64)
+        t.submit("s", _FillJob(segment, offset, 1, 1))
+        with pytest.raises(TransportError, match="respawn budget"):
+            t.complete("s")
+    finally:
+        t.close()
+
+
+def test_process_stall_blows_deadline_with_typed_error():
+    t = ProcessTransport(2, workers=1)
+    t.timeout_s = 0.3
+    t.fault_plan = FaultPlan.parse(["stall:s:delay=30"])
+    try:
+        t.start()
+        segment, offset, _ = t.step_buffer("s", 64)
+        t.submit("s", _FillJob(segment, offset, 1, 1))
+        with pytest.raises(TransportError, match="missed its 0.3s"):
+            t.complete("s")
+    finally:
+        t.close()
+
+
+def test_close_mid_wave_with_dead_worker():
+    """Satellite (c): close() with a wave still in flight *and* a freshly
+    SIGKILLed worker must return (no hang) and unlink every slab."""
+    t = ProcessTransport(2, workers=2)
+    t.start()
+    segment, offset, _ = t.step_buffer("s", 256)
+    for _ in range(3):
+        t.submit("s", _SleepJob(0.2))
+    os.kill(t._procs[0].pid, signal.SIGKILL)
+    t.close()  # never called complete(); must still tear down
+    t.close()  # idempotent
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=segment)
+    assert any(not e["expected"] for e in t.exit_report)
+
+
+def test_shm_finalizer_after_sigkill_during_complete():
+    """Satellite (c): even when complete() dies on the respawn budget and
+    close() never runs, the finalizer backstop unlinks the slabs."""
+    t = ProcessTransport(2, workers=1)
+    t.max_respawns = 0
+    t.start()
+    segment, offset, _ = t.step_buffer("s", 64)
+    t.submit("s", _SleepJob(5.0))
+    os.kill(t._procs[0].pid, signal.SIGKILL)
+    with pytest.raises(TransportError, match="respawn budget"):
+        t.complete("s")
+    t._finalizer()  # what interpreter teardown would invoke
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=segment)
+
+
+# ----------------------------------------------------------------------
+# Training-level recovery matrix: every fault either recovers bitwise or
+# fails fast with a typed error.
+# ----------------------------------------------------------------------
+def _run(tiny_dataset, tiny_book, *, faults=None, system="adaqp-fixed", **overrides):
+    cfg = RunConfig(
+        epochs=3, hidden_dim=8, eval_every=3, reassign_period=2, **overrides
+    )
+    plan = None if faults is None else FaultPlan.parse(faults)
+    result = train(system, tiny_dataset, tiny_book, "2M-2D", cfg, fault_plan=plan)
+    return result, plan
+
+
+def test_drop_recovers_bitwise_via_keyed_replay(tiny_dataset, tiny_book):
+    clean, _ = _run(tiny_dataset, tiny_book, transport="sync")
+    faulted, plan = _run(
+        tiny_dataset,
+        tiny_book,
+        transport="sync",
+        faults=["drop:fwd/L1@1:src=0,dst=1", "drop:bwd/L0@2"],
+    )
+    assert len(plan.log) == 2  # the scripted faults actually fired
+    assert faulted.curve_loss == clean.curve_loss
+    assert faulted.wire_bytes_total == clean.wire_bytes_total
+    assert faulted.transport_health["fault_stats"]["replays"] == 2
+
+
+def test_duplicate_is_a_bitwise_noop(tiny_dataset, tiny_book):
+    clean, _ = _run(tiny_dataset, tiny_book, transport="sync")
+    faulted, plan = _run(
+        tiny_dataset, tiny_book, transport="sync", faults=["duplicate:fwd/L0@1"]
+    )
+    assert len(plan.log) == 1
+    assert faulted.curve_loss == clean.curve_loss
+    assert faulted.transport_health["fault_stats"]["duplicates_rejected"] == 1
+
+
+def test_drop_fails_fast_on_non_replayable_exchange(tiny_dataset, tiny_book):
+    """The exact exchange has no replay path: a dropped envelope must be a
+    typed error naming the missing sources, not a silently-wrong epoch."""
+    with pytest.raises(TransportError, match="missing envelope"):
+        _run(
+            tiny_dataset,
+            tiny_book,
+            system="vanilla",
+            transport="sync",
+            faults=["drop:fwd/L1@1"],
+        )
+
+
+def test_stall_fails_fast_with_typed_error(tiny_dataset, tiny_book):
+    with pytest.raises(TransportError, match="missed its"):
+        _run(
+            tiny_dataset,
+            tiny_book,
+            transport="worker:1",
+            transport_timeout_s=0.3,
+            faults=["stall:fwd/L1@1:delay=30"],
+        )
+
+
+def test_kill_worker_recovers_bitwise_under_process_transport(
+    tiny_dataset, tiny_book
+):
+    clean, _ = _run(tiny_dataset, tiny_book, transport="process:2")
+    faulted, plan = _run(
+        tiny_dataset,
+        tiny_book,
+        transport="process:2",
+        faults=["kill_worker:fwd/L1@1"],
+    )
+    assert len(plan.log) == 1
+    assert faulted.curve_loss == clean.curve_loss
+    assert faulted.wire_bytes_total == clean.wire_bytes_total
+    health = faulted.transport_health
+    assert health["fault_stats"]["workers_killed"] == 1
+    # Two legitimate recovery modes, decided by which worker held the
+    # task-queue lock at SIGKILL: the heartbeat notices a starved queue
+    # and respawns the pool, OR the surviving worker absorbs the whole
+    # run and no respawn is ever needed.  Either way the dead worker
+    # shows up in close()'s exit audit and the result is bitwise clean
+    # (respawn-when-required is pinned by the single-worker unit test).
+    assert len(health["abnormal_exits"]) >= 1
+
+
+def test_poison_is_detected_and_repaired_bitwise(tiny_dataset, tiny_book):
+    clean, _ = _run(tiny_dataset, tiny_book, transport="process:2")
+    faulted, plan = _run(
+        tiny_dataset,
+        tiny_book,
+        transport="process:2",
+        faults=["poison:fwd/L1@1"],
+    )
+    assert len(plan.log) == 1
+    assert faulted.curve_loss == clean.curve_loss
+    stats = faulted.transport_health["fault_stats"]
+    assert stats["slabs_poisoned"] == 1
+    assert stats["slab_repairs"] == 1

@@ -81,6 +81,51 @@ def test_train_adaqp_prints_bits(capsys):
     assert "bit-width histogram" in capsys.readouterr().out
 
 
+def test_train_checkpoint_kill_resume_smoke(capsys, tmp_path):
+    """ISSUE 9's CLI smoke: checkpoint a short run, 'kill' it (stop at an
+    epoch boundary), resume with a fault injected — final losses match a
+    clean uninterrupted run bitwise, and `repro info` reports the
+    transport health of the last run."""
+    base = [
+        "train", "--system", "adaqp-fixed", "--dataset", "yelp",
+        "--setting", "2M-2D", "--hidden", "8", "--transport", "sync",
+    ]
+    assert main(base + ["--epochs", "4"]) == 0
+    clean_out = capsys.readouterr().out
+    clean_final = [
+        line for line in clean_out.splitlines() if "final val accuracy" in line
+    ]
+
+    ck = str(tmp_path / "ck")
+    assert main(base + ["--epochs", "2", "--checkpoint-dir", ck]) == 0
+    capsys.readouterr()
+    code = main(
+        base
+        + [
+            "--epochs", "4", "--checkpoint-dir", ck, "--resume",
+            "--inject-fault", "drop:fwd/L1@2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "resumed from checkpoint at epoch 2" in out
+    assert "fault counters" in out and "replays" in out
+    # The interrupted + resumed + faulted run ends where the clean one did.
+    assert clean_final and all(line in out for line in clean_final)
+
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "last run: adaqp-fixed on yelp" in out
+    assert "all workers exited cleanly" in out
+
+
+def test_train_fault_flag_validation(capsys):
+    assert main(["train", "--inject-fault", "meteor:x"]) == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+    assert main(["train", "--resume"]) == 2
+    assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+
 def test_experiment_command(capsys):
     assert main(["experiment", "table3"]) == 0
     assert "Table 3" in capsys.readouterr().out
