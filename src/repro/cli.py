@@ -6,6 +6,10 @@ Commands
     Version, available datasets, systems and partition settings.
 ``train``
     Train one system on one dataset/setting and print the result summary.
+``prepare``
+    Stream a huge synthetic power-law graph into an on-disk partition
+    store (the out-of-core input of ``train --store``); the full graph is
+    never held in RAM.
 ``partition``
     Partition a dataset and report quality metrics (cut, balance,
     remote-neighbor ratio, marginal fractions).
@@ -78,8 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--dataset", default="ogbn-products",
                          choices=available_datasets("tiny"))
     p_train.add_argument("--scale", default="tiny", choices=("tiny", "small"))
-    p_train.add_argument("--setting", default="2M-2D",
-                         help="cluster topology, e.g. 2M-2D")
+    p_train.add_argument("--setting", default=None,
+                         help="cluster topology, e.g. 2M-2D (default 2M-2D; "
+                              "with --store, one device per stored partition)")
+    p_train.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="train out-of-core from a partition store built by `repro "
+             "prepare` instead of an in-RAM --dataset; features/labels/"
+             "operators stay memmapped and are paged in one device window "
+             "at a time (bit-identical to the in-RAM run of the same store)")
+    p_train.add_argument(
+        "--materialize-store", action="store_true",
+        help="with --store, load every partition fully into RAM instead of "
+             "streaming (the bitwise reference arm of huge-graph mode)")
     p_train.add_argument("--model", default="gcn", choices=("gcn", "sage"))
     p_train.add_argument("--epochs", type=int, default=48)
     p_train.add_argument("--hidden", type=int, default=32)
@@ -148,6 +163,31 @@ def build_parser() -> argparse.ArgumentParser:
              "'drop:fwd/L1@2:src=0,dst=1' or 'kill_worker:*@3' "
              "(fault-tolerance testing; recovery is exercised live)")
 
+    p_prep = sub.add_parser(
+        "prepare",
+        help="stream a huge synthetic graph into an on-disk partition store",
+    )
+    p_prep.add_argument("out", metavar="DIR",
+                        help="store directory to create (must not exist)")
+    p_prep.add_argument("--nodes", type=int, default=1_000_000)
+    p_prep.add_argument("--degree", type=float, default=8.0,
+                        help="average undirected degree (default 8)")
+    p_prep.add_argument("--features", type=int, default=128)
+    p_prep.add_argument("--classes", type=int, default=8)
+    p_prep.add_argument("--communities", type=int, default=32)
+    p_prep.add_argument("--homophily", type=float, default=0.8,
+                        help="fraction of cross-community edges suppressed "
+                             "(default 0.8)")
+    p_prep.add_argument("--locality", type=float, default=0.9,
+                        help="ring locality of cross-community edges; higher "
+                             "values shrink every partition's halo (default "
+                             "0.9)")
+    p_prep.add_argument("--parts", type=int, default=8,
+                        help="partition count == training device count")
+    p_prep.add_argument("--model", default="gcn", choices=("gcn", "sage"),
+                        help="aggregation operator baked into the store")
+    p_prep.add_argument("--seed", type=int, default=0)
+
     p_part = sub.add_parser("partition", help="partition a dataset, report quality")
     p_part.add_argument("--dataset", default="ogbn-products",
                         choices=available_datasets("tiny"))
@@ -207,6 +247,7 @@ def _write_health_report(result) -> None:
 
 
 def _cmd_info() -> int:
+    from repro.cluster.memory import host_memory
     from repro.comm.transport import (
         detected_cores,
         host_has_spare_core,
@@ -233,6 +274,12 @@ def _cmd_info() -> int:
     )
     print(f"host:     {cores} core(s) detected; spare core for transport "
           f"workers: {verdict} ({spare} spare)")
+    hm = host_memory()
+    if hm is not None:
+        print(f"memory:   {hm.total_bytes / 2**30:.1f} GiB total, "
+              f"{hm.available_bytes / 2**30:.1f} GiB available "
+              "(huge-graph runs warn when the estimated working set "
+              "exceeds this)")
     print(f"backends: {', '.join(available_backends())} "
           "(select with --transport backend[:workers])")
     print(f"defaults: rng_mode={cfg.rng_mode}; transport={cfg.transport} — "
@@ -325,9 +372,33 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
 
-    topology = parse_topology(args.setting)
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    book = partition_graph(ds.graph, topology.num_devices, method="metis", seed=args.seed)
+    if args.store is not None:
+        from repro.graph.io import PartitionStore
+
+        try:
+            store = PartitionStore.open(args.store)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        setting = args.setting or f"{store.num_parts}M-1D"
+        topology = parse_topology(setting)
+        if topology.num_devices != store.num_parts:
+            print(
+                f"error: setting {setting} has {topology.num_devices} devices "
+                f"but the store holds {store.num_parts} partitions",
+                file=sys.stderr,
+            )
+            return 2
+        ds = store.dataset(materialize=args.materialize_store)
+        book = store.book()
+        dataset_label = f"store:{args.store}"
+    else:
+        topology = parse_topology(args.setting or "2M-2D")
+        ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        book = partition_graph(
+            ds.graph, topology.num_devices, method="metis", seed=args.seed
+        )
+        dataset_label = f"{args.dataset}-{args.scale}"
     cfg = RunConfig(
         model_kind=args.model,
         hidden_dim=args.hidden,
@@ -351,7 +422,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cfg = cfg.with_overrides(pipeline_depth=args.pipeline_depth)
     if args.transport_timeout is not None:
         cfg = cfg.with_overrides(transport_timeout_s=args.transport_timeout)
-    print(f"training {args.system} / {args.model} on {args.dataset}-{args.scale} "
+    print(f"training {args.system} / {args.model} on {dataset_label} "
           f"({topology.name}, {args.epochs} epochs)...")
     try:
         result = train(args.system, ds, book, topology, cfg, fault_plan=fault_plan)
@@ -398,6 +469,54 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"{health.get('respawns', 0)} pool respawn(s); "
             f"fault counters: {faults or '{}'}"
         )
+    return 0
+
+
+def _cmd_prepare(args: argparse.Namespace) -> int:
+    from repro.graph.generators import HugeGraphConfig
+    from repro.graph.io import build_partition_store
+
+    out = Path(args.out)
+    if (out / "header.json").exists():
+        print(f"error: {out} already holds a partition store", file=sys.stderr)
+        return 2
+    cfg = HugeGraphConfig(
+        num_nodes=args.nodes,
+        avg_degree=args.degree,
+        num_features=args.features,
+        num_classes=args.classes,
+        num_communities=args.communities,
+        homophily=args.homophily,
+        neighbor_locality=args.locality,
+    )
+    store = build_partition_store(
+        cfg, args.parts, out, seed=args.seed, agg_kind=args.model,
+        progress=print,
+    )
+    sizes = np.diff(store.part_bounds).tolist()
+    halos = [
+        int(entry["regions"]["halo_global"]["shape"][0])
+        for entry in store.header["partitions"]
+    ]
+    disk = sum(f.stat().st_size for f in out.iterdir() if f.is_file())
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["store", str(out)],
+                ["nodes / directed edges",
+                 f"{store.num_nodes} / {store.num_directed_edges}"],
+                ["features / classes",
+                 f"{args.features} / {args.classes}"],
+                ["parts", f"{store.num_parts} "
+                 f"(sizes {min(sizes)}..{max(sizes)})"],
+                ["halo rows / part", f"{min(halos)}..{max(halos)}"],
+                ["on disk", f"{disk / 1e9:.2f} GB"],
+            ],
+        )
+    )
+    print(f"train with: repro train --store {out} "
+          f"--setting {store.num_parts}M-1D")
     return 0
 
 
@@ -483,6 +602,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_info()
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "prepare":
+        return _cmd_prepare(args)
     if args.command == "partition":
         return _cmd_partition(args)
     if args.command == "experiment":

@@ -38,9 +38,10 @@ from repro.comm.transports import TransportSpec, create_transport, resolve_spec
 from repro.gnn.coefficients import build_aggregation
 from repro.gnn.model import MODEL_KINDS, DistGNN
 from repro.graph.datasets import GraphDataset
+from repro.graph.io import StoreDataset
 from repro.graph.partition.book import PartitionBook, build_local_partitions
 from repro.nn.losses import bce_with_logits_loss, softmax_cross_entropy
-from repro.nn.metrics import task_metric
+from repro.nn.metrics import metric_counts, metric_from_counts, task_metric
 from repro.utils.seed import RngPool
 from repro.utils.validation import check_in_set
 
@@ -147,7 +148,15 @@ class Cluster:
         self.num_devices = book.num_parts
         self.seed = int(seed)
         self.pool = RngPool(seed).fork("cluster")
-        self.global_train_count = int(dataset.train_mask.sum())
+        # Store-backed (huge-graph) datasets carry no global arrays — the
+        # partitions, operators and attribute slices come pre-built from
+        # the on-disk PartitionStore as (typically memmapped) regions.
+        store_ds = dataset if isinstance(dataset, StoreDataset) else None
+        self._store_dataset = store_ds
+        if store_ds is not None:
+            self.global_train_count = int(store_ds.global_train_count)
+        else:
+            self.global_train_count = int(dataset.train_mask.sum())
         # Everything repartition() needs to rebuild this cluster around a
         # new PartitionBook (the dataset and book are passed fresh).
         self._ctor = dict(
@@ -170,14 +179,51 @@ class Cluster:
         ]
         self.dims = dims
 
-        degrees = dataset.graph.degrees.astype(np.float64)
-        parts = build_local_partitions(dataset.graph, book)
         agg_kind = "gcn" if model_kind == "gcn" else "sage"
+        if store_ds is not None:
+            store = store_ds.store
+            if book.num_parts != store.num_parts:
+                raise ValueError(
+                    f"partition book has {book.num_parts} parts but the store"
+                    f" was built for {store.num_parts}"
+                )
+            if store.agg_kind != agg_kind:
+                raise ValueError(
+                    f"store was prepared with agg_kind={store.agg_kind!r};"
+                    f" model_kind={model_kind!r} needs {agg_kind!r}"
+                )
+            store_parts = [
+                store.partition(p, materialize=store_ds.materialize)
+                for p in range(store.num_parts)
+            ]
+            device_data = [
+                (sp.part, sp.agg, sp.features, sp.labels,
+                 sp.train_mask, sp.val_mask, sp.test_mask)
+                for sp in store_parts
+            ]
+            self._stream_ops = [sp.ops for sp in store_parts]
+        else:
+            degrees = dataset.graph.degrees.astype(np.float64)
+            parts = build_local_partitions(dataset.graph, book)
+            device_data = []
+            for part in parts:
+                owned = part.owned_global
+                device_data.append(
+                    (
+                        part,
+                        build_aggregation(part, degrees, agg_kind),
+                        dataset.features[owned],
+                        dataset.labels[owned],
+                        dataset.train_mask[owned],
+                        dataset.val_mask[owned],
+                        dataset.test_mask[owned],
+                    )
+                )
+            self._stream_ops = None
 
         self.devices: list[DeviceRuntime] = []
         weight_seed_pool = self.pool.fork("weights")
-        for part in parts:
-            agg = build_aggregation(part, degrees, agg_kind)
+        for part, agg, features, labels, train_m, val_m, test_m in device_data:
             # Every replica consumes the *same* weight stream so replicas
             # start bit-identical without any broadcast.
             weight_rng = weight_seed_pool.fork("shared").get("init")
@@ -189,18 +235,17 @@ class Cluster:
                 weight_rng=weight_rng,
                 dropout_rng=self.pool.device(part.part_id, "dropout"),
             )
-            owned = part.owned_global
             self.devices.append(
                 DeviceRuntime(
                     rank=part.part_id,
                     part=part,
                     agg=agg,
                     model=model,
-                    features=dataset.features[owned],
-                    labels=dataset.labels[owned],
-                    train_mask=dataset.train_mask[owned],
-                    val_mask=dataset.val_mask[owned],
-                    test_mask=dataset.test_mask[owned],
+                    features=features,
+                    labels=labels,
+                    train_mask=train_m,
+                    val_mask=val_m,
+                    test_mask=test_m,
                 )
             )
 
@@ -219,13 +264,17 @@ class Cluster:
 
         # The fused engine's step plan (operators, stacked buffers, views)
         # is static across epochs, so it is built once and lazily; the
-        # per-phase FLOP-accounting arrays are likewise cached.
-        self.fused_compute = bool(fused_compute)
+        # per-phase FLOP-accounting arrays are likewise cached.  Store
+        # datasets always run the fused engine in streaming shape — the
+        # legacy per-device loop has no paging discipline.
+        self.fused_compute = bool(fused_compute) or store_ds is not None
         # The split-phase pipeline is an execution shape of the fused
         # engine; without it there is nothing to split, so the knob
         # degrades to off rather than erroring (the legacy loop remains a
-        # pure escape hatch).
-        self.overlap = bool(overlap) and self.fused_compute
+        # pure escape hatch).  Streaming mode likewise degrades it: the
+        # pipeline's row-split operators presuppose the materialized
+        # block-diagonal matrix.
+        self.overlap = bool(overlap) and self.fused_compute and store_ds is None
         if pipeline_depth not in (1, 2):
             raise ValueError("pipeline_depth must be 1 or 2")
         # Cross-step lookahead is an execution shape of the split-phase
@@ -254,7 +303,7 @@ class Cluster:
     def _compute_engine(self) -> FusedClusterCompute:
         if self._engine is None:
             self._engine = FusedClusterCompute(
-                self.devices, self.dims, self.model_kind
+                self.devices, self.dims, self.model_kind, stream=self._stream_ops
             )
         return self._engine
 
@@ -449,6 +498,12 @@ class Cluster:
         :func:`repro.cluster.checkpoint.restore_state`, whose elastic rule
         starts partition-bound state fresh when the device count changed.
         """
+        if self._store_dataset is not None:
+            raise RuntimeError(
+                "store-backed clusters cannot repartition — the partition"
+                " layout is baked into the on-disk store; rebuild it with"
+                " a different part count instead"
+            )
         kwargs = dict(self._ctor)
         if transport is not None:
             kwargs["transport"] = transport
@@ -480,6 +535,8 @@ class Cluster:
 
     def evaluate(self) -> dict[str, float]:
         """Global metrics on train/val/test splits (paper's 'accuracy')."""
+        if self._store_dataset is not None:
+            return self._evaluate_store()
         logits = self.full_logits()
         ds = self.dataset
         return {
@@ -488,6 +545,43 @@ class Cluster:
             )
             for split in ("train", "val", "test")
         }
+
+    def _evaluate_store(self) -> dict[str, float]:
+        """Split metrics accumulated shard-by-shard (huge-graph path).
+
+        Runs the exact eval-mode forward on the streaming engine and folds
+        each device's logit slice into integer count accumulators
+        (:func:`~repro.nn.metrics.metric_counts`) — both metrics are
+        ratios of summed integer counts, so this equals the global
+        ``task_metric`` value without ever materializing a global label or
+        logits matrix.
+        """
+        devices = self.devices
+        transport = SyncTransport(self.num_devices)
+        for dev in devices:
+            dev.model.eval()
+        engine = self._compute_engine()
+        for layer in range(devices[0].model.num_layers):
+            engine.forward_layer(
+                layer, self._eval_exchange, transport, training=False
+            )
+        for dev in devices:
+            dev.model.train()
+        multilabel = self.dataset.multilabel
+        out: dict[str, float] = {}
+        for split in ("train", "val", "test"):
+            counts = None
+            for k, dev in enumerate(devices):
+                sl = engine.logits[engine.own_off[k] : engine.own_off[k + 1]]
+                shard = metric_counts(
+                    sl,
+                    dev.labels,
+                    getattr(dev, f"{split}_mask"),
+                    multilabel=multilabel,
+                )
+                counts = shard if counts is None else counts + shard
+            out[split] = metric_from_counts(counts, multilabel=multilabel)
+        return out
 
     # ------------------------------------------------------------------
     # Accounting

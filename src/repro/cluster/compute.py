@@ -84,6 +84,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
@@ -93,12 +94,22 @@ from repro.cluster.records import StepTimeline
 from repro.cluster.runtime import DeviceRuntime
 from repro.nn.blas import row_matmul
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.io import DeviceStreamOps
+
 __all__ = [
     "FusedClusterCompute",
     "build_block_diagonal",
     "restrict_rows",
     "OverlapPlan",
 ]
+
+#: Transport tag for streaming-mode page prefetch jobs.  On async backends
+#: the next device's operator/feature pages fault in on a worker while the
+#: main thread runs the current device's spmv/GEMM; synchronous backends
+#: run the touch inline (a strided one-read-per-page scan, cheap next to
+#: the kernels that follow it).
+_PREFETCH_TAG = "stream/prefetch"
 
 try:  # pragma: no cover - import guard
     from scipy.sparse import _sparsetools as _sptools
@@ -272,15 +283,39 @@ class FusedClusterCompute:
         Layer widths ``[in, hidden, ..., out]``.
     model_kind:
         ``"gcn"`` or ``"sage"``.
+    stream:
+        Per-device :class:`~repro.graph.io.DeviceStreamOps` (one per
+        device, rank order) to run in **streaming mode** — the huge-graph
+        execution shape.  The block-diagonal operator is never
+        materialized: aggregation runs device by device as column-split
+        spmv pairs over the store's (typically memmapped) operators, the
+        layer-0 input buffer shrinks to its halo block (owned features
+        are read straight off the device's feature array), and layer 0's
+        backward stops at the parameter partials — input features are not
+        trainable, so the input-gradient GEMM, its routing spmv and the
+        layer-0 gradient exchange are skipped (the only wire-byte
+        difference from the standard engine; losses are unchanged).
+        Each device's pages are released after use and the next device's
+        are prefetched under the current kernels, bounding the resident
+        window to roughly one partition.  ``None`` (default) selects the
+        standard in-RAM engine.
     """
 
     def __init__(
-        self, devices: list[DeviceRuntime], dims: list[int], model_kind: str
+        self,
+        devices: list[DeviceRuntime],
+        dims: list[int],
+        model_kind: str,
+        *,
+        stream: "list[DeviceStreamOps] | None" = None,
     ) -> None:
         self.devices = devices
         self.dims = list(dims)
         self.model_kind = model_kind
         self.num_layers = len(dims) - 1
+        if stream is not None and len(stream) != len(devices):
+            raise ValueError("stream ops must match devices one-to-one")
+        self.stream = list(stream) if stream is not None else None
 
         n_own = [d.part.n_owned for d in devices]
         n_halo = [d.part.n_halo for d in devices]
@@ -288,12 +323,19 @@ class FusedClusterCompute:
         self.halo_off = np.concatenate([[0], np.cumsum(n_halo)]).astype(np.int64)
         self.total_own = int(self.own_off[-1])
         self.total_halo = int(self.halo_off[-1])
+        self._max_own = int(max(n_own)) if n_own else 0
         n_rows = self.total_own + self.total_halo
 
-        self.matrix = build_block_diagonal(devices)
-        matrix_t = self.matrix.T.tocsr()
-        matrix_t.sort_indices()
-        self.matrix_t = matrix_t
+        if self.stream is None:
+            self.matrix = build_block_diagonal(devices)
+            matrix_t = self.matrix.T.tocsr()
+            matrix_t.sort_indices()
+            self.matrix_t = matrix_t
+        else:
+            # Streaming mode never concatenates the per-device operators:
+            # the store's column/row splits are used in place.
+            self.matrix = None
+            self.matrix_t = None
 
         self._owned_global = np.concatenate(
             [d.part.owned_global for d in devices]
@@ -302,12 +344,47 @@ class FusedClusterCompute:
         L = self.num_layers
         # Layer inputs: [all owned rows][all halo rows] per the operator's
         # column space.  X[0]'s owned region holds the (static) features.
-        self._x = [np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(L)]
-        for k, dev in enumerate(devices):
-            self._x[0][self.own_off[k] : self.own_off[k + 1]] = dev.features
-        self._z = [np.zeros((self.total_own, dims[l]), dtype=np.float32) for l in range(L)]
-        self._dz = [np.zeros((self.total_own, dims[l]), dtype=np.float32) for l in range(L)]
-        self._dx = [np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(L)]
+        # Streaming mode keeps only X[0]'s halo block resident (the
+        # exchange's landing zone); owned features are read off the
+        # device arrays, so the feature-width buffers — the dominant
+        # allocations at huge-graph scale — are never duplicated in RAM.
+        if self.stream is None:
+            self._x0_halo = None
+            self._x = [
+                np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(L)
+            ]
+            for k, dev in enumerate(devices):
+                self._x[0][self.own_off[k] : self.own_off[k + 1]] = dev.features
+            self._z = [
+                np.zeros((self.total_own, dims[l]), dtype=np.float32)
+                for l in range(L)
+            ]
+            self._dz = [
+                np.zeros((self.total_own, dims[l]), dtype=np.float32)
+                for l in range(L)
+            ]
+            self._dx = [
+                np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(L)
+            ]
+        else:
+            self._x0_halo = np.zeros((self.total_halo, dims[0]), dtype=np.float32)
+            self._x = [None] + [
+                np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(1, L)
+            ]
+            # Layer 0's aggregated input lives in a reused (max_own, F)
+            # scratch (recomputed per device in backward); its gradient
+            # buffers are never needed — features are not trainable.
+            self._z = [None] + [
+                np.zeros((self.total_own, dims[l]), dtype=np.float32)
+                for l in range(1, L)
+            ]
+            self._dz = [None] + [
+                np.zeros((self.total_own, dims[l]), dtype=np.float32)
+                for l in range(1, L)
+            ]
+            self._dx = [None] + [
+                np.zeros((n_rows, dims[l]), dtype=np.float32) for l in range(1, L)
+            ]
         self.logits = np.zeros((self.total_own, dims[-1]), dtype=np.float32)
         self._d_logits = np.zeros_like(self.logits)
         if model_kind == "sage":
@@ -315,8 +392,14 @@ class FusedClusterCompute:
                 np.zeros((self.total_own, dims[l + 1]), dtype=np.float32)
                 for l in range(L)
             ]
-            self._d_own = [
-                np.zeros((self.total_own, dims[l]), dtype=np.float32) for l in range(L)
+            d_own0 = (
+                [np.zeros((self.total_own, dims[0]), dtype=np.float32)]
+                if self.stream is None
+                else [None]
+            )
+            self._d_own = d_own0 + [
+                np.zeros((self.total_own, dims[l]), dtype=np.float32)
+                for l in range(1, L)
             ]
         # Post-processing caches (all but the output layer).
         self._x_hat = [
@@ -334,12 +417,25 @@ class FusedClusterCompute:
         self._drop_active = [False] * (L - 1)
 
         # Per-layer, per-device views into the stacked buffers (static).
+        # Streaming layer 0: own views alias the device feature arrays
+        # (the exchange gathers send rows from them directly) and halo
+        # views slice the dedicated halo block.
         self._own_views = [
-            [x[self.own_off[k] : self.own_off[k + 1]] for k in range(len(devices))]
+            [dev.features for dev in devices]
+            if x is None
+            else [
+                x[self.own_off[k] : self.own_off[k + 1]]
+                for k in range(len(devices))
+            ]
             for x in self._x
         ]
         self._halo_views = [
             [
+                self._x0_halo[self.halo_off[k] : self.halo_off[k + 1]]
+                for k in range(len(devices))
+            ]
+            if x is None
+            else [
                 x[
                     self.total_own + self.halo_off[k] : self.total_own
                     + self.halo_off[k + 1]
@@ -397,6 +493,9 @@ class FusedClusterCompute:
 
     def forward_layer(self, layer, exchange, transport, *, training: bool) -> None:
         """Exchange halos, aggregate, and run layer ``layer``'s dense step."""
+        if self.stream is not None:
+            self._forward_layer_stream(layer, exchange, transport, training=training)
+            return
         x = self._x[layer]
         exchange.exchange_embeddings(
             layer,
@@ -422,11 +521,18 @@ class FusedClusterCompute:
             out_own += neigh
         if not mod.has_post_stage:
             return
+        self._forward_post(layer, mod, out_own, training)
 
-        # LayerNorm — row-local, so stacked rows match per-device rows;
-        # the formula lives in LayerNorm.forward_into (single source of
-        # truth with the legacy forward).
-        h = out_own
+    def _forward_post(self, layer: int, mod, h: np.ndarray, training: bool) -> None:
+        """LayerNorm → ReLU → dropout on the stacked owned rows.
+
+        Shared by the standard and streaming forward shapes — every
+        operation is row-local (or, for dropout, drawn per device in rank
+        order via the single ``_sample_dropout`` site), so stacked rows
+        match per-device rows bit for bit whichever shape produced ``h``.
+        """
+        # LayerNorm — the formula lives in LayerNorm.forward_into (single
+        # source of truth with the legacy forward).
         self._inv_std[layer] = mod.norm.forward_into(h, self._x_hat[layer])
 
         # ReLU.
@@ -435,19 +541,121 @@ class FusedClusterCompute:
         h *= relu_mask
 
         # Dropout: masks are drawn per device from that device's stream in
-        # rank order (via _sample_dropout — the single sampling site shared
-        # with the pipelined path, so stream consumption and scaling match
-        # the legacy layer loop bit for bit); the multiply then runs once
-        # on the stacked buffer.
+        # rank order, then the multiply runs once on the stacked buffer.
         self._sample_dropout(layer, mod, training)
         if self._drop_active[layer]:
             h *= self._drop_mask[layer]
+
+    # ------------------------------------------------------------------
+    # Streaming (out-of-core) execution
+    # ------------------------------------------------------------------
+    def _stream_prefetch(self, transport, k: int, *, features: bool) -> None:
+        """Queue a page-fault pass for device ``k+1`` under the current
+        device's kernels (no-op past the last device).
+
+        ``features`` must be True only on the layer-0 loops (the only
+        steps that read the feature regions *and* release them after):
+        faulting features under a hidden-layer step would leave them
+        resident with no release to reclaim them.
+        """
+        if k + 1 < len(self.devices):
+            nxt = self.stream[k + 1]
+            transport.defer(_PREFETCH_TAG, nxt.touch if features else nxt.touch_ops)
+
+    def _forward_layer_stream(
+        self, layer, exchange, transport, *, training: bool
+    ) -> None:
+        """One forward layer against the store: per-device split aggregation.
+
+        Aggregation runs device by device as a column-split spmv pair over
+        the store's operators (``own`` zero-fills, ``halo`` accumulates) —
+        bit-identical to the block-diagonal spmv because scipy accumulates
+        each output row in stored column order and the canonical local
+        ordering puts every owned column before every halo column.  Layer 0
+        reads features straight off the (typically memmapped) device arrays
+        and releases each device's operator + feature pages the moment its
+        rows are consumed, so the resident window stays near one
+        partition's working set; deeper layers release operator pages only
+        (their activations are hidden-width RAM buffers).
+        """
+        devices = self.devices
+        mod = devices[0].model.layers[layer]
+        conv = mod.conv
+        exchange.exchange_embeddings(
+            layer,
+            devices,
+            transport,
+            self._own_views[layer],
+            out=self._halo_views[layer],
+        )
+        out_own = (
+            self.logits if mod.is_output else self._x[layer + 1][: self.total_own]
+        )
+        if layer == 0:
+            # The exchange's boundary-row gather faulted scattered
+            # feature pages across every device; drop them all before the
+            # aggregation loop re-faults one device window at a time.
+            for ops in self.stream:
+                ops.release_feature_pages()
+            zbuf = self._scratch("stream_z0", self._max_own, self.dims[0])
+            for k, dev in enumerate(devices):
+                ops = self.stream[k]
+                self._stream_prefetch(transport, k, features=True)
+                sl = self._own_slice(k)
+                z = zbuf[: dev.part.n_owned]
+                _spmv_into(ops.own, dev.features, z)
+                _spmv_accumulate(ops.halo, self._halo_views[0][k], z)
+                # Per-slice GEMM + bias: row_matmul's row-determinism and
+                # the elementwise bias add make the per-device blocks
+                # bitwise equal to the stacked full-buffer calls.
+                if self.model_kind == "gcn":
+                    row_matmul(z, conv.linear.weight.data, out=out_own[sl])
+                    out_own[sl] += conv.linear.bias.data
+                else:
+                    row_matmul(dev.features, conv.root.weight.data, out=out_own[sl])
+                    out_own[sl] += conv.root.bias.data
+                    neigh = row_matmul(
+                        z, conv.neigh.weight.data, out=self._neigh_out[0][sl]
+                    )
+                    out_own[sl] += neigh
+                ops.release_op_pages()
+                ops.release_feature_pages()
+            transport.complete(_PREFETCH_TAG)
+        else:
+            x = self._x[layer]
+            z = self._z[layer]
+            for k in range(len(devices)):
+                ops = self.stream[k]
+                self._stream_prefetch(transport, k, features=False)
+                sl = self._own_slice(k)
+                _spmv_into(ops.own, x[sl], z[sl])
+                _spmv_accumulate(ops.halo, self._halo_views[layer][k], z[sl])
+                ops.release_op_pages()
+            transport.complete(_PREFETCH_TAG)
+            if self.model_kind == "gcn":
+                row_matmul(z, conv.linear.weight.data, out=out_own)
+                out_own += conv.linear.bias.data
+            else:
+                row_matmul(x[: self.total_own], conv.root.weight.data, out=out_own)
+                out_own += conv.root.bias.data
+                neigh = row_matmul(
+                    z, conv.neigh.weight.data, out=self._neigh_out[layer]
+                )
+                out_own += neigh
+        if not mod.has_post_stage:
+            return
+        self._forward_post(layer, mod, out_own, training)
 
     # ------------------------------------------------------------------
     # Split-phase pipelined execution
     # ------------------------------------------------------------------
     def overlap_plan(self) -> OverlapPlan:
         """The split-phase operators and row sets (built once, cached)."""
+        if self.stream is not None:
+            raise RuntimeError(
+                "the split-phase pipeline needs the block-diagonal operator;"
+                " streaming mode runs non-overlapped"
+            )
         if self._overlap_plan is None:
             # Deferred import: repro.core's package __init__ pulls in the
             # trainer, which imports this module right back.
@@ -867,6 +1075,9 @@ class FusedClusterCompute:
     # ------------------------------------------------------------------
     def backward_layer(self, layer, exchange, transport) -> None:
         """Backprop through layer ``layer`` and route halo gradients."""
+        if self.stream is not None:
+            self._backward_layer_stream(layer, exchange, transport)
+            return
         d_out = self._d
         if d_out is None:
             raise RuntimeError("backward_layer called before epoch_loss")
@@ -919,6 +1130,122 @@ class FusedClusterCompute:
         ]
         exchange.exchange_gradients(
             layer, self.devices, transport, d_halo_views, d_own_views
+        )
+        self._d = d_next
+
+    def _route_gradients_stream(self, d_z, dx, transport) -> None:
+        """``dx = Pᵀ d_z`` via per-device row-split store operators.
+
+        Each output row of the block transpose reads only its own device's
+        ``d_z`` slice (the operator is block-diagonal), and row splits of a
+        CSR spmv are trivially bitwise — so this equals the standard
+        engine's single ``matrix_t`` spmv row for row.
+        """
+        for k in range(len(self.devices)):
+            ops = self.stream[k]
+            self._stream_prefetch(transport, k, features=False)
+            sl = self._own_slice(k)
+            _spmv_into(ops.own_t, d_z[sl], dx[sl])
+            _spmv_into(
+                ops.halo_t,
+                d_z[sl],
+                dx[
+                    self.total_own + self.halo_off[k] : self.total_own
+                    + self.halo_off[k + 1]
+                ],
+            )
+            ops.release_op_pages()
+        transport.complete(_PREFETCH_TAG)
+
+    def _backward_layer_stream(self, layer, exchange, transport) -> None:
+        """Backprop one layer in streaming mode.
+
+        Layers ≥ 1 mirror the standard engine (same partial-accumulation
+        order per parameter) with the routing spmv replaced by
+        :meth:`_route_gradients_stream`.  Layer 0 stops at the parameter
+        partials: input features are not trainable, so the input-gradient
+        GEMM, its routing spmv and the layer-0 gradient exchange are
+        skipped entirely — the only wire-traffic difference from the
+        standard engine (losses and every other step's bytes are
+        unchanged, and keyed rounding makes each step's noise independent
+        of which steps run).  The aggregated layer-0 input ``z`` is
+        recomputed per device from the store — bit-identical to the
+        forward value, since it reruns the identical split spmv on
+        unchanged inputs — instead of keeping an (N, F) buffer resident.
+        """
+        d_out = self._d
+        if d_out is None:
+            raise RuntimeError("backward_layer called before epoch_loss")
+        devices = self.devices
+        mod = devices[0].model.layers[layer]
+
+        if mod.has_post_stage:
+            if self._drop_active[layer]:
+                d_out *= self._drop_mask[layer]
+            d_out *= self._relu_mask[layer]
+            x_hat = self._x_hat[layer]
+            prod = d_out * x_hat
+            for k in range(len(devices)):
+                sl = self._own_slice(k)
+                self._acc_add(mod.norm.gamma, prod[sl].sum(axis=0))
+                self._acc_add(mod.norm.beta, d_out[sl].sum(axis=0))
+            d_out = mod.norm.input_grad(d_out, x_hat, self._inv_std[layer])
+
+        conv = mod.conv
+        if layer == 0:
+            zbuf = self._scratch("stream_z0", self._max_own, self.dims[0])
+            for k, dev in enumerate(devices):
+                ops = self.stream[k]
+                self._stream_prefetch(transport, k, features=True)
+                sl = self._own_slice(k)
+                z = zbuf[: dev.part.n_owned]
+                _spmv_into(ops.own, dev.features, z)
+                _spmv_accumulate(ops.halo, self._halo_views[0][k], z)
+                if self.model_kind == "gcn":
+                    self._acc_add(conv.linear.weight, z.T @ d_out[sl])
+                    self._acc_add(conv.linear.bias, d_out[sl].sum(axis=0))
+                else:
+                    self._acc_add(conv.root.weight, dev.features.T @ d_out[sl])
+                    self._acc_add(conv.root.bias, d_out[sl].sum(axis=0))
+                    self._acc_add(conv.neigh.weight, z.T @ d_out[sl])
+                ops.release_op_pages()
+                ops.release_feature_pages()
+            transport.complete(_PREFETCH_TAG)
+            self._d = None
+            return
+
+        z = self._z[layer]
+        dx = self._dx[layer]
+        if self.model_kind == "gcn":
+            for k in range(len(devices)):
+                sl = self._own_slice(k)
+                self._acc_add(conv.linear.weight, z[sl].T @ d_out[sl])
+                self._acc_add(conv.linear.bias, d_out[sl].sum(axis=0))
+            d_z = row_matmul(d_out, conv.linear.weight.data.T, out=self._dz[layer])
+            self._route_gradients_stream(d_z, dx, transport)
+            d_next = dx[: self.total_own]
+        else:
+            x_own = self._x[layer][: self.total_own]
+            for k in range(len(devices)):
+                sl = self._own_slice(k)
+                self._acc_add(conv.root.weight, x_own[sl].T @ d_out[sl])
+                self._acc_add(conv.root.bias, d_out[sl].sum(axis=0))
+                self._acc_add(conv.neigh.weight, z[sl].T @ d_out[sl])
+            d_next = row_matmul(d_out, conv.root.weight.data.T, out=self._d_own[layer])
+            d_z = row_matmul(d_out, conv.neigh.weight.data.T, out=self._dz[layer])
+            self._route_gradients_stream(d_z, dx, transport)
+            d_next += dx[: self.total_own]
+
+        d_own_views = [d_next[self._own_slice(k)] for k in range(len(devices))]
+        d_halo_views = [
+            dx[
+                self.total_own + self.halo_off[k] : self.total_own
+                + self.halo_off[k + 1]
+            ]
+            for k in range(len(devices))
+        ]
+        exchange.exchange_gradients(
+            layer, devices, transport, d_halo_views, d_own_views
         )
         self._d = d_next
 

@@ -10,22 +10,55 @@ The estimator is analytic (counts, not allocation tracking): given a
 cluster it reports, per device, the bytes of features, per-layer
 activations, halo buffers and model parameters/gradients — and the epoch
 wire volume for comparison.
+
+Beyond the footnote-1 data counts, the footprint also models the
+*resident working set* the training process actually holds:
+
+* the fused engine's stacked activation/gradient buffers (both the
+  standard in-RAM shape and the streaming huge-graph shape, which drops
+  the layer-0 feature-width buffers);
+* the exchange's decode workspaces — an A/B pair per receiving rank
+  since the two-deep pipeline (PR 8), so the halo-row scratch counts
+  twice;
+* the process transport's shared-memory ring slabs (two step records per
+  in-flight tag, sized here at the full-precision upper bound);
+* the memmap window a streaming device faults in (its operator blocks
+  plus feature/label regions) — of which only the current and prefetched
+  device's windows are resident at once.
+
+:func:`estimate_peak_resident` folds these into one cluster-wide
+peak-RSS prediction, cross-checked against measured ``ru_maxrss`` by the
+``bench_huge_graph`` perf entry; :func:`host_memory` reads the host's
+total/available RAM so the CLI can warn before a job that cannot fit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.cluster.cluster import Cluster
 
-__all__ = ["MemoryFootprint", "estimate_memory"]
+__all__ = [
+    "HostMemory",
+    "MemoryFootprint",
+    "estimate_memory",
+    "estimate_peak_resident",
+    "host_memory",
+]
 
 _F32 = 4  # bytes per float32 element
 
 
 @dataclass(frozen=True)
 class MemoryFootprint:
-    """Analytic per-device byte counts for one training job."""
+    """Analytic per-device byte counts for one training job.
+
+    The first five fields are the paper's footnote-1 data counts (what
+    the device's share of the graph *is*); the remaining fields model
+    what the process actually keeps resident to train on it, which
+    differs per execution mode — see :attr:`resident_bytes`.
+    """
 
     device: int
     feature_bytes: int
@@ -33,6 +66,26 @@ class MemoryFootprint:
     halo_buffer_bytes: int  # receive buffers across layers
     model_param_bytes: int
     model_grad_bytes: int
+    #: exchange decode scratch: an A/B workspace pair per receiving rank
+    #: (two steps may be in flight since the two-deep pipeline), so the
+    #: widest halo-row buffer counts twice.
+    decode_workspace_bytes: int = 0
+    #: process-transport shared-memory rings: two step records per tag,
+    #: sized at the full-precision (32-bit) upper bound.  Zero for
+    #: thread/sync transports.
+    shm_slab_bytes: int = 0
+    #: the fused engine's stacked buffers attributable to this device's
+    #: rows (activations, aggregation outputs, gradients, logits, masks).
+    #: Zero for the legacy per-device executor.
+    stacked_buffer_bytes: int = 0
+    #: bytes of store-backed memmap regions this device faults in while
+    #: its kernels run (CSR operator blocks + features + labels).  Only
+    #: meaningful in streaming mode; pages are released after use, so at
+    #: most two devices' windows (current + prefetch) are resident.
+    memmap_window_bytes: int = 0
+    #: True when the device reads a memmapped partition store (huge-graph
+    #: mode): features/activations at layer 0 are not resident copies.
+    streaming: bool = False
 
     @property
     def message_bytes(self) -> int:
@@ -41,13 +94,102 @@ class MemoryFootprint:
 
     @property
     def total_bytes(self) -> int:
+        """The materialized working set (footnote-1 counts + scratch)."""
         return (
             self.feature_bytes
             + self.activation_bytes
             + self.halo_buffer_bytes
             + self.model_param_bytes
             + self.model_grad_bytes
+            + self.decode_workspace_bytes
+            + self.shm_slab_bytes
         )
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes the process is expected to hold in RAM for this device.
+
+        Streaming mode never materializes features or layer-0 buffers
+        (they stay on the mapped store, counted by
+        :attr:`memmap_window_bytes`); the fused in-RAM engine holds the
+        device features *and* their copy inside the stacked layer-0
+        buffer; the legacy executor has no stacked buffers at all.
+        """
+        shared = (
+            self.model_param_bytes
+            + self.model_grad_bytes
+            + self.decode_workspace_bytes
+            + self.shm_slab_bytes
+        )
+        if self.streaming:
+            return shared + self.stacked_buffer_bytes + self.memmap_window_bytes
+        if self.stacked_buffer_bytes:
+            # Stacked buffers already include activations and halo
+            # regions; device features exist alongside their layer-0 copy.
+            return shared + self.feature_bytes + self.stacked_buffer_bytes
+        return (
+            shared
+            + self.feature_bytes
+            + self.activation_bytes
+            + self.halo_buffer_bytes
+        )
+
+
+def _stacked_bytes(
+    n: int, h: int, dims: list[int], model_kind: str, *, streaming: bool
+) -> int:
+    """This device's rows of the fused engine's preallocated buffers.
+
+    Mirrors ``FusedClusterCompute.__init__`` exactly: every buffer there
+    is a concatenation of per-device row blocks, so per-device
+    attribution is the same formula with that device's ``n_owned`` /
+    ``n_halo``.  Streaming mode drops the layer-0 members (``_x[0]``,
+    ``_z[0]``, ``_dz[0]``, ``_dx[0]``, sage's ``_d_own[0]``) and keeps
+    only the layer-0 halo landing zone.
+    """
+    r = n + h
+    L = len(dims) - 1
+    lo = 1 if streaming else 0
+    elems = 0
+    if streaming:
+        elems += h * dims[0]  # _x0_halo landing zone
+    for l in range(lo, L):
+        elems += r * dims[l]  # _x[l]
+        elems += 2 * n * dims[l]  # _z[l] + _dz[l]
+        elems += r * dims[l]  # _dx[l]
+    elems += 2 * n * dims[-1]  # logits + d_logits
+    if model_kind == "sage":
+        elems += sum(n * dims[l + 1] for l in range(L))  # _neigh_out
+        elems += sum(n * dims[l] for l in range(lo, L))  # _d_own
+    post = sum(n * dims[l + 1] for l in range(L - 1))
+    bytes_ = elems * _F32
+    bytes_ += post * _F32  # _x_hat
+    bytes_ += post  # _relu_mask (bool)
+    bytes_ += post * _F32  # _drop_mask
+    return bytes_
+
+
+def _csr_bytes(m) -> int:
+    return int(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+
+
+def _quant_stage_bytes(cluster: Cluster) -> int:
+    """Plan-resident staging of the fused quantized exchange.
+
+    Per (phase, layer) step the encoder keeps the staged source rows
+    (float32) and their quantized codes (uint8) — 5 bytes per element —
+    for every send row of the cluster (the kernel's own intermediates
+    are chunk-bounded and don't register at peak).  Send rows total the
+    halo rows (each halo row is sent exactly once); forward steps carry
+    every non-output width, backward the same minus layer 0 when
+    streaming (its gradient exchange is skipped).
+    """
+    dims = cluster.dims
+    streaming = cluster._stream_ops is not None
+    send = sum(dev.part.n_halo for dev in cluster.devices)
+    fwd = sum(dims[:-1])
+    bwd = sum(dims[(1 if streaming else 0) : -1])
+    return send * (fwd + bwd) * 5
 
 
 def estimate_memory(cluster: Cluster) -> list[MemoryFootprint]:
@@ -65,14 +207,41 @@ def estimate_memory(cluster: Cluster) -> list[MemoryFootprint]:
     True
     """
     dims = cluster.dims
+    streaming = cluster._stream_ops is not None
+    is_process = getattr(cluster.transport, "kind", "") == "process"
+    max_width = max(dims[:-1])
     footprints = []
-    for dev in cluster.devices:
+    for k, dev in enumerate(cluster.devices):
         n = dev.n_owned
         h = dev.part.n_halo
         feature_bytes = n * dims[0] * _F32
         activation_bytes = sum(n * d_out * _F32 for d_out in dims[1:])
         halo_buffer_bytes = sum(h * d_in * _F32 for d_in in dims[:-1])
         params = dev.model.num_parameters()
+        # Shm rings hold two records per (phase, layer) tag; forward
+        # steps carry every non-output width, backward the same minus
+        # layer 0 in streaming mode (its gradient exchange is skipped).
+        shm = 0
+        if is_process:
+            fwd = sum(h * d for d in dims[:-1])
+            bwd = sum(h * d for d in dims[(1 if streaming else 0) : -1])
+            shm = 2 * (fwd + bwd) * _F32
+        window = 0
+        if streaming:
+            ops = cluster._stream_ops[k]
+            window = (
+                _csr_bytes(ops.own)
+                + _csr_bytes(ops.halo)
+                + _csr_bytes(ops.own_t)
+                + _csr_bytes(ops.halo_t)
+                + int(dev.features.nbytes)
+                + int(dev.labels.nbytes)
+            )
+        stacked = 0
+        if cluster.fused_compute:
+            stacked = _stacked_bytes(
+                n, h, dims, cluster.model_kind, streaming=streaming
+            )
         footprints.append(
             MemoryFootprint(
                 device=dev.rank,
@@ -81,6 +250,80 @@ def estimate_memory(cluster: Cluster) -> list[MemoryFootprint]:
                 halo_buffer_bytes=halo_buffer_bytes,
                 model_param_bytes=params * _F32,
                 model_grad_bytes=params * _F32,
+                decode_workspace_bytes=2 * h * max_width * _F32,
+                shm_slab_bytes=shm,
+                stacked_buffer_bytes=stacked,
+                memmap_window_bytes=window,
+                streaming=streaming,
             )
         )
     return footprints
+
+
+def estimate_peak_resident(cluster: Cluster) -> int:
+    """Predicted peak resident bytes for training on ``cluster``.
+
+    Sums every device's :attr:`MemoryFootprint.resident_bytes` — except
+    the streaming memmap windows, of which only two (the running device
+    and its prefetched successor) are resident at once thanks to the
+    engine's page release, so the widest adjacent pair stands in for the
+    sum.  The streaming layer-0 aggregation scratch (one ``(max_own, F)``
+    buffer reused across devices) and the quantized exchange's staging
+    buffers are added once each — the latter assumes an adaqp-family
+    system (the common case); a vanilla run is overestimated by that
+    term, which errs on the safe side for the RAM-fit warning.
+
+    This is the analytic half of ``bench_huge_graph``'s estimate-vs-
+    measured check; it deliberately excludes the Python interpreter
+    baseline, which the bench subtracts out by measuring ``ru_maxrss``
+    before the cluster is built.
+    """
+    fps = estimate_memory(cluster)
+    total = sum(fp.resident_bytes - fp.memmap_window_bytes for fp in fps)
+    total += _quant_stage_bytes(cluster)
+    if cluster._stream_ops is not None:
+        windows = [fp.memmap_window_bytes for fp in fps]
+        if len(windows) == 1:
+            total += windows[0]
+        elif windows:
+            total += max(
+                windows[k] + windows[k + 1] for k in range(len(windows) - 1)
+            )
+        max_own = max(dev.n_owned for dev in cluster.devices)
+        total += max_own * cluster.dims[0] * _F32  # stream_z0 scratch
+    return int(total)
+
+
+@dataclass(frozen=True)
+class HostMemory:
+    """Host RAM totals read from ``/proc/meminfo`` (bytes)."""
+
+    total_bytes: int
+    available_bytes: int
+
+
+def host_memory(path: str | Path = "/proc/meminfo") -> HostMemory | None:
+    """Read total/available RAM; ``None`` when the file is unreadable.
+
+    ``MemAvailable`` is the kernel's estimate of memory available to a
+    new workload without swapping — the right comparison point for
+    :func:`estimate_peak_resident`, since page-cache pages (including a
+    partition store's) are reclaimable.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return None
+    fields: dict[str, int] = {}
+    for line in text.splitlines():
+        key, _, rest = line.partition(":")
+        parts = rest.split()
+        if parts and parts[0].isdigit():
+            # /proc/meminfo reports kB (kibibytes, despite the label).
+            fields[key.strip()] = int(parts[0]) * 1024
+    if "MemTotal" not in fields or "MemAvailable" not in fields:
+        return None
+    return HostMemory(
+        total_bytes=fields["MemTotal"],
+        available_bytes=fields["MemAvailable"],
+    )

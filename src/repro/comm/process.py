@@ -545,6 +545,17 @@ class ProcessTransport(SyncTransport):
         offset = ring.alloc(nbytes)
         return ring.name, offset, ring.view(offset, nbytes)
 
+    def shm_slab_bytes(self) -> int:
+        """Total capacity of the live shared-memory rings, in bytes.
+
+        The measured counterpart of the analytic
+        :attr:`~repro.cluster.memory.MemoryFootprint.shm_slab_bytes`
+        estimate (which upper-bounds each record at full precision);
+        retired rings are excluded — their segments are unlinked and
+        their pages returned as soon as no view references them.
+        """
+        return sum(ring.capacity for ring in self._rings.values())
+
     # ------------------------------------------------------------------
     # Wave protocol
     # ------------------------------------------------------------------

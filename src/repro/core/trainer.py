@@ -53,6 +53,7 @@ from repro.core.scheduler import (
     schedule_vanilla,
 )
 from repro.graph.datasets import GraphDataset
+from repro.graph.io import StoreDataset
 from repro.graph.partition.book import PartitionBook
 from repro.nn.optim import Adam
 from repro.quant.stochastic import KeyedRounding
@@ -161,6 +162,37 @@ class _SystemSetup:
     assigner: AdaptiveBitWidthAssigner | None = None
 
 
+def _warn_if_ram_tight(cluster: Cluster) -> None:
+    """Warn when the run's estimated working set exceeds available RAM.
+
+    Advisory only — a streaming (huge-graph) run whose estimate is close
+    to the limit may still complete, just with the page cache thrashing;
+    an in-RAM run that exceeds it is headed for the OOM killer.  The
+    estimate is :func:`estimate_peak_resident`, the same model the
+    huge-graph benchmark cross-checks against measured peak RSS.
+    """
+    from repro.cluster.memory import estimate_peak_resident, host_memory
+
+    host = host_memory()
+    if host is None:
+        return
+    estimate = estimate_peak_resident(cluster)
+    if estimate > host.available_bytes:
+        hint = (
+            "streaming mode pages device windows in and out on demand"
+            if cluster._stream_ops is not None
+            else "consider `repro prepare` + `repro train --store` "
+            "(out-of-core huge-graph mode)"
+        )
+        logger.warning(
+            "estimated peak working set %.1f GiB exceeds available RAM "
+            "%.1f GiB — %s",
+            estimate / 2**30,
+            host.available_bytes / 2**30,
+            hint,
+        )
+
+
 def build_system(
     name: str,
     cluster: Cluster,
@@ -246,7 +278,7 @@ def build_system(
 
 def train(
     system: str,
-    dataset: GraphDataset,
+    dataset: GraphDataset | StoreDataset,
     book: PartitionBook,
     topology: ClusterTopology | str,
     config: RunConfig | None = None,
@@ -256,6 +288,13 @@ def train(
     fault_plan=None,
 ) -> TrainResult:
     """Train ``system`` on ``dataset`` partitioned by ``book``.
+
+    ``dataset`` may be a fully materialized :class:`GraphDataset` or a
+    :class:`~repro.graph.io.StoreDataset` opened from an on-disk partition
+    store (huge-graph mode — the cluster then streams each partition's
+    memmapped regions through the fused engine instead of holding the
+    graph in RAM; ``book`` must be the store's own
+    :meth:`~repro.graph.io.PartitionStore.book`).
 
     ``fault_plan`` (a :class:`~repro.comm.faults.FaultPlan`) injects
     transport faults for the fault-tolerance suite; ``None`` disables
@@ -300,6 +339,7 @@ def train(
         transport_timeout_s=config.transport_timeout_s,
         fault_plan=fault_plan,
     )
+    _warn_if_ram_tight(cluster)
     setup = build_system(system, cluster, cost_model, config)
     optimizers = [Adam(dev.model.parameters(), lr=config.lr) for dev in cluster.devices]
 

@@ -8,8 +8,14 @@ offline.  See DESIGN.md §1 for the substitution rationale.
 from repro.graph.graph import Graph
 from repro.graph.generators import (
     CommunityGraphConfig,
+    HugeGraphConfig,
     generate_community_graph,
     generate_features_and_labels,
+)
+from repro.graph.io import (
+    PartitionStore,
+    StoreDataset,
+    build_partition_store,
 )
 from repro.graph.datasets import (
     DATASET_CATALOG,
@@ -29,8 +35,12 @@ from repro.graph.partition import (
 __all__ = [
     "Graph",
     "CommunityGraphConfig",
+    "HugeGraphConfig",
     "generate_community_graph",
     "generate_features_and_labels",
+    "PartitionStore",
+    "StoreDataset",
+    "build_partition_store",
     "DATASET_CATALOG",
     "DatasetSpec",
     "GraphDataset",

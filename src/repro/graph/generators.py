@@ -23,17 +23,24 @@ secondary labels (multi-label).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.utils.seed import RngPool
 from repro.utils.validation import check_positive, check_probability
 
 __all__ = [
     "CommunityGraphConfig",
     "generate_community_graph",
     "generate_features_and_labels",
+    "HugeGraphConfig",
+    "huge_community_bounds",
+    "huge_edge_chunks",
+    "huge_feature_chunk",
+    "huge_centroids",
 ]
 
 
@@ -257,3 +264,235 @@ def generate_features_and_labels(
         class_sets[np.arange(num_classes), (np.arange(num_classes) + offset) % num_classes] = 1.0
     labels = class_sets[primary]
     return features, labels
+
+
+# --------------------------------------------------------------------------
+# Chunked huge-graph generator (out-of-core "prepare" pipeline)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HugeGraphConfig:
+    """Parameters of the chunked power-law community generator.
+
+    Unlike :class:`CommunityGraphConfig`, this generator never materializes
+    the full edge list or feature matrix: edges and node attributes are
+    emitted in ``O(chunk)``-sized batches so a 1M–10M-node graph can be
+    streamed straight into an on-disk :class:`~repro.graph.io.PartitionStore`.
+
+    Structural choices that make streaming possible:
+
+    * Communities are *contiguous node-id blocks* (community ``c`` owns the
+      id range ``[c*n//k, (c+1)*n//k)``), so community membership is a pure
+      function of the node id — no ``O(n)`` assignment array is needed.
+    * Degree skew is rank-based (Barabási–Albert-style rich-get-richer
+      profile): an endpoint is drawn inside its community at position
+      ``floor(size * u**degree_exponent)`` for uniform ``u``, so low-rank
+      nodes are hubs and the realized degree distribution has a power-law
+      tail — without per-node propensity arrays.
+    * Cross-community edges follow the same homophily / ring-locality /
+      global mixture as :func:`generate_community_graph`.
+    * A deterministic within-community ring backbone ``(v, v+1)`` keeps the
+      minimum degree at 1 (chunked rejection sampling cannot cheaply
+      guarantee coverage the way the dense generator's block draws do).
+
+    Duplicate undirected pairs are removed inside each chunk here and
+    globally by the partition-store builder (arcs are binned by source
+    owner, so a per-partition sort sees every copy of an arc).
+
+    ``chunk_nodes`` / ``chunk_edges`` bound the working set of one batch and
+    are part of the graph's identity: the RNG stream is keyed per chunk, so
+    changing the chunk grid changes the sampled graph (not its statistics).
+    """
+
+    num_nodes: int
+    avg_degree: float = 8.0
+    num_features: int = 128
+    num_classes: int = 8
+    num_communities: int = 32
+    homophily: float = 0.8
+    degree_exponent: float = 2.5
+    neighbor_locality: float = 0.9
+    locality_width: int = 2
+    multilabel: bool = False
+    feature_noise: float = 2.0
+    label_noise: float = 0.02
+    extra_label_rate: float = 0.12
+    fine_group: int = 2
+    fine_scale: float = 0.35
+    train_frac: float = 0.6
+    val_frac: float = 0.2
+    chunk_nodes: int = 1 << 18
+    chunk_edges: int = 1 << 21
+    name: str = "huge-powerlaw"
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_nodes, name="num_nodes")
+        check_positive(self.avg_degree, name="avg_degree")
+        check_positive(self.num_communities, name="num_communities")
+        check_positive(self.num_features, name="num_features")
+        check_positive(self.num_classes, name="num_classes")
+        check_positive(self.chunk_nodes, name="chunk_nodes")
+        check_positive(self.chunk_edges, name="chunk_edges")
+        check_probability(self.homophily, name="homophily")
+        check_probability(self.neighbor_locality, name="neighbor_locality")
+        check_probability(self.train_frac, name="train_frac")
+        check_probability(self.val_frac, name="val_frac")
+        if self.train_frac + self.val_frac >= 1.0:
+            raise ValueError("train_frac + val_frac must leave room for a test split")
+        if self.num_communities > self.num_nodes:
+            raise ValueError("num_communities cannot exceed num_nodes")
+        if self.degree_exponent < 1.0:
+            raise ValueError("degree_exponent must be >= 1 for rank-based sampling")
+
+
+def huge_community_bounds(cfg: HugeGraphConfig) -> np.ndarray:
+    """Community block boundaries: community ``c`` owns ``[bounds[c], bounds[c+1])``."""
+    k = cfg.num_communities
+    return (np.arange(k + 1, dtype=np.int64) * cfg.num_nodes) // k
+
+
+def _rank_positions(
+    sizes: np.ndarray, exponent: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Power-law rank position inside each community (position 0 = hub)."""
+    u = rng.random(sizes.size)
+    return np.minimum((sizes * u**exponent).astype(np.int64), sizes - 1)
+
+
+def huge_edge_chunks(
+    cfg: HugeGraphConfig, pool: RngPool
+) -> Iterator[np.ndarray]:
+    """Yield canonical undirected edge chunks ``(m, 2) int64`` with ``u < v``.
+
+    Self-loops are dropped and each chunk is internally deduplicated;
+    cross-chunk duplicates are left for the consumer (the store builder
+    dedups globally during its per-partition pass).
+    """
+    n = cfg.num_nodes
+    k = cfg.num_communities
+    bounds = huge_community_bounds(cfg)
+    sizes = np.diff(bounds)
+
+    # Deterministic ring backbone first: (v, v+1) within each community.
+    for start in range(0, n - 1, cfg.chunk_nodes):
+        end = min(start + cfg.chunk_nodes, n - 1)
+        v = np.arange(start, end, dtype=np.int64)
+        same = (v * k) // n == ((v + 1) * k) // n
+        v = v[same]
+        if v.size:
+            yield np.stack([v, v + 1], axis=1)
+
+    backbone = int(n - k)
+    target_pairs = max(0, max(n, int(round(n * cfg.avg_degree / 2.0))) - backbone)
+    num_chunks = -(-target_pairs // cfg.chunk_edges) if target_pairs else 0
+    width = min(cfg.locality_width, max(k - 1, 1))
+
+    for ci in range(num_chunks):
+        m = min(cfg.chunk_edges, target_pairs - ci * cfg.chunk_edges)
+        rng = pool.get(f"edges/{ci}")
+        # Source: community of a uniform node (size-weighted), then a
+        # power-law rank position within it.
+        src_comm = (
+            (rng.random(m) * n).astype(np.int64).clip(max=n - 1) * k
+        ) // n
+        src = bounds[src_comm] + _rank_positions(
+            sizes[src_comm], cfg.degree_exponent, rng
+        )
+        # Target community: homophilous / ring-local / global mixture
+        # (mirrors generate_community_graph).
+        target_comm = src_comm.copy()
+        cross = rng.random(m) >= cfg.homophily
+        local_cross = cross & (rng.random(m) < cfg.neighbor_locality)
+        global_cross = cross & ~local_cross
+        if local_cross.any():
+            offsets = rng.integers(1, width + 1, size=int(local_cross.sum()))
+            signs = rng.choice(np.array([-1, 1]), size=offsets.size)
+            target_comm[local_cross] = (
+                target_comm[local_cross] + signs * offsets
+            ) % k
+        if global_cross.any():
+            target_comm[global_cross] = rng.integers(
+                0, k, size=int(global_cross.sum())
+            )
+        dst = bounds[target_comm] + _rank_positions(
+            sizes[target_comm], cfg.degree_exponent, rng
+        )
+
+        keep = src != dst
+        lo = np.minimum(src[keep], dst[keep])
+        hi = np.maximum(src[keep], dst[keep])
+        pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        if pairs.size:
+            yield pairs
+
+
+def huge_centroids(cfg: HugeGraphConfig, pool: RngPool) -> np.ndarray:
+    """Class centroids with the coarse/fine structure of the dense generator."""
+    rng = pool.get("centroids")
+    num_coarse = -(-cfg.num_classes // cfg.fine_group)
+    coarse = rng.normal(0.0, 1.0, size=(num_coarse, cfg.num_features))
+    fine = rng.normal(0.0, 1.0, size=(cfg.num_classes, cfg.num_features))
+    fine /= np.linalg.norm(fine, axis=1, keepdims=True)
+    return (
+        coarse[np.arange(cfg.num_classes) // cfg.fine_group]
+        + cfg.fine_scale * fine
+    ).astype(np.float32)
+
+
+def huge_feature_chunk(
+    cfg: HugeGraphConfig,
+    start: int,
+    end: int,
+    centroids: np.ndarray,
+    pool: RngPool,
+) -> dict[str, np.ndarray]:
+    """Features/labels/split masks for the node-id range ``[start, end)``.
+
+    The RNG stream is keyed by the *chunk-grid index* (``start //
+    chunk_nodes``), so values are independent of how node ranges map to
+    partitions.  ``start`` must be chunk-grid aligned.
+    """
+    if start % cfg.chunk_nodes:
+        raise ValueError("feature chunk start must be aligned to chunk_nodes")
+    ci = start // cfg.chunk_nodes
+    rng = pool.get(f"nodes/{ci}")
+    m = end - start
+    k = cfg.num_communities
+    ids = np.arange(start, end, dtype=np.int64)
+    comm = (ids * k) // cfg.num_nodes
+
+    primary = comm % cfg.num_classes
+    flip = rng.random(m) < cfg.label_noise
+    if flip.any():
+        primary = primary.copy()
+        primary[flip] = rng.integers(0, cfg.num_classes, size=int(flip.sum()))
+
+    features = centroids[primary] + rng.normal(
+        0.0, cfg.feature_noise, size=(m, cfg.num_features)
+    ).astype(np.float32)
+    features = features.astype(np.float32)
+
+    if cfg.multilabel:
+        k_extra = max(1, int(round(cfg.extra_label_rate * cfg.num_classes)))
+        class_sets = np.zeros((cfg.num_classes, cfg.num_classes), dtype=np.float32)
+        for offset in range(0, k_extra + 1):
+            class_sets[
+                np.arange(cfg.num_classes),
+                (np.arange(cfg.num_classes) + offset) % cfg.num_classes,
+            ] = 1.0
+        labels: np.ndarray = class_sets[primary]
+    else:
+        labels = primary.astype(np.int64)
+
+    u = rng.random(m)
+    train = u < cfg.train_frac
+    val = ~train & (u < cfg.train_frac + cfg.val_frac)
+    test = ~train & ~val
+    return {
+        "features": features,
+        "labels": labels,
+        "train_mask": train,
+        "val_mask": val,
+        "test_mask": test,
+    }

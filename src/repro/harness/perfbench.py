@@ -58,6 +58,7 @@ from repro.core.config import RunConfig
 from repro.core.trainer import build_system
 from repro.graph.datasets import load_dataset
 from repro.graph.partition.api import partition_graph
+from repro.harness.hugebench import bench_huge_graph
 from repro.nn.blas import row_matmul
 from repro.quant.fused import FusedStepEncoder, decode_step
 from repro.quant.mixed import MixedPrecisionEncoder
@@ -81,6 +82,7 @@ __all__ = [
     "bench_process_scaling",
     "bench_decode_scatter",
     "bench_pipeline_depth",
+    "bench_huge_graph",
     "run_bench",
     "compare_to_baseline",
     "render_report",
@@ -161,12 +163,19 @@ _GATED_METRICS = (
     # PR 8: two-deep cross-step pipelining vs the classic depth-1
     # pipeline, full epochs on the worker transport (multi-core only).
     ("pipeline_depth", "speedup"),
+    # PR 10: streaming (memmap) epochs vs the materialized in-RAM arm.
+    # Multi-core only — without a spare core the page prefetch runs
+    # inline and the ratio measures the fault tax, not the overlap.  The
+    # section's RSS fraction and equivalence flags are gated
+    # unconditionally below.
+    ("huge_graph", "throughput_ratio"),
 )
 
 #: Sections whose speedup floor applies only on multi-core runners (their
 #: ratio measures the OS scheduler, not the engine, on a starved host).
 _MULTI_CORE_SECTIONS = frozenset(
-    {"worker_scaling", "process_scaling", "decode_scatter", "pipeline_depth"}
+    {"worker_scaling", "process_scaling", "decode_scatter", "pipeline_depth",
+     "huge_graph"}
 )
 
 
@@ -1416,7 +1425,7 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
 
     report: dict = {
         "bench": "fused-engines",
-        "schema": 6,
+        "schema": 7,
         "quick": quick,
         "seed": seed,
         "encode": bench_encode(reps=micro_reps, seed=seed),
@@ -1440,6 +1449,7 @@ def run_bench(*, quick: bool = False, seed: int = 0) -> dict:
         "pipeline_depth": bench_pipeline_depth(
             epochs=epochs, warmup=warmup, seed=seed
         ),
+        "huge_graph": bench_huge_graph(quick=quick, seed=seed),
     }
     for system in extra_systems:
         report[f"epoch_{system}"] = bench_epoch(
@@ -1506,6 +1516,23 @@ def compare_to_baseline(
                 f"{section}.wire_bytes_match is False: worker count "
                 "changed the wire bytes under keyed rounding"
             )
+    hg = current.get("huge_graph")
+    if hg is not None:
+        # Unconditional (not ratio-to-baseline, not multi-core-gated):
+        # the streaming arm must be bitwise-equal and hold the RSS bound
+        # on any host — that is huge-graph mode's whole contract.
+        for key in ("losses_match", "wire_bytes_match"):
+            if not hg.get(key, False):
+                problems.append(
+                    f"huge_graph.{key} is False: streaming arm is not "
+                    "equivalent to the materialized arm"
+                )
+        if not hg.get("rss_within_half", False):
+            problems.append(
+                "huge_graph.rss_fraction "
+                f"{hg.get('rss_fraction', float('nan')):.2f} > 0.50: "
+                "streaming peak RSS is not under half the materialized arm"
+            )
     return problems
 
 
@@ -1528,6 +1555,16 @@ def render_report(report: dict) -> str:
                 f"{r['unfused_ms']:.2f} ms ({r['unfused_mbps']:.0f} MB/s)",
                 f"{r['fused_ms']:.2f} ms ({r['fused_mbps']:.0f} MB/s)",
                 f"{r['speedup']:.2f}x",
+            ]
+        )
+    if "huge_graph" in report:
+        r = report["huge_graph"]
+        rows.append(
+            [
+                f"huge_graph [{r['system']}/{r['workload']['parts']}p]",
+                f"{r['unfused_ms']:.1f} ms",  # materialized arm
+                f"{r['fused_ms']:.1f} ms",  # streaming arm
+                f"{r['throughput_ratio']:.2f}x",
             ]
         )
     for key, r in report.items():
@@ -1595,6 +1632,17 @@ def render_report(report: dict) -> str:
             f"worker_wait_share={r['worker_wait_share']:.3f} "
             f"modeled_speedup={r['modeled_speedup']:.2f}x "
             f"losses_match={r['losses_match']}"
+        )
+    if "huge_graph" in report:
+        r = report["huge_graph"]
+        checks.append(
+            f"huge_graph: {r['workload']['num_nodes']} nodes, "
+            f"{r['edges_per_s'] / 1e6:.1f}M edges/s streaming; "
+            f"rss_fraction={r['rss_fraction']:.2f} "
+            f"(within_half={r['rss_within_half']}) "
+            f"estimate_rel_error={r['estimate_rel_error']:+.2f} "
+            f"losses_match={r['losses_match']} "
+            f"wire_bytes_match={r['wire_bytes_match']}"
         )
     wl = report["epoch"]["workload"]
     head = (

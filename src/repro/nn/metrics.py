@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["accuracy", "micro_f1", "task_metric"]
+__all__ = [
+    "accuracy",
+    "micro_f1",
+    "task_metric",
+    "metric_counts",
+    "metric_from_counts",
+]
 
 
 def accuracy(logits: np.ndarray, labels: np.ndarray, mask: np.ndarray) -> float:
@@ -44,3 +50,43 @@ def task_metric(
     if multilabel:
         return micro_f1(logits, labels, mask)
     return accuracy(logits, labels, mask)
+
+
+def metric_counts(
+    logits: np.ndarray, labels: np.ndarray, mask: np.ndarray, *, multilabel: bool
+) -> np.ndarray:
+    """Integer sufficient statistics of :func:`task_metric` for one shard.
+
+    Both metrics are ratios of summed integer counts — ``(correct, total)``
+    for accuracy, ``(tp, fp, fn)`` for micro-F1 — so shards accumulate
+    exactly: summing per-partition count vectors and finishing with
+    :func:`metric_from_counts` reproduces the global metric value without
+    ever materializing a global logits/labels matrix (the huge-graph
+    evaluation path).
+    """
+    if multilabel:
+        pred = logits[mask] > 0.0
+        true = labels[mask] > 0.5
+        return np.array(
+            [
+                np.logical_and(pred, true).sum(),
+                np.logical_and(pred, ~true).sum(),
+                np.logical_and(~pred, true).sum(),
+                mask.sum(),
+            ],
+            dtype=np.int64,
+        )
+    pred = logits[mask].argmax(axis=1)
+    return np.array([(pred == labels[mask]).sum(), mask.sum()], dtype=np.int64)
+
+
+def metric_from_counts(counts: np.ndarray, *, multilabel: bool) -> float:
+    """Finish accumulated :func:`metric_counts` statistics into the metric."""
+    if multilabel:
+        tp, fp, fn, total = (float(c) for c in counts)
+        if total == 0:
+            return float("nan")  # no masked entries anywhere
+        denom = 2 * tp + fp + fn
+        return float(2 * tp / denom) if denom > 0 else 0.0
+    correct, total = counts
+    return float(correct) / float(total) if total else float("nan")

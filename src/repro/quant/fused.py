@@ -44,8 +44,16 @@ order-dependent by definition and therefore always encodes as one shard.
 All index structures (gather orders, group slices, payload skeletons) are
 cached in a :class:`FusedStepPlan` and reused across epochs until the
 bit-width assignment for the step changes (i.e. at reassignment
-boundaries); scratch buffers for the gathers and the noise draw are
-preallocated alongside the plan.
+boundaries).  The staged-value and code buffers are preallocated
+alongside the plan; the quantization kernel itself runs over
+pair-aligned row *chunks* with scratch bounded by the chunk, so the
+noise/normalize/floor intermediates (17 bytes per element, the float64
+noise draw alone being 8 of them) never materialize for the whole step
+at once — at huge-graph scale that keeps hundreds of MB of per-step
+scratch out of the resident set.  Chunking is invisible in the output:
+keyed noise is one draw per pair (a chunk is a whole number of pairs)
+and stream noise fills its buffer sequentially, so successive chunk
+fills consume the generator exactly like one whole-step fill.
 """
 
 from __future__ import annotations
@@ -68,6 +76,15 @@ __all__ = [
     "decode_step",
     "decode_cluster_step",
 ]
+
+
+#: Row bound for one quantization-kernel chunk.  Scratch per chunk is
+#: ~25 bytes/element, so 4096 rows at a 256-wide layer-0 step is ~26 MB —
+#: a rounding error next to the plan-wide buffers it replaces, while the
+#: per-chunk Python overhead stays at a handful of iterations per step.
+#: A pair bigger than this bound widens the chunk (a pair is the keyed
+#: noise atom and is never split).
+_QUANT_CHUNK_ROWS = 4096
 
 
 @dataclass
@@ -127,15 +144,13 @@ class FusedStepPlan:
     gather_idx: np.ndarray  # local source row per legacy-order position
     levels: np.ndarray  # (n_total, 1) float32, 2^bits - 1 per legacy row
     pair_groups: dict[tuple[int, int], list[_PairGroup]]
-    # Scratch buffers (reused every epoch while the plan is valid).
+    # Scratch buffers (reused every epoch while the plan is valid).  The
+    # quantization intermediates (noise, normalized values, floors,
+    # round-up mask) are deliberately NOT plan-resident: the kernel
+    # allocates them per chunk in :meth:`FusedStepEncoder.quantize_pack_shard`.
     cat_buf: np.ndarray  # (n_total, dim) float32, cat order
     legacy_buf: np.ndarray  # (n_total, dim) float32, legacy order
-    noise_buf: np.ndarray  # (n_total, dim) float64, legacy order
-    noise_cat_buf: np.ndarray  # (n_total, dim) float64, cat order (keyed fill)
     codes_buf: np.ndarray  # (n_total, dim) uint8, legacy order
-    norm_buf: np.ndarray  # (n_total, dim) float32 scratch
-    floor_buf: np.ndarray  # (n_total, dim) float32 scratch
-    round_buf: np.ndarray  # (n_total, dim) bool scratch
     # Shard decompositions, cached per shard count (built on demand).
     shard_cache: dict[int, list[_EncodeShard]] = field(default_factory=dict)
 
@@ -182,7 +197,6 @@ def _build_plan(
 
     bits_legacy = bits_cat[perm_legacy]
     legacy_buf = np.empty((n_total, dim), dtype=np.float32)
-    noise_buf = np.empty((n_total, dim), dtype=np.float64)
     return FusedStepPlan(
         pairs=pairs,
         pair_counts=pair_counts,
@@ -197,18 +211,10 @@ def _build_plan(
         levels=((1 << bits_legacy.astype(np.int64)) - 1)[:, None].astype(np.float32),
         pair_groups=pair_groups,
         # When legacy order == cat order the stage buffers alias: the
-        # tracer path then needs only a single gather, and the keyed
-        # per-pair noise fill needs no permutation.
+        # tracer path then needs only a single gather.
         cat_buf=legacy_buf if identity else np.empty((n_total, dim), dtype=np.float32),
         legacy_buf=legacy_buf,
-        noise_buf=noise_buf,
-        noise_cat_buf=noise_buf
-        if identity
-        else np.empty((n_total, dim), dtype=np.float64),
         codes_buf=np.empty((n_total, dim), dtype=np.uint8),
-        norm_buf=np.empty((n_total, dim), dtype=np.float32),
-        floor_buf=np.empty((n_total, dim), dtype=np.float32),
-        round_buf=np.empty((n_total, dim), dtype=bool),
     )
 
 
@@ -434,64 +440,108 @@ class FusedStepEncoder:
         start, stop = shard.start, shard.stop
         if stop == start:
             return {}
-        h = plan.legacy_buf[start:stop]
+        n_rows = stop - start
 
-        # --- rounding noise for the shard's rows -------------------------
-        if self.rounding.mode == "keyed":
-            if coords is None:
-                raise ValueError(
-                    "keyed rounding needs the step's (phase, layer) coordinates"
-                )
-            phase, layer = coords
-            # One keyed draw per pair, into the pair's cat-order block
-            # (pair-local row order — the coordinate system the noise is
-            # defined in), then permuted to legacy order alongside the
-            # staged values.  The buffers alias when the orders coincide.
-            bounds = plan.cat_bounds
-            for i in range(shard.pair_lo, shard.pair_hi):
-                block = plan.noise_cat_buf[bounds[i] : bounds[i + 1]]
-                if block.size:
-                    src, dst = plan.pairs[i]
-                    self.rounding.block_noise(phase, layer, src, dst, out=block)
-            if not plan.identity:
-                np.take(
-                    plan.noise_cat_buf,
-                    plan.perm_legacy[start:stop],
-                    axis=0,
-                    out=plan.noise_buf[start:stop],
-                )
-            noise = plan.noise_buf[start:stop]
-        else:
-            # Stream rounding: one sequential draw (shards_for pinned the
-            # decomposition to a single whole-step shard) — consumes the
-            # stream exactly like the legacy per-group draws.
-            noise = self.rounding.rng.random(out=plan.noise_buf[start:stop])
+        keyed = self.rounding.mode == "keyed"
+        if keyed and coords is None:
+            raise ValueError(
+                "keyed rounding needs the step's (phase, layer) coordinates"
+            )
 
-        # --- one stochastic-quantization kernel for the shard ------------
+        # --- chunked stochastic-quantization kernel ----------------------
         # Identical arithmetic to quantize_stochastic per group: the level
         # count is the only group-dependent quantity and enters as a
-        # per-row vector.  All intermediates live in the shard's span of
-        # plan-owned scratch buffers.
-        z32 = h.min(axis=1)
-        scale = h.max(axis=1)
-        scale -= z32
-        scale /= plan.levels[start:stop, 0]
-        safe_scale = np.where(scale > 0, scale, np.float32(1.0))
-        norm = np.subtract(h, z32[:, None], out=plan.norm_buf[start:stop])
-        norm /= safe_scale[:, None]
-        floor = np.floor(norm, out=plan.floor_buf[start:stop])
-        np.subtract(norm, floor, out=norm)  # fractional parts
-        round_up = np.less(noise, norm, out=plan.round_buf[start:stop])
-        codes = np.add(floor, round_up, out=floor)
-        # Codes are >= 0 (normalized values are), so the legacy
-        # clip(0, top) reduces to an upper bound.
-        if shard.single_bits is not None:
-            np.minimum(codes, np.float32((1 << shard.single_bits) - 1), out=codes)
-        else:
-            np.minimum(codes, plan.levels[start:stop], out=codes)
+        # per-row vector.  The kernel walks the shard in pair-aligned row
+        # chunks so the intermediates (float64 noise, normalized values,
+        # floors, round-up mask — 17+ bytes/element) are bounded by the
+        # chunk rather than the step; only the per-row zero points and
+        # scales survive the loop (the payloads slice into them) and the
+        # codes land in the plan-resident uint8 buffer the packers read.
+        # Chunks don't change a bit: keyed noise is one draw per pair (a
+        # chunk is a whole number of pairs, and the legacy sort is
+        # pair-major, so each pair spans the same rows in both orders)
+        # and stream noise fills sequentially, so chunk fills in shard
+        # order consume the generator exactly like one whole-shard fill.
+        bounds = plan.cat_bounds
+        max_pair = 0
+        for i in range(shard.pair_lo, shard.pair_hi):
+            max_pair = max(max_pair, int(bounds[i + 1] - bounds[i]))
+        chunk_rows = max(_QUANT_CHUNK_ROWS, max_pair)
+        scratch = min(chunk_rows, n_rows)
+        z_all = np.empty(n_rows, dtype=np.float32)
+        s_all = np.empty(n_rows, dtype=np.float32)
+        noise_cat = np.empty((scratch, dim), dtype=np.float64)
+        noise_leg = (
+            noise_cat
+            if plan.identity or not keyed
+            else np.empty((scratch, dim), dtype=np.float64)
+        )
+        norm_buf = np.empty((scratch, dim), dtype=np.float32)
+        floor_buf = np.empty((scratch, dim), dtype=np.float32)
+        round_buf = np.empty((scratch, dim), dtype=bool)
+
+        i = shard.pair_lo
+        while i < shard.pair_hi:
+            a = int(bounds[i])
+            j = i + 1
+            while j < shard.pair_hi and int(bounds[j + 1]) - a <= chunk_rows:
+                j += 1
+            b = int(bounds[j])
+            m = b - a
+            h = plan.legacy_buf[a:b]
+
+            # Rounding noise for the chunk's rows.
+            if keyed:
+                phase, layer = coords
+                # One keyed draw per pair, into the pair's cat-order block
+                # (pair-local row order — the coordinate system the noise
+                # is defined in), then permuted to legacy order alongside
+                # the staged values.  The buffers alias when the orders
+                # coincide.
+                for p in range(i, j):
+                    block = noise_cat[bounds[p] - a : bounds[p + 1] - a]
+                    if block.size:
+                        src, dst = plan.pairs[p]
+                        self.rounding.block_noise(phase, layer, src, dst, out=block)
+                if plan.identity:
+                    noise = noise_cat[:m]
+                else:
+                    np.take(
+                        noise_cat,
+                        plan.perm_legacy[a:b] - a,
+                        axis=0,
+                        out=noise_leg[:m],
+                    )
+                    noise = noise_leg[:m]
+            else:
+                # Stream rounding: sequential draws (shards_for pinned the
+                # decomposition to a single whole-step shard) — consumes
+                # the stream exactly like the legacy per-group draws.
+                noise = self.rounding.rng.random(out=noise_leg[:m])
+
+            z32 = h.min(axis=1, out=z_all[a - start : b - start])
+            scale = h.max(axis=1, out=s_all[a - start : b - start])
+            scale -= z32
+            scale /= plan.levels[a:b, 0]
+            safe_scale = np.where(scale > 0, scale, np.float32(1.0))
+            norm = np.subtract(h, z32[:, None], out=norm_buf[:m])
+            norm /= safe_scale[:, None]
+            floor = np.floor(norm, out=floor_buf[:m])
+            np.subtract(norm, floor, out=norm)  # fractional parts
+            round_up = np.less(noise, norm, out=round_buf[:m])
+            codes = np.add(floor, round_up, out=floor)
+            # Codes are >= 0 (normalized values are), so the legacy
+            # clip(0, top) reduces to an upper bound.
+            if shard.single_bits is not None:
+                np.minimum(codes, np.float32((1 << shard.single_bits) - 1), out=codes)
+            else:
+                np.minimum(codes, plan.levels[a:b], out=codes)
+            plan.codes_buf[a:b] = codes  # exact small integers; cast == astype
+            i = j
+
         codes_buf = plan.codes_buf[start:stop]
-        codes_buf[...] = codes  # exact small integers; cast == astype
-        s32 = scale
+        z32 = z_all
+        s32 = s_all
 
         # --- pack each distinct bit-width as one batch -------------------
         # Codes were clamped to range above, so the packers' O(n) range

@@ -234,3 +234,51 @@ def test_capture_does_not_alias_live_state(tiny_dataset, tiny_book):
             opt.step()
         for name in before:
             np.testing.assert_array_equal(state.model[name], before[name])
+
+
+# ----------------------------------------------------------------------
+# Huge-graph stores: memmaps stay out of the checkpoint
+# ----------------------------------------------------------------------
+def _walk_arrays(obj):
+    if isinstance(obj, np.ndarray):
+        yield obj
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            yield from _walk_arrays(v)
+    elif isinstance(obj, (list, tuple)):
+        for v in obj:
+            yield from _walk_arrays(v)
+
+
+def test_store_checkpoint_skips_memmaps_and_resumes_bitwise(
+    tmp_path, huge_store
+):
+    """A streaming (memmap-backed) run's checkpoint must not serialize
+    store regions — they are reconstructable from ``meta["store_path"]``
+    — and resuming from it must continue bitwise."""
+    ds, book = huge_store.dataset(), huge_store.book()
+    setting = f"{huge_store.num_parts}M-1D"
+    d_full, d_split = tmp_path / "full", tmp_path / "split"
+    full = train("adaqp", ds, book, setting, _cfg(checkpoint_dir=str(d_full)))
+    part1 = train(
+        "adaqp", ds, book, setting, _cfg(epochs=3, checkpoint_dir=str(d_split))
+    )
+    part2 = train(
+        "adaqp", ds, book, setting, _cfg(checkpoint_dir=str(d_split), resume=True)
+    )
+    assert part2.start_epoch == 3
+    assert part1.curve_loss + part2.curve_loss == full.curve_loss
+    assert part1.wire_bytes_total + part2.wire_bytes_total == full.wire_bytes_total
+    _assert_states_bitwise_equal(_final_state(d_full), _final_state(d_split))
+
+    state = _final_state(d_split)
+    assert state.meta.get("store_path") == str(huge_store.path)
+    for arr in _walk_arrays(
+        {"model": state.model, "optimizer": state.optimizer,
+         "exchange": state.exchange, "assigner": state.assigner}
+    ):
+        assert not isinstance(arr, np.memmap)
+    # The checkpoint must stay model-sized: serializing even one
+    # device's store regions would dwarf the store-free state.
+    ckpt_bytes = max(p.stat().st_size for p in d_split.glob("epoch-*/state.pkl"))
+    assert ckpt_bytes < huge_store.materialized_bytes() // huge_store.num_parts

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.memory import estimate_memory
+from repro.cluster.memory import (
+    estimate_memory,
+    estimate_peak_resident,
+    host_memory,
+)
 from repro.graph.partition.api import partition_graph
 
 
@@ -42,4 +46,69 @@ def test_total_is_sum_of_components(cluster):
     assert fp.total_bytes == (
         fp.feature_bytes + fp.activation_bytes + fp.halo_buffer_bytes
         + fp.model_param_bytes + fp.model_grad_bytes
+        + fp.decode_workspace_bytes + fp.shm_slab_bytes
     )
+
+
+def test_decode_workspace_is_ab_pair(cluster):
+    """Two halo-row workspaces per device since the two-deep pipeline."""
+    max_width = max(cluster.dims[:-1])
+    for fp, dev in zip(estimate_memory(cluster), cluster.devices):
+        assert fp.decode_workspace_bytes == 2 * dev.part.n_halo * max_width * 4
+
+
+def test_shm_slab_zero_without_process_transport(cluster):
+    for fp in estimate_memory(cluster):
+        assert fp.shm_slab_bytes == 0
+
+
+def test_stacked_buffers_counted_for_fused_engine(cluster):
+    """The fused engine preallocates; resident counts its stacked rows."""
+    for fp in estimate_memory(cluster):
+        assert fp.stacked_buffer_bytes > 0
+        assert not fp.streaming
+        assert fp.memmap_window_bytes == 0
+        # In-RAM fused mode: features alongside their stacked layer-0 copy.
+        assert fp.resident_bytes == (
+            fp.model_param_bytes + fp.model_grad_bytes
+            + fp.decode_workspace_bytes + fp.shm_slab_bytes
+            + fp.feature_bytes + fp.stacked_buffer_bytes
+        )
+
+
+def test_legacy_executor_resident_falls_back(tiny_dataset):
+    book = partition_graph(tiny_dataset.graph, 2, method="metis", seed=0)
+    legacy = Cluster(tiny_dataset, book, model_kind="gcn", hidden_dim=8,
+                     num_layers=2, dropout=0.0, seed=0, fused_compute=False)
+    for fp in estimate_memory(legacy):
+        assert fp.stacked_buffer_bytes == 0
+        assert fp.resident_bytes == (
+            fp.model_param_bytes + fp.model_grad_bytes
+            + fp.decode_workspace_bytes + fp.shm_slab_bytes
+            + fp.feature_bytes + fp.activation_bytes + fp.halo_buffer_bytes
+        )
+
+
+def test_estimate_peak_resident_sums_devices(cluster):
+    fps = estimate_memory(cluster)
+    send_rows = sum(dev.part.n_halo for dev in cluster.devices)
+    quant_stage = send_rows * 2 * sum(cluster.dims[:-1]) * 5
+    assert estimate_peak_resident(cluster) == (
+        sum(fp.resident_bytes for fp in fps) + quant_stage
+    )
+
+
+def test_host_memory_parses_meminfo(tmp_path):
+    p = tmp_path / "meminfo"
+    p.write_text("MemTotal:       16384 kB\nMemFree:  4096 kB\n"
+                 "MemAvailable:   8192 kB\n")
+    hm = host_memory(p)
+    assert hm.total_bytes == 16384 * 1024
+    assert hm.available_bytes == 8192 * 1024
+
+
+def test_host_memory_none_when_unreadable(tmp_path):
+    assert host_memory(tmp_path / "missing") is None
+    partial = tmp_path / "partial"
+    partial.write_text("MemTotal: 1 kB\n")
+    assert host_memory(partial) is None

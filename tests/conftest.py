@@ -59,3 +59,26 @@ def single_part_book(tiny_dataset):
     return PartitionBook(
         part_of=np.zeros(tiny_dataset.num_nodes, dtype=np.int32), num_parts=1
     )
+
+
+@pytest.fixture(scope="session")
+def huge_store(tmp_path_factory):
+    """A small partition store built by the streaming huge-graph builder.
+
+    Small enough to stay fast, structured enough to exercise every store
+    region (multiple chunks, non-trivial halos on all four partitions).
+    """
+    from repro.graph.generators import HugeGraphConfig
+    from repro.graph.io import build_partition_store
+
+    cfg = HugeGraphConfig(
+        num_nodes=3000,
+        avg_degree=6.0,
+        num_features=24,
+        num_classes=7,
+        num_communities=12,
+        chunk_nodes=512,
+        chunk_edges=4096,
+    )
+    path = tmp_path_factory.mktemp("hugestore") / "store"
+    return build_partition_store(cfg, 4, path, seed=11, agg_kind="gcn")

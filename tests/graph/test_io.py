@@ -60,3 +60,71 @@ def test_version_check(tmp_path):
     np.savez(bad, format_version=99, indptr=np.array([0]), indices=np.array([], dtype=np.int64))
     with pytest.raises(ValueError, match="format version"):
         load_graph(bad)
+
+
+# ----------------------------------------------------------------------
+# Partition-store error paths (huge-graph mode)
+# ----------------------------------------------------------------------
+def _store_copy(store, tmp_path):
+    import shutil
+
+    dst = tmp_path / "copy"
+    shutil.copytree(store.path, dst)
+    return dst
+
+
+def test_store_open_rejects_version_mismatch(huge_store, tmp_path):
+    import json as _json
+
+    from repro.graph.io import PartitionStore
+
+    dst = _store_copy(huge_store, tmp_path)
+    header = _json.loads((dst / "header.json").read_text())
+    header["version"] = 99
+    (dst / "header.json").write_text(_json.dumps(header))
+    with pytest.raises(ValueError, match="version 99"):
+        PartitionStore.open(dst)
+
+
+def test_store_open_rejects_truncated_file(huge_store, tmp_path):
+    from repro.graph.io import PartitionStore
+
+    dst = _store_copy(huge_store, tmp_path)
+    part_file = dst / "part0000.bin"
+    part_file.write_bytes(part_file.read_bytes()[:128])
+    with pytest.raises(ValueError, match="truncated"):
+        PartitionStore.open(dst)
+
+
+def test_store_open_rejects_missing_and_corrupt_header(huge_store, tmp_path):
+    from repro.graph.io import PartitionStore
+
+    with pytest.raises(ValueError, match="missing"):
+        PartitionStore.open(tmp_path / "nowhere")
+    dst = _store_copy(huge_store, tmp_path)
+    (dst / "header.json").write_text("{not json")
+    with pytest.raises(ValueError, match="corrupt"):
+        PartitionStore.open(dst)
+
+
+def test_store_region_unknown_name_raises(huge_store):
+    with pytest.raises(KeyError, match="no region"):
+        huge_store.region(0, "no-such-region")
+
+
+def test_partition_book_roundtrip_non_contiguous(tmp_path):
+    """A book whose parts own interleaved (non-contiguous) node ids must
+    survive the save/load round trip exactly — the store's contiguous
+    numbering is a property of the store, not of the book format."""
+    from repro.graph.partition.book import PartitionBook
+
+    gen = np.random.default_rng(3)
+    part_of = gen.integers(0, 3, 101).astype(np.int64)
+    book = PartitionBook(part_of=part_of, num_parts=3)
+    p = tmp_path / "scattered.npz"
+    save_partition_book(book, p)
+    book2 = load_partition_book(p)
+    assert book2.num_parts == 3
+    assert np.array_equal(book2.part_of, part_of)
+    for part in range(3):
+        assert np.array_equal(book2.owned(part), np.flatnonzero(part_of == part))
